@@ -1,0 +1,90 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/gen"
+	"maskedspgemm/internal/mtx"
+)
+
+func TestParseOptions(t *testing.T) {
+	cases := []struct {
+		algo string
+		want core.Algorithm
+	}{
+		{"msa", core.AlgoMSA},
+		{"MSA", core.AlgoMSA},
+		{"hash", core.AlgoHash},
+		{"mca", core.AlgoMCA},
+		{"heap", core.AlgoHeap},
+		{"heapdot", core.AlgoHeapDot},
+		{"inner", core.AlgoInner},
+		{"hybrid", core.AlgoHybrid},
+		{"saxpy", core.AlgoSaxpyThenMask},
+		{"dot", core.AlgoDotTranspose},
+	}
+	for _, c := range cases {
+		opt, err := parseOptions(c.algo, false, 4)
+		if err != nil {
+			t.Fatalf("%q: %v", c.algo, err)
+		}
+		if opt.Algorithm != c.want || opt.Threads != 4 || opt.Phases != core.OnePhase {
+			t.Errorf("%q: got %+v", c.algo, opt)
+		}
+	}
+	opt, err := parseOptions("msa", true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Phases != core.TwoPhase {
+		t.Error("two-phase flag ignored")
+	}
+	if _, err := parseOptions("nonsense", false, 0); err == nil {
+		t.Error("want error for unknown algorithm")
+	}
+}
+
+func TestLoadGraph(t *testing.T) {
+	// Generated path.
+	g, err := loadGraph("", 8, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Rows != 256 {
+		t.Errorf("generated graph has %d rows", g.Rows)
+	}
+	// File path: write a small graph and read it back symmetrized.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.mtx")
+	if err := mtx.WriteFile(path, gen.ErdosRenyi(32, 4, 2)); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := loadGraph(path, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Rows != 32 {
+		t.Errorf("loaded graph has %d rows", g2.Rows)
+	}
+	// Symmetrized on load.
+	for i := 0; i < g2.Rows; i++ {
+		for _, j := range g2.Row(i) {
+			if !g2.Has(int(j), int32(i)) {
+				t.Fatal("loaded graph not symmetric")
+			}
+		}
+	}
+	// Rectangular file rejected.
+	rectPath := filepath.Join(dir, "rect.mtx")
+	if err := mtx.WriteFile(rectPath, gen.Random(3, 4, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadGraph(rectPath, 0, 0, 0); err == nil {
+		t.Error("want error for rectangular graph file")
+	}
+	if _, err := loadGraph(filepath.Join(dir, "missing.mtx"), 0, 0, 0); err == nil {
+		t.Error("want error for missing file")
+	}
+}

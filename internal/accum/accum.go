@@ -1,0 +1,98 @@
+// Package accum implements the four accumulator data structures the
+// paper builds masked SpGEMM on (§5): the Masked Sparse Accumulator
+// (MSA), the hash accumulator, the novel Mask Compressed Accumulator
+// (MCA), and the heap (multi-way merge) accumulator, plus the
+// complemented-mask variants of MSA and hash (§5.2–5.5).
+//
+// An accumulator merges the scaled rows u_k·B_k* that contribute to one
+// output row, while discarding (ideally never computing) products whose
+// column is masked out. The paper's interface is
+//
+//	setAllowed(key) / insert(key, λ) / remove(key)
+//
+// with three states per key: NOTALLOWED → ALLOWED → SET. Here the
+// insert lambda is realised without closure allocation by passing both
+// multiplicands: Insert(key, a, b) multiplies only once the key is known
+// to be allowed, preserving the lazy-evaluation semantics of §5.1.
+//
+// One accumulator instance is owned by one worker goroutine and reused
+// across all rows that worker processes; Begin/Gather (or the symbolic
+// Begin/EndSymbolic pair) bracket each row and leave the structure clean
+// for the next row in O(row work) time.
+package accum
+
+// Key states shared by MSA and MCA. The hash accumulator encodes
+// emptiness through its key slots instead.
+const (
+	stateNotAllowed uint8 = iota // default: masked out (plain) / untouched
+	stateAllowed                 // admitted by the mask, nothing inserted yet
+	stateSet                     // at least one product accumulated
+)
+
+// nextPow2 returns the smallest power of two ≥ n (minimum 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Numeric is the per-row numeric protocol shared by the MSA and hash
+// accumulators; the push kernels in internal/core are generic over it so
+// each instantiation monomorphizes.
+//
+// Usage per output row i:
+//
+//	acc.Begin(maskRow)
+//	for each A(i,k): for each B(k,j): acc.Insert(j, a, b)
+//	n := acc.Gather(maskRow, outIdx, outVal)
+type Numeric[T any] interface {
+	// Begin prepares the accumulator for a new output row whose admitted
+	// keys are the sorted column indices in maskRow.
+	Begin(maskRow []int32)
+	// Insert lazily accumulates Mul(a, b) into key, discarding the
+	// product without computing it when key is not allowed.
+	Insert(key int32, a, b T)
+	// Gather writes the SET entries in mask order into outIdx/outVal,
+	// returns how many were written, and resets the accumulator.
+	Gather(maskRow []int32, outIdx []int32, outVal []T) int
+}
+
+// Symbolic is the per-row symbolic (pattern-only) protocol used by the
+// two-phase algorithms' first pass (§6): like Numeric but without
+// values.
+type Symbolic interface {
+	// BeginSymbolic prepares for a new row (pattern-only).
+	BeginSymbolic(maskRow []int32)
+	// InsertPattern marks key as SET if it is allowed.
+	InsertPattern(key int32)
+	// EndSymbolic returns the number of SET keys and resets.
+	EndSymbolic(maskRow []int32) int
+}
+
+// ComplementNumeric is the numeric protocol for complemented masks
+// (C = ¬M ⊙ AB): Begin marks the mask keys as NOTALLOWED, every other
+// key is admitted, and gathering must sort because insertions arrive in
+// arbitrary column order (§5.2, "Gustavson's strategy").
+type ComplementNumeric[T any] interface {
+	// Begin prepares for a new output row; keys in maskRow are excluded.
+	Begin(maskRow []int32)
+	// Insert lazily accumulates Mul(a, b) into key unless it is masked
+	// out.
+	Insert(key int32, a, b T)
+	// Gather writes all SET entries in ascending key order, returns the
+	// count, and resets. outIdx/outVal must have room for every inserted
+	// key.
+	Gather(outIdx []int32, outVal []T) int
+}
+
+// ComplementSymbolic is the symbolic counterpart of ComplementNumeric.
+type ComplementSymbolic interface {
+	// BeginSymbolic prepares for a new row (pattern-only).
+	BeginSymbolic(maskRow []int32)
+	// InsertPattern marks key as SET unless masked out.
+	InsertPattern(key int32)
+	// EndSymbolic returns the number of SET keys and resets.
+	EndSymbolic() int
+}

@@ -1,0 +1,346 @@
+package accum
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"maskedspgemm/internal/semiring"
+)
+
+var pt = semiring.PlusTimes[float64]{}
+
+// numericAcc is the test-side view of the shared numeric protocol.
+type numericAcc interface {
+	Begin(maskRow []int32)
+	Insert(key int32, a, b float64)
+	Gather(maskRow []int32, outIdx []int32, outVal []float64) int
+	BeginSymbolic(maskRow []int32)
+	InsertPattern(key int32)
+	EndSymbolic(maskRow []int32) int
+}
+
+func plainAccumulators(ncols, maxMask int) map[string]numericAcc {
+	return map[string]numericAcc{
+		"MSA":      NewMSA[float64](pt, ncols),
+		"MSAEpoch": NewMSAEpoch[float64](pt, ncols),
+		"Hash":     NewHash[float64](pt, maxMask, 0),
+		"Hash-lf1": NewHash[float64](pt, maxMask, 1.0),
+	}
+}
+
+// refMaskedRow is the oracle: dense accumulation then mask filter.
+type insertOp struct {
+	key  int32
+	a, b float64
+}
+
+func refMaskedRow(ncols int, mask []int32, ops []insertOp) (idx []int32, val []float64) {
+	acc := make([]float64, ncols)
+	hit := make([]bool, ncols)
+	allowed := make([]bool, ncols)
+	for _, j := range mask {
+		allowed[j] = true
+	}
+	for _, op := range ops {
+		if !allowed[op.key] {
+			continue
+		}
+		if hit[op.key] {
+			acc[op.key] += op.a * op.b
+		} else {
+			acc[op.key] = op.a * op.b
+			hit[op.key] = true
+		}
+	}
+	for _, j := range mask {
+		if hit[j] {
+			idx = append(idx, j)
+			val = append(val, acc[j])
+		}
+	}
+	return idx, val
+}
+
+func refComplementRow(ncols int, mask []int32, ops []insertOp) (idx []int32, val []float64) {
+	acc := make([]float64, ncols)
+	hit := make([]bool, ncols)
+	blocked := make([]bool, ncols)
+	for _, j := range mask {
+		blocked[j] = true
+	}
+	for _, op := range ops {
+		if blocked[op.key] {
+			continue
+		}
+		if hit[op.key] {
+			acc[op.key] += op.a * op.b
+		} else {
+			acc[op.key] = op.a * op.b
+			hit[op.key] = true
+		}
+	}
+	for j := 0; j < ncols; j++ {
+		if hit[j] {
+			idx = append(idx, int32(j))
+			val = append(val, acc[j])
+		}
+	}
+	return idx, val
+}
+
+type rowScenario struct {
+	ncols int
+	mask  []int32
+	ops   []insertOp
+}
+
+func (rowScenario) Generate(r *rand.Rand, _ int) reflect.Value {
+	ncols := 1 + r.Intn(64)
+	maskSet := map[int32]bool{}
+	for i := 0; i < r.Intn(ncols+1); i++ {
+		maskSet[int32(r.Intn(ncols))] = true
+	}
+	mask := make([]int32, 0, len(maskSet))
+	for j := range maskSet {
+		mask = append(mask, j)
+	}
+	sort.Slice(mask, func(i, j int) bool { return mask[i] < mask[j] })
+	ops := make([]insertOp, r.Intn(200))
+	for i := range ops {
+		ops[i] = insertOp{int32(r.Intn(ncols)), r.Float64(), r.Float64()}
+	}
+	return reflect.ValueOf(rowScenario{ncols, mask, ops})
+}
+
+func eqF(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		d := a[i] - b[i]
+		if d < -1e-9 || d > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func eqI(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPlainAccumulatorsQuick property-tests MSA, MSAEpoch, and Hash
+// against the dense oracle across random insert streams, including
+// reuse of the same accumulator across consecutive rows (reset
+// correctness).
+func TestPlainAccumulatorsQuick(t *testing.T) {
+	for name := range plainAccumulators(1, 1) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			acc := plainAccumulators(64, 64)[name]
+			f := func(s rowScenario) bool {
+				if s.ncols > 64 {
+					return true
+				}
+				wantIdx, wantVal := refMaskedRow(s.ncols, s.mask, s.ops)
+				outIdx := make([]int32, len(s.mask))
+				outVal := make([]float64, len(s.mask))
+				// Numeric pass (reusing acc across quick iterations
+				// checks the reset path).
+				acc.Begin(s.mask)
+				for _, op := range s.ops {
+					acc.Insert(op.key, op.a, op.b)
+				}
+				n := acc.Gather(s.mask, outIdx, outVal)
+				if n != len(wantIdx) || !eqI(outIdx[:n], wantIdx) || !eqF(outVal[:n], wantVal) {
+					return false
+				}
+				// Symbolic pass must agree on the count.
+				acc.BeginSymbolic(s.mask)
+				for _, op := range s.ops {
+					acc.InsertPattern(op.key)
+				}
+				return acc.EndSymbolic(s.mask) == n
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestComplementAccumulatorsQuick property-tests MSAC and HashC.
+func TestComplementAccumulatorsQuick(t *testing.T) {
+	type cAcc interface {
+		BeginSized(maskRow []int32, bound int)
+		Insert(key int32, a, b float64)
+		Gather(outIdx []int32, outVal []float64) int
+		BeginSymbolicSized(maskRow []int32, bound int)
+		InsertPattern(key int32)
+		EndSymbolic() int
+	}
+	accs := map[string]cAcc{
+		"MSAC":  NewMSAC[float64](pt, 64),
+		"HashC": NewHashC[float64](pt, 16, 0),
+	}
+	for name, acc := range accs {
+		name, acc := name, acc
+		t.Run(name, func(t *testing.T) {
+			f := func(s rowScenario) bool {
+				if s.ncols > 64 {
+					return true
+				}
+				wantIdx, wantVal := refComplementRow(s.ncols, s.mask, s.ops)
+				outIdx := make([]int32, s.ncols)
+				outVal := make([]float64, s.ncols)
+				acc.BeginSized(s.mask, len(s.ops))
+				for _, op := range s.ops {
+					acc.Insert(op.key, op.a, op.b)
+				}
+				n := acc.Gather(outIdx, outVal)
+				if n != len(wantIdx) || !eqI(outIdx[:n], wantIdx) || !eqF(outVal[:n], wantVal) {
+					return false
+				}
+				acc.BeginSymbolicSized(s.mask, len(s.ops))
+				for _, op := range s.ops {
+					acc.InsertPattern(op.key)
+				}
+				return acc.EndSymbolic() == n
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestMSAStateTransitions walks the §5.2 automaton explicitly.
+func TestMSAStateTransitions(t *testing.T) {
+	m := NewMSA[float64](pt, 8)
+	mask := []int32{2, 5}
+	m.Begin(mask)
+	m.Insert(3, 10, 10) // NOTALLOWED: discarded
+	m.Insert(2, 2, 3)   // ALLOWED → SET with 6
+	m.Insert(2, 1, 4)   // SET: accumulate 10
+	idx := make([]int32, 2)
+	val := make([]float64, 2)
+	n := m.Gather(mask, idx, val)
+	if n != 1 || idx[0] != 2 || val[0] != 10 {
+		t.Fatalf("gather = %d %v %v, want key 2 = 10", n, idx[:n], val[:n])
+	}
+	// After gather, everything is reset: inserting on key 2 without
+	// Begin must be discarded (NOTALLOWED again).
+	m.Begin(nil)
+	m.Insert(2, 1, 1)
+	if n := m.Gather(nil, idx, val); n != 0 {
+		t.Fatalf("post-reset gather = %d, want 0", n)
+	}
+}
+
+// TestMCADirect exercises the MCA protocol (mask positions, two-state
+// automaton).
+func TestMCADirect(t *testing.T) {
+	m := NewMCA[float64](pt, 4)
+	mask := []int32{1, 4, 7}
+	m.Insert(0, 2, 5) // mask position 0 (col 1): 10
+	m.Insert(2, 3, 2) // mask position 2 (col 7): 6
+	m.Insert(2, 1, 1) // accumulate: 7
+	idx := make([]int32, 3)
+	val := make([]float64, 3)
+	n := m.Gather(mask, idx, val)
+	if n != 2 || idx[0] != 1 || val[0] != 10 || idx[1] != 7 || val[1] != 7 {
+		t.Fatalf("MCA gather = %d %v %v", n, idx[:n], val[:n])
+	}
+	// Reset happened; a fresh symbolic round sees a clean accumulator.
+	m.InsertPattern(1)
+	if got := m.EndSymbolic(mask); got != 1 {
+		t.Fatalf("symbolic = %d, want 1", got)
+	}
+	m.Grow(10)
+	m.Insert(9, 1, 1)
+	bigMask := []int32{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	idx = make([]int32, 10)
+	val = make([]float64, 10)
+	if n := m.Gather(bigMask, idx, val); n != 1 || idx[0] != 9 {
+		t.Fatalf("after Grow: gather = %d %v", n, idx[:n])
+	}
+}
+
+// TestIterHeapOrdering pushes shuffled iterators and checks pops come
+// out column-sorted.
+func TestIterHeapOrdering(t *testing.T) {
+	f := func(colsRaw []uint16) bool {
+		h := NewIterHeap(len(colsRaw))
+		for _, c := range colsRaw {
+			h.Push(RowIter{Col: int32(c)})
+		}
+		prev := int32(-1)
+		for h.Len() > 0 {
+			it := h.PopMin()
+			if it.Col < prev {
+				return false
+			}
+			prev = it.Col
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIterHeapReset(t *testing.T) {
+	h := NewIterHeap(4)
+	h.Push(RowIter{Col: 3})
+	h.Push(RowIter{Col: 1})
+	if h.Min().Col != 1 {
+		t.Fatalf("Min = %d, want 1", h.Min().Col)
+	}
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", h.Len())
+	}
+}
+
+// TestHashGrowth forces a row larger than the constructor hint.
+func TestHashGrowth(t *testing.T) {
+	h := NewHash[float64](pt, 2, 0.25)
+	mask := make([]int32, 100)
+	for i := range mask {
+		mask[i] = int32(i)
+	}
+	h.Begin(mask)
+	for i := range mask {
+		h.Insert(int32(i), 1, float64(i))
+	}
+	idx := make([]int32, 100)
+	val := make([]float64, 100)
+	if n := h.Gather(mask, idx, val); n != 100 {
+		t.Fatalf("gather = %d, want 100", n)
+	}
+	for i := range mask {
+		if val[i] != float64(i) {
+			t.Fatalf("val[%d] = %v", i, val[i])
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1023: 1024, 1024: 1024}
+	for in, want := range cases {
+		if got := nextPow2(in); got != want {
+			t.Errorf("nextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

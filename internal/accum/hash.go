@@ -1,0 +1,279 @@
+package accum
+
+import (
+	"sort"
+
+	"maskedspgemm/internal/semiring"
+)
+
+// hashMultiplier is Knuth's multiplicative constant (2654435761 =
+// floor(2^32/φ)); with a power-of-two table the high bits spread well
+// under linear probing.
+const hashMultiplier uint32 = 2654435761
+
+// DefaultLoadFactor is the paper's hash accumulator load factor: the
+// table is sized so that nnz(mask row) fills at most a quarter of it,
+// trading memory for collision-free probes (§5.3).
+const DefaultLoadFactor = 0.25
+
+// Hash is the hash accumulator (§5.3): an open-addressing, linear-probe
+// table storing (key, state, value) with no resizing — the key set is
+// known up front to be the mask row. Compared to MSA it has a smaller
+// footprint (better cache behaviour on large matrices) at the cost of
+// hashing on each access.
+type Hash[T any, S semiring.Semiring[T]] struct {
+	sr     S
+	keys   []int32 // -1 = empty slot
+	states []uint8 // stateAllowed or stateSet for occupied slots
+	values []T
+	cap    int // active power-of-two capacity for the current row
+	lf     float64
+}
+
+// NewHash returns a hash accumulator able to handle mask rows of up to
+// maxMaskRow entries at the given load factor (≤ 0 means the paper's
+// 0.25).
+func NewHash[T any, S semiring.Semiring[T]](sr S, maxMaskRow int, loadFactor float64) *Hash[T, S] {
+	if loadFactor <= 0 || loadFactor > 1 {
+		loadFactor = DefaultLoadFactor
+	}
+	capHint := nextPow2(maxInt(int(float64(maxMaskRow)/loadFactor), 16))
+	h := &Hash[T, S]{
+		sr:     sr,
+		keys:   make([]int32, capHint),
+		states: make([]uint8, capHint),
+		values: make([]T, capHint),
+		lf:     loadFactor,
+	}
+	for i := range h.keys {
+		h.keys[i] = -1
+	}
+	return h
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// sizeFor picks the active capacity for a row with n mask entries and
+// clears that region. Growing beyond the constructor hint is supported
+// (it just reallocates), so callers may size optimistically.
+func (h *Hash[T, S]) sizeFor(n int) {
+	c := nextPow2(maxInt(int(float64(n)/h.lf), 16))
+	if c > len(h.keys) {
+		h.keys = make([]int32, c)
+		h.states = make([]uint8, c)
+		h.values = make([]T, c)
+	}
+	h.cap = c
+	for i := 0; i < c; i++ {
+		h.keys[i] = -1
+	}
+}
+
+// slot probes for key and returns its slot index, or the index of the
+// empty slot where it would be inserted.
+func (h *Hash[T, S]) slot(key int32) int {
+	mask := uint32(h.cap - 1)
+	p := (uint32(key) * hashMultiplier) & mask
+	for {
+		k := h.keys[p]
+		if k == key || k == -1 {
+			return int(p)
+		}
+		p = (p + 1) & mask
+	}
+}
+
+// Begin sizes the table for the row and inserts the mask keys as
+// ALLOWED.
+func (h *Hash[T, S]) Begin(maskRow []int32) {
+	h.sizeFor(len(maskRow))
+	for _, j := range maskRow {
+		p := h.slot(j)
+		h.keys[p] = j
+		h.states[p] = stateAllowed
+	}
+}
+
+// Insert accumulates Mul(a, b) into key if it is present in the table
+// (i.e. admitted by the mask). Probing that lands on an empty slot means
+// the key is NOTALLOWED and the product is never computed.
+func (h *Hash[T, S]) Insert(key int32, a, b T) {
+	p := h.slot(key)
+	if h.keys[p] == -1 {
+		return // not in mask: discard without computing the product
+	}
+	if h.states[p] == stateAllowed {
+		h.values[p] = h.sr.Mul(a, b)
+		h.states[p] = stateSet
+	} else {
+		h.values[p] = h.sr.Add(h.values[p], h.sr.Mul(a, b))
+	}
+}
+
+// Gather re-probes each mask key in order and emits the SET ones; output
+// is therefore sorted exactly like the mask. The table needs no explicit
+// reset — the next Begin clears its active region.
+func (h *Hash[T, S]) Gather(maskRow []int32, outIdx []int32, outVal []T) int {
+	n := 0
+	for _, j := range maskRow {
+		p := h.slot(j)
+		if h.keys[p] != -1 && h.states[p] == stateSet {
+			outIdx[n] = j
+			outVal[n] = h.values[p]
+			n++
+		}
+	}
+	return n
+}
+
+// BeginSymbolic prepares a pattern-only row.
+func (h *Hash[T, S]) BeginSymbolic(maskRow []int32) { h.Begin(maskRow) }
+
+// InsertPattern marks key SET if admitted.
+func (h *Hash[T, S]) InsertPattern(key int32) {
+	p := h.slot(key)
+	if h.keys[p] == -1 {
+		return
+	}
+	if h.states[p] == stateAllowed {
+		h.states[p] = stateSet
+	}
+}
+
+// EndSymbolic counts SET keys.
+func (h *Hash[T, S]) EndSymbolic(maskRow []int32) int {
+	n := 0
+	for _, j := range maskRow {
+		p := h.slot(j)
+		if h.keys[p] != -1 && h.states[p] == stateSet {
+			n++
+		}
+	}
+	return n
+}
+
+// HashC is the complemented-mask hash accumulator: mask keys are
+// inserted as NOTALLOWED sentinels and any other key is admitted on
+// first touch. Because admitted keys cannot be enumerated from the mask,
+// the table must be sized by an upper bound on the row's output
+// (min(ncols − nnz(mask row), Σ nnz(B_k*)) plus the mask sentinels) and
+// inserted keys are tracked and sorted at gather time.
+type HashC[T any, S semiring.Semiring[T]] struct {
+	sr       S
+	keys     []int32
+	states   []uint8 // stateNotAllowed (sentinel) or stateSet
+	values   []T
+	cap      int
+	lf       float64
+	inserted []int32
+}
+
+// NewHashC returns a complemented hash accumulator able to hold
+// maxEntries keys (mask sentinels + inserted outputs) per row.
+func NewHashC[T any, S semiring.Semiring[T]](sr S, maxEntries int, loadFactor float64) *HashC[T, S] {
+	if loadFactor <= 0 || loadFactor > 1 {
+		loadFactor = 0.5 // complement rows can be large; be less wasteful
+	}
+	c := nextPow2(maxInt(int(float64(maxEntries)/loadFactor), 16))
+	h := &HashC[T, S]{
+		sr:     sr,
+		keys:   make([]int32, c),
+		states: make([]uint8, c),
+		values: make([]T, c),
+		lf:     loadFactor,
+	}
+	for i := range h.keys {
+		h.keys[i] = -1
+	}
+	return h
+}
+
+// BeginSized prepares the table for a row whose mask has the given
+// entries and whose output size is bounded by bound.
+func (h *HashC[T, S]) BeginSized(maskRow []int32, bound int) {
+	need := nextPow2(maxInt(int(float64(bound+len(maskRow))/h.lf), 16))
+	if need > len(h.keys) {
+		h.keys = make([]int32, need)
+		h.states = make([]uint8, need)
+		h.values = make([]T, need)
+	}
+	h.cap = need
+	for i := 0; i < need; i++ {
+		h.keys[i] = -1
+	}
+	for _, j := range maskRow {
+		p := h.slot(j)
+		h.keys[p] = j
+		h.states[p] = stateNotAllowed
+	}
+	h.inserted = h.inserted[:0]
+}
+
+func (h *HashC[T, S]) slot(key int32) int {
+	mask := uint32(h.cap - 1)
+	p := (uint32(key) * hashMultiplier) & mask
+	for {
+		k := h.keys[p]
+		if k == key || k == -1 {
+			return int(p)
+		}
+		p = (p + 1) & mask
+	}
+}
+
+// Insert accumulates Mul(a, b) into key unless it is a mask sentinel.
+func (h *HashC[T, S]) Insert(key int32, a, b T) {
+	p := h.slot(key)
+	switch {
+	case h.keys[p] == -1:
+		h.keys[p] = key
+		h.states[p] = stateSet
+		h.values[p] = h.sr.Mul(a, b)
+		h.inserted = append(h.inserted, key)
+	case h.states[p] == stateSet:
+		h.values[p] = h.sr.Add(h.values[p], h.sr.Mul(a, b))
+	}
+	// stateNotAllowed: masked out; discard.
+}
+
+// Gather sorts and emits the inserted keys. The next BeginSized clears
+// the table.
+func (h *HashC[T, S]) Gather(outIdx []int32, outVal []T) int {
+	sort.Sort(int32Slice(h.inserted))
+	n := 0
+	for _, j := range h.inserted {
+		p := h.slot(j)
+		outIdx[n] = j
+		outVal[n] = h.values[p]
+		n++
+	}
+	h.inserted = h.inserted[:0]
+	return n
+}
+
+// BeginSymbolicSized prepares a pattern-only row.
+func (h *HashC[T, S]) BeginSymbolicSized(maskRow []int32, bound int) {
+	h.BeginSized(maskRow, bound)
+}
+
+// InsertPattern marks key SET unless it is a sentinel.
+func (h *HashC[T, S]) InsertPattern(key int32) {
+	p := h.slot(key)
+	if h.keys[p] == -1 {
+		h.keys[p] = key
+		h.states[p] = stateSet
+		h.inserted = append(h.inserted, key)
+	}
+}
+
+// EndSymbolic counts inserted keys.
+func (h *HashC[T, S]) EndSymbolic() int {
+	n := len(h.inserted)
+	h.inserted = h.inserted[:0]
+	return n
+}

@@ -1,0 +1,79 @@
+package accum
+
+// RowIter is a cursor over one sorted row B_k* used by the heap
+// algorithm (§5.5). Pos/End index into the shared ColIdx/Val arrays of
+// B, AIdx remembers which entry of the current A row produced this
+// iterator (so the kernel can recover u_k).
+type RowIter struct {
+	Col  int32 // current column id, cached from ColIdx[Pos]
+	AIdx int32 // index into the A row's nonzeros (identifies u_k)
+	Pos  int64 // current position in B.ColIdx
+	End  int64 // one past the row's last position
+}
+
+// IterHeap is a binary min-heap of row iterators ordered by current
+// column id, the multi-way-merge structure of the masked heap SpGEVM
+// algorithm (§5.5, after Buluç & Gilbert's column-column heap
+// algorithm). Capacity never exceeds nnz(A row); the backing slice is
+// reused across rows.
+type IterHeap struct {
+	items []RowIter
+}
+
+// NewIterHeap returns a heap with the given capacity hint.
+func NewIterHeap(capHint int) *IterHeap {
+	return &IterHeap{items: make([]RowIter, 0, capHint)}
+}
+
+// Len returns the number of iterators in the heap.
+func (h *IterHeap) Len() int { return len(h.items) }
+
+// Reset empties the heap.
+func (h *IterHeap) Reset() { h.items = h.items[:0] }
+
+// Push inserts an iterator.
+func (h *IterHeap) Push(it RowIter) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].Col <= h.items[i].Col {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+// PopMin removes and returns the iterator with the smallest current
+// column. Panics when empty (caller checks Len).
+func (h *IterHeap) PopMin() RowIter {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	h.siftDown(0)
+	return top
+}
+
+// Min returns the smallest iterator without removing it.
+func (h *IterHeap) Min() RowIter { return h.items[0] }
+
+func (h *IterHeap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.items[l].Col < h.items[small].Col {
+			small = l
+		}
+		if r < n && h.items[r].Col < h.items[small].Col {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+}

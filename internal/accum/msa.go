@@ -1,0 +1,188 @@
+package accum
+
+import (
+	"sort"
+
+	"maskedspgemm/internal/semiring"
+)
+
+// MSA is the Masked Sparse Accumulator (§5.2): two dense arrays of
+// length ncols — values and states — where states follows the automaton
+// NOTALLOWED → ALLOWED → SET. Initialization marks the mask's keys
+// ALLOWED; inserts only land on ALLOWED/SET keys; the gather walks the
+// mask in order (making output stable/sorted) and resets the touched
+// states, so cleanup costs O(nnz(mask row)) rather than O(ncols).
+type MSA[T any, S semiring.Semiring[T]] struct {
+	sr     S
+	states []uint8
+	values []T
+}
+
+// NewMSA returns an MSA accumulator for output rows of width ncols.
+func NewMSA[T any, S semiring.Semiring[T]](sr S, ncols int) *MSA[T, S] {
+	return &MSA[T, S]{sr: sr, states: make([]uint8, ncols), values: make([]T, ncols)}
+}
+
+// Begin marks every key in maskRow ALLOWED.
+func (m *MSA[T, S]) Begin(maskRow []int32) {
+	for _, j := range maskRow {
+		m.states[j] = stateAllowed
+	}
+}
+
+// Insert accumulates Mul(a, b) into key if the mask admits it. The
+// product is not computed for NOTALLOWED keys (lazy evaluation, §5.1).
+func (m *MSA[T, S]) Insert(key int32, a, b T) {
+	switch m.states[key] {
+	case stateAllowed:
+		m.values[key] = m.sr.Mul(a, b)
+		m.states[key] = stateSet
+	case stateSet:
+		m.values[key] = m.sr.Add(m.values[key], m.sr.Mul(a, b))
+	}
+}
+
+// Gather emits the SET entries in mask order and resets the mask's
+// states to NOTALLOWED.
+func (m *MSA[T, S]) Gather(maskRow []int32, outIdx []int32, outVal []T) int {
+	n := 0
+	for _, j := range maskRow {
+		if m.states[j] == stateSet {
+			outIdx[n] = j
+			outVal[n] = m.values[j]
+			n++
+		}
+		m.states[j] = stateNotAllowed
+	}
+	return n
+}
+
+// BeginSymbolic prepares a pattern-only row.
+func (m *MSA[T, S]) BeginSymbolic(maskRow []int32) { m.Begin(maskRow) }
+
+// InsertPattern marks key SET if allowed, without touching values.
+func (m *MSA[T, S]) InsertPattern(key int32) {
+	if m.states[key] == stateAllowed {
+		m.states[key] = stateSet
+	}
+}
+
+// EndSymbolic counts SET keys and resets the mask's states.
+func (m *MSA[T, S]) EndSymbolic(maskRow []int32) int {
+	n := 0
+	for _, j := range maskRow {
+		if m.states[j] == stateSet {
+			n++
+		}
+		m.states[j] = stateNotAllowed
+	}
+	return n
+}
+
+// MSAC is the complemented-mask MSA (§5.2): the default state is
+// ALLOWED and Begin marks the mask's keys NOTALLOWED. Because admitted
+// keys are no longer enumerable from the mask, inserted keys are tracked
+// in a list (the paper credits this strategy to Gustavson) and sorted at
+// gather time so output rows stay sorted.
+//
+// Internally the state byte meaning is flipped relative to MSA so that
+// the zero value of the states array means ALLOWED and no O(ncols)
+// initialization is needed per row.
+type MSAC[T any, S semiring.Semiring[T]] struct {
+	sr       S
+	states   []uint8 // 0 = allowed (default), 1 = notallowed, 2 = set
+	values   []T
+	inserted []int32
+	maskRow  []int32 // row passed to Begin, reset during Gather
+}
+
+// NewMSAC returns a complemented MSA for output rows of width ncols.
+func NewMSAC[T any, S semiring.Semiring[T]](sr S, ncols int) *MSAC[T, S] {
+	return &MSAC[T, S]{sr: sr, states: make([]uint8, ncols), values: make([]T, ncols), inserted: make([]int32, 0, 64)}
+}
+
+const (
+	msacAllowed    uint8 = 0
+	msacNotAllowed uint8 = 1
+	msacSet        uint8 = 2
+)
+
+// Begin marks every key in maskRow NOTALLOWED; all other keys are
+// admitted.
+func (m *MSAC[T, S]) Begin(maskRow []int32) {
+	for _, j := range maskRow {
+		m.states[j] = msacNotAllowed
+	}
+	m.inserted = m.inserted[:0]
+	m.maskRow = maskRow
+}
+
+// BeginSized is Begin; the bound is irrelevant for a dense-array
+// accumulator. It exists so MSAC and HashC share the complement
+// protocol.
+func (m *MSAC[T, S]) BeginSized(maskRow []int32, _ int) { m.Begin(maskRow) }
+
+// Insert accumulates Mul(a, b) into key unless the mask excludes it.
+func (m *MSAC[T, S]) Insert(key int32, a, b T) {
+	switch m.states[key] {
+	case msacAllowed:
+		m.values[key] = m.sr.Mul(a, b)
+		m.states[key] = msacSet
+		m.inserted = append(m.inserted, key)
+	case msacSet:
+		m.values[key] = m.sr.Add(m.values[key], m.sr.Mul(a, b))
+	}
+}
+
+// Gather sorts the inserted keys, emits them, and resets all touched
+// state — both the inserted keys and the mask keys marked in Begin — so
+// the accumulator is clean for the next row.
+func (m *MSAC[T, S]) Gather(outIdx []int32, outVal []T) int {
+	sort.Sort(int32Slice(m.inserted))
+	n := 0
+	for _, j := range m.inserted {
+		outIdx[n] = j
+		outVal[n] = m.values[j]
+		m.states[j] = msacAllowed
+		n++
+	}
+	m.inserted = m.inserted[:0]
+	for _, j := range m.maskRow {
+		m.states[j] = msacAllowed
+	}
+	m.maskRow = nil
+	return n
+}
+
+// BeginSymbolicSized prepares a pattern-only row.
+func (m *MSAC[T, S]) BeginSymbolicSized(maskRow []int32, _ int) { m.Begin(maskRow) }
+
+// InsertPattern marks key SET unless excluded.
+func (m *MSAC[T, S]) InsertPattern(key int32) {
+	if m.states[key] == msacAllowed {
+		m.states[key] = msacSet
+		m.inserted = append(m.inserted, key)
+	}
+}
+
+// EndSymbolic counts inserted keys and resets all touched state.
+func (m *MSAC[T, S]) EndSymbolic() int {
+	n := len(m.inserted)
+	for _, j := range m.inserted {
+		m.states[j] = msacAllowed
+	}
+	m.inserted = m.inserted[:0]
+	for _, j := range m.maskRow {
+		m.states[j] = msacAllowed
+	}
+	m.maskRow = nil
+	return n
+}
+
+// int32Slice implements sort.Interface; avoids the allocation of
+// sort.Slice's closure in the per-row gather path.
+type int32Slice []int32
+
+func (s int32Slice) Len() int           { return len(s) }
+func (s int32Slice) Less(i, j int) bool { return s[i] < s[j] }
+func (s int32Slice) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }

@@ -1,0 +1,78 @@
+package accum
+
+import "maskedspgemm/internal/semiring"
+
+// MSAEpoch is an alternative MSA implementation used by the reset-
+// strategy ablation (DESIGN.md §6): instead of walking the mask row to
+// reset states after each gather, every row gets a fresh epoch number
+// and a state array of int64 stamps encodes ALLOWED as 2·epoch and SET
+// as 2·epoch+1. Stale stamps from previous rows are simply ignored, so
+// reset is O(1) at the cost of 8× wider state entries (and hence more
+// accumulator cache traffic — the effect the ablation measures).
+type MSAEpoch[T any, S semiring.Semiring[T]] struct {
+	sr     S
+	stamps []int64
+	values []T
+	epoch  int64
+}
+
+// NewMSAEpoch returns an epoch-stamped MSA for rows of width ncols.
+func NewMSAEpoch[T any, S semiring.Semiring[T]](sr S, ncols int) *MSAEpoch[T, S] {
+	return &MSAEpoch[T, S]{sr: sr, stamps: make([]int64, ncols), values: make([]T, ncols), epoch: 0}
+}
+
+// Begin starts a new row epoch and marks the mask keys ALLOWED.
+func (m *MSAEpoch[T, S]) Begin(maskRow []int32) {
+	m.epoch++
+	allowed := 2 * m.epoch
+	for _, j := range maskRow {
+		m.stamps[j] = allowed
+	}
+}
+
+// Insert accumulates Mul(a, b) into key if the current epoch admits it.
+func (m *MSAEpoch[T, S]) Insert(key int32, a, b T) {
+	switch m.stamps[key] {
+	case 2 * m.epoch: // allowed
+		m.values[key] = m.sr.Mul(a, b)
+		m.stamps[key] = 2*m.epoch + 1
+	case 2*m.epoch + 1: // set
+		m.values[key] = m.sr.Add(m.values[key], m.sr.Mul(a, b))
+	}
+}
+
+// Gather emits SET entries in mask order; no reset is required.
+func (m *MSAEpoch[T, S]) Gather(maskRow []int32, outIdx []int32, outVal []T) int {
+	set := 2*m.epoch + 1
+	n := 0
+	for _, j := range maskRow {
+		if m.stamps[j] == set {
+			outIdx[n] = j
+			outVal[n] = m.values[j]
+			n++
+		}
+	}
+	return n
+}
+
+// BeginSymbolic starts a pattern-only row.
+func (m *MSAEpoch[T, S]) BeginSymbolic(maskRow []int32) { m.Begin(maskRow) }
+
+// InsertPattern marks key SET if allowed.
+func (m *MSAEpoch[T, S]) InsertPattern(key int32) {
+	if m.stamps[key] == 2*m.epoch {
+		m.stamps[key] = 2*m.epoch + 1
+	}
+}
+
+// EndSymbolic counts SET keys; no reset is required.
+func (m *MSAEpoch[T, S]) EndSymbolic(maskRow []int32) int {
+	set := 2*m.epoch + 1
+	n := 0
+	for _, j := range maskRow {
+		if m.stamps[j] == set {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,330 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/gen"
+	"maskedspgemm/internal/graph"
+	"maskedspgemm/internal/perfprof"
+)
+
+// AppKind selects which benchmark application a profile run measures.
+type AppKind int
+
+const (
+	// AppTriangleCount measures the masked product of §8.2.
+	AppTriangleCount AppKind = iota
+	// AppKTruss measures the iterative pruning of §8.3 (k = 5).
+	AppKTruss
+	// AppBetweenness measures the batched BC of §8.4.
+	AppBetweenness
+)
+
+// String names the application.
+func (a AppKind) String() string {
+	switch a {
+	case AppTriangleCount:
+		return "triangle-count"
+	case AppKTruss:
+		return "k-truss"
+	default:
+		return "betweenness"
+	}
+}
+
+// ProfileConfig parameterizes a performance-profile experiment (Figs 8,
+// 9, 12, 13, 16).
+type ProfileConfig struct {
+	App       AppKind
+	Instances []gen.Instance
+	Schemes   []Scheme
+	Threads   int
+	Reps      int
+	// KTrussK is the truss order (paper: 5).
+	KTrussK int
+	// BCBatch is the betweenness source-batch size (paper: 512).
+	BCBatch int
+}
+
+// RunProfile times every scheme on every instance and computes the
+// Dolan–Moré profile.
+func RunProfile(cfg ProfileConfig) (*perfprof.Profile, error) {
+	if cfg.KTrussK == 0 {
+		cfg.KTrussK = 5
+	}
+	if cfg.BCBatch == 0 {
+		cfg.BCBatch = 64
+	}
+	var results []perfprof.Result
+	for _, inst := range cfg.Instances {
+		g := inst.Build()
+		var tc *graph.TCWorkload
+		if cfg.App == AppTriangleCount {
+			tc = graph.PrepareTriangleCount(g)
+		}
+		for _, s := range cfg.Schemes {
+			s = s.WithThreads(cfg.Threads)
+			var sec float64
+			switch cfg.App {
+			case AppTriangleCount:
+				d, err := TimeBest(cfg.Reps, func() error {
+					_, err := tc.Count(s.Opt)
+					return err
+				})
+				if err != nil {
+					return nil, fmt.Errorf("%s on %s: %w", s.Name, inst.Name, err)
+				}
+				sec = d.Seconds()
+			case AppKTruss:
+				d, err := TimeBest(cfg.Reps, func() error {
+					_, err := graph.KTruss(g, cfg.KTrussK, s.Opt)
+					return err
+				})
+				if err != nil {
+					return nil, fmt.Errorf("%s on %s: %w", s.Name, inst.Name, err)
+				}
+				sec = d.Seconds()
+			case AppBetweenness:
+				sources := graph.BatchSources(g.Rows, cfg.BCBatch)
+				var masked float64
+				_, err := TimeBest(cfg.Reps, func() error {
+					res, err := graph.Betweenness(g, sources, s.Opt)
+					if err == nil {
+						// Profile the masked-SpGEMM time only, per §8.4.
+						if masked == 0 || res.MaskedTime.Seconds() < masked {
+							masked = res.MaskedTime.Seconds()
+						}
+					}
+					return err
+				})
+				if err != nil {
+					return nil, fmt.Errorf("%s on %s: %w", s.Name, inst.Name, err)
+				}
+				sec = masked
+			}
+			results = append(results, perfprof.Result{Instance: inst.Name, Scheme: s.Name, Seconds: sec})
+		}
+	}
+	return perfprof.Compute(results), nil
+}
+
+// WriteProfile renders the profile table with a figure caption.
+func WriteProfile(w io.Writer, caption string, p *perfprof.Profile) {
+	fmt.Fprintf(w, "%s\n", caption)
+	fmt.Fprintf(w, "(fraction of test cases within factor x of the best; %d instances)\n", len(p.Instances))
+	io.WriteString(w, p.Render(perfprof.DefaultXs()))
+	fmt.Fprintf(w, "winner: %s (best on %.0f%% of cases)\n", p.Best(2.4), 100*p.WinFraction(p.Best(2.4)))
+}
+
+// ScalePoint is one (scale, scheme) measurement of the R-MAT sweeps
+// (Figs 10, 14, 15).
+type ScalePoint struct {
+	Scale  int
+	Scheme string
+	// Seconds is the best-of-reps runtime of the measured region.
+	Seconds float64
+	// Rate is the figure's y value: GFLOPS for TC/k-truss, MTEPS for
+	// BC.
+	Rate float64
+}
+
+// ScaleSweepConfig parameterizes Figures 10/14/15.
+type ScaleSweepConfig struct {
+	App        AppKind
+	Scales     []int
+	EdgeFactor int
+	Schemes    []Scheme
+	Threads    int
+	Reps       int
+	KTrussK    int
+	BCBatch    int
+	Seed       uint64
+}
+
+// RunScaleSweep measures rate-vs-scale series on R-MAT graphs.
+func RunScaleSweep(cfg ScaleSweepConfig) ([]ScalePoint, error) {
+	if cfg.EdgeFactor == 0 {
+		cfg.EdgeFactor = gen.DefaultEdgeFactor
+	}
+	if cfg.KTrussK == 0 {
+		cfg.KTrussK = 5
+	}
+	if cfg.BCBatch == 0 {
+		cfg.BCBatch = 64
+	}
+	var points []ScalePoint
+	for _, scale := range cfg.Scales {
+		g := gen.RMATSymmetric(gen.RMATConfig{Scale: scale, EdgeFactor: cfg.EdgeFactor, Seed: cfg.Seed + uint64(scale)})
+		var tc *graph.TCWorkload
+		if cfg.App == AppTriangleCount {
+			tc = graph.PrepareTriangleCount(g)
+		}
+		for _, s := range cfg.Schemes {
+			s = s.WithThreads(cfg.Threads)
+			pt := ScalePoint{Scale: scale, Scheme: s.Name}
+			switch cfg.App {
+			case AppTriangleCount:
+				d, err := TimeBest(cfg.Reps, func() error {
+					_, err := tc.Count(s.Opt)
+					return err
+				})
+				if err != nil {
+					return nil, err
+				}
+				pt.Seconds = d.Seconds()
+				// 2 flops per multiply-add pair, as is conventional.
+				pt.Rate = 2 * float64(tc.Flops()) / pt.Seconds / 1e9
+			case AppKTruss:
+				var flops int64
+				d, err := TimeBest(cfg.Reps, func() error {
+					res, err := graph.KTruss(g, cfg.KTrussK, s.Opt)
+					if err == nil {
+						flops = res.Flops
+					}
+					return err
+				})
+				if err != nil {
+					return nil, err
+				}
+				pt.Seconds = d.Seconds()
+				pt.Rate = 2 * float64(flops) / pt.Seconds / 1e9
+			case AppBetweenness:
+				sources := graph.BatchSources(g.Rows, cfg.BCBatch)
+				var masked float64
+				_, err := TimeBest(cfg.Reps, func() error {
+					res, err := graph.Betweenness(g, sources, s.Opt)
+					if err == nil && (masked == 0 || res.MaskedTime.Seconds() < masked) {
+						masked = res.MaskedTime.Seconds()
+					}
+					return err
+				})
+				if err != nil {
+					return nil, err
+				}
+				pt.Seconds = masked
+				// TEPS = batch × edges / time (§8.4, HPCS SSCA#2).
+				edges := float64(g.NNZ()) / 2
+				pt.Rate = float64(len(sources)) * edges / pt.Seconds / 1e6
+			}
+			points = append(points, pt)
+		}
+	}
+	return points, nil
+}
+
+// WriteScaleSweep renders the sweep as one series per scheme.
+func WriteScaleSweep(w io.Writer, caption, rateName string, cfg ScaleSweepConfig, points []ScalePoint) {
+	fmt.Fprintf(w, "%s\n", caption)
+	fmt.Fprintf(w, "%-12s", "scheme\\scale")
+	for _, s := range cfg.Scales {
+		fmt.Fprintf(w, " %9d", s)
+	}
+	fmt.Fprintf(w, "   (%s)\n", rateName)
+	for _, s := range cfg.Schemes {
+		fmt.Fprintf(w, "%-12s", s.Name)
+		for _, scale := range cfg.Scales {
+			for _, pt := range points {
+				if pt.Scheme == s.Name && pt.Scale == scale {
+					fmt.Fprintf(w, " %9.3f", pt.Rate)
+				}
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// ThreadPoint is one (threads, scheme) measurement of the strong-
+// scaling experiment (Fig 11).
+type ThreadPoint struct {
+	Threads int
+	Scheme  string
+	Seconds float64
+	Rate    float64
+}
+
+// ThreadSweepConfig parameterizes Figure 11.
+type ThreadSweepConfig struct {
+	Scale      int
+	EdgeFactor int
+	Threads    []int
+	Schemes    []Scheme
+	Reps       int
+	Seed       uint64
+}
+
+// RunThreadSweep measures TC GFLOPS across thread counts on one R-MAT
+// graph.
+func RunThreadSweep(cfg ThreadSweepConfig) ([]ThreadPoint, error) {
+	if cfg.EdgeFactor == 0 {
+		cfg.EdgeFactor = gen.DefaultEdgeFactor
+	}
+	g := gen.RMATSymmetric(gen.RMATConfig{Scale: cfg.Scale, EdgeFactor: cfg.EdgeFactor, Seed: cfg.Seed + 1})
+	tc := graph.PrepareTriangleCount(g)
+	flops := 2 * float64(tc.Flops())
+	var points []ThreadPoint
+	for _, th := range cfg.Threads {
+		for _, s := range cfg.Schemes {
+			s = s.WithThreads(th)
+			d, err := TimeBest(cfg.Reps, func() error {
+				_, err := tc.Count(s.Opt)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, ThreadPoint{
+				Threads: th,
+				Scheme:  s.Name,
+				Seconds: d.Seconds(),
+				Rate:    flops / d.Seconds() / 1e9,
+			})
+		}
+	}
+	return points, nil
+}
+
+// WriteThreadSweep renders the strong-scaling series.
+func WriteThreadSweep(w io.Writer, caption string, cfg ThreadSweepConfig, points []ThreadPoint) {
+	fmt.Fprintf(w, "%s\n", caption)
+	fmt.Fprintf(w, "%-12s", "scheme\\thr")
+	for _, th := range cfg.Threads {
+		fmt.Fprintf(w, " %9d", th)
+	}
+	fmt.Fprintln(w, "   (GFLOPS)")
+	for _, s := range cfg.Schemes {
+		fmt.Fprintf(w, "%-12s", s.Name)
+		for _, th := range cfg.Threads {
+			for _, pt := range points {
+				if pt.Scheme == s.Name && pt.Threads == th {
+					fmt.Fprintf(w, " %9.3f", pt.Rate)
+				}
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// CheckCorrectness cross-checks that every scheme in schemes produces
+// the same triangle count on a small graph; harness self-test used by
+// the CLI before long runs.
+func CheckCorrectness(threads int) error {
+	g := gen.RMATSymmetric(gen.RMATConfig{Scale: 8, EdgeFactor: 8, Seed: 5})
+	tc := graph.PrepareTriangleCount(g)
+	want, err := tc.Count(core.Options{Algorithm: core.AlgoMSA, Threads: threads})
+	if err != nil {
+		return err
+	}
+	for _, s := range append(OurSchemes(), BaselineSchemes()...) {
+		s = s.WithThreads(threads)
+		got, err := tc.Count(s.Opt)
+		if err != nil {
+			return fmt.Errorf("self-test %s: %w", s.Name, err)
+		}
+		if got != want {
+			return fmt.Errorf("self-test %s: triangle count %d != %d", s.Name, got, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/gen"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+)
+
+// Fig7Config parameterizes the density sweep of Figure 7: Erdős-Rényi
+// inputs with the mask degree on one axis and the input degree on the
+// other; each cell reports the fastest algorithm family.
+type Fig7Config struct {
+	// Dim is the square dimension (the paper sweeps 2^12…2^22; the
+	// driver runs one panel per call).
+	Dim int
+	// MaskDegrees is the x axis (paper: 1…1024 in powers of two).
+	MaskDegrees []int
+	// InputDegrees is the y axis (paper: 1…128 in powers of two).
+	InputDegrees []int
+	// Threads pins the worker count (0 = GOMAXPROCS).
+	Threads int
+	// Reps is the timing repetitions per cell.
+	Reps int
+	// Seed drives the generators.
+	Seed uint64
+}
+
+// DefaultFig7Config returns a laptop-scale panel (dim 2^12, full degree
+// axes).
+func DefaultFig7Config() Fig7Config {
+	return Fig7Config{
+		Dim:          1 << 12,
+		MaskDegrees:  []int{1, 4, 16, 64, 256, 1024},
+		InputDegrees: []int{1, 4, 16, 64, 128},
+		Reps:         3,
+		Seed:         7,
+	}
+}
+
+// Fig7Cell is one sweep cell result.
+type Fig7Cell struct {
+	MaskDegree, InputDegree int
+	// Best is the fastest scheme's name.
+	Best string
+	// Seconds maps scheme name → best-of-reps runtime.
+	Seconds map[string]float64
+}
+
+// RunFig7 executes the sweep and returns the grid of winners
+// (row-major: one row per input degree, one column per mask degree).
+func RunFig7(cfg Fig7Config) ([]Fig7Cell, error) {
+	sr := semiring.PlusTimes[float64]{}
+	var cells []Fig7Cell
+	for _, dIn := range cfg.InputDegrees {
+		a := gen.ErdosRenyi(cfg.Dim, dIn, cfg.Seed+uint64(dIn)*13+1)
+		b := gen.ErdosRenyi(cfg.Dim, dIn, cfg.Seed+uint64(dIn)*13+2)
+		for _, dM := range cfg.MaskDegrees {
+			mask := gen.ErdosRenyiPattern(cfg.Dim, dM, cfg.Seed+uint64(dIn)*13+uint64(dM)*31+3)
+			cell := Fig7Cell{MaskDegree: dM, InputDegree: dIn, Seconds: map[string]float64{}}
+			bestT := -1.0
+			for _, s := range Fig7Schemes() {
+				s = s.WithThreads(cfg.Threads)
+				var out *sparse.CSR[float64]
+				d, err := TimeBest(cfg.Reps, func() error {
+					var err error
+					out, err = core.MaskedSpGEMM(sr, mask, a, b, s.Opt)
+					return err
+				})
+				if err != nil {
+					return nil, fmt.Errorf("fig7 %s d_m=%d d_in=%d: %w", s.Name, dM, dIn, err)
+				}
+				_ = out
+				sec := d.Seconds()
+				cell.Seconds[s.Name] = sec
+				if bestT < 0 || sec < bestT {
+					bestT = sec
+					cell.Best = s.Name
+				}
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+// WriteFig7 renders the winner grid the way the paper's heat map reads:
+// rows are input degrees (ascending), columns mask degrees.
+func WriteFig7(w io.Writer, cfg Fig7Config, cells []Fig7Cell) {
+	fmt.Fprintf(w, "Figure 7: best scheme per (mask degree, input degree), ER dim=%d\n", cfg.Dim)
+	fmt.Fprintf(w, "%-12s", "deg(A,B) \\ deg(M)")
+	for _, dM := range cfg.MaskDegrees {
+		fmt.Fprintf(w, " %10d", dM)
+	}
+	fmt.Fprintln(w)
+	i := 0
+	for _, dIn := range cfg.InputDegrees {
+		fmt.Fprintf(w, "%-12d", dIn)
+		for range cfg.MaskDegrees {
+			fmt.Fprintf(w, " %10s", cells[i].Best)
+			i++
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+)
+
+// Complemented-mask push drivers (§5.2): C = ¬M ⊙ (A·B). The default
+// accumulator state flips to ALLOWED, mask keys are excluded, and
+// because the admitted key set is not enumerable the accumulators track
+// inserted keys and sort them at gather. One-phase output slabs are
+// sized by the per-row bound min(cols − nnz(m_i), Σ nnz(B_k*)).
+
+// pushAccC is the complement accumulator protocol shared by MSAC and
+// HashC.
+type pushAccC[T any] interface {
+	BeginSized(maskRow []int32, bound int)
+	Insert(key int32, a, b T)
+	Gather(outIdx []int32, outVal []T) int
+	BeginSymbolicSized(maskRow []int32, bound int)
+	InsertPattern(key int32)
+	EndSymbolic() int
+}
+
+// rowGenBound returns Σ_{k : A_ik ≠ 0} nnz(B_k*), the population bound
+// for row i's complement accumulator.
+func rowGenBound[T any](aCols []int32, b *sparse.CSR[T]) int {
+	var gen int64
+	for _, k := range aCols {
+		gen += b.RowPtr[k+1] - b.RowPtr[k]
+	}
+	return int(gen)
+}
+
+// pushRowNumericC computes one complemented output row.
+func pushRowNumericC[T any, A pushAccC[T]](acc A, maskRow []int32, aCols []int32, aVals []T, b *sparse.CSR[T], outIdx []int32, outVal []T) int {
+	acc.BeginSized(maskRow, rowGenBound(aCols, b))
+	for k, col := range aCols {
+		lo, hi := b.RowPtr[col], b.RowPtr[col+1]
+		bCols := b.ColIdx[lo:hi]
+		bVals := b.Val[lo:hi]
+		av := aVals[k]
+		for t, j := range bCols {
+			acc.Insert(j, av, bVals[t])
+		}
+	}
+	return acc.Gather(outIdx, outVal)
+}
+
+// pushRowSymbolicC counts one complemented output row.
+func pushRowSymbolicC[T any, A pushAccC[T]](acc A, maskRow []int32, aCols []int32, b *sparse.CSR[T]) int {
+	acc.BeginSymbolicSized(maskRow, rowGenBound(aCols, b))
+	for _, col := range aCols {
+		lo, hi := b.RowPtr[col], b.RowPtr[col+1]
+		for _, j := range b.ColIdx[lo:hi] {
+			acc.InsertPattern(j)
+		}
+	}
+	return acc.EndSymbolic()
+}
+
+// pushMultiplyComplement drives a complement push algorithm in either
+// phase mode.
+func pushMultiplyComplement[T any, A pushAccC[T]](mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options, newAcc func() A) *sparse.CSR[T] {
+	slots := make([]A, opt.Threads)
+	have := make([]bool, opt.Threads)
+	get := func(tid int) A {
+		if !have[tid] {
+			slots[tid] = newAcc()
+			have[tid] = true
+		}
+		return slots[tid]
+	}
+	numeric := func(tid, i int, outIdx []int32, outVal []T) int {
+		return pushRowNumericC(get(tid), mask.Row(i), a.Row(i), a.RowVals(i), b, outIdx, outVal)
+	}
+	if opt.Phases == TwoPhase {
+		symbolic := func(tid, i int) int {
+			return pushRowSymbolicC[T](get(tid), mask.Row(i), a.Row(i), b)
+		}
+		return twoPhase(mask.Rows, mask.Cols, opt.Threads, opt.Grain, symbolic, numeric)
+	}
+	offsets := complementBounds(mask, a, b, opt.Threads, opt.Grain)
+	return onePhase(mask.Rows, mask.Cols, offsets, opt.Threads, opt.Grain, numeric)
+}
+
+// multiplyMSAComplement runs complemented MSA (§5.2).
+func multiplyMSAComplement[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options) *sparse.CSR[T] {
+	return pushMultiplyComplement(mask, a, b, opt, func() *accum.MSAC[T, S] {
+		return accum.NewMSAC[T](sr, b.Cols)
+	})
+}
+
+// multiplyHashComplement runs the complemented hash scheme. Tables grow
+// per row to the row's population bound.
+func multiplyHashComplement[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options) *sparse.CSR[T] {
+	return pushMultiplyComplement(mask, a, b, opt, func() *accum.HashC[T, S] {
+		return accum.NewHashC[T](sr, 16, opt.HashLoadFactor)
+	})
+}

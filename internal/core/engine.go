@@ -1,0 +1,139 @@
+package core
+
+import (
+	"maskedspgemm/internal/parallel"
+	"maskedspgemm/internal/sparse"
+)
+
+// The execution engine shared by every algorithm family. An algorithm
+// contributes two row kernels — numeric and symbolic — and the engine
+// supplies the one-phase and two-phase drivers around them (§6):
+//
+//   - One-phase: output rows are written into a pre-sized scratch slab
+//     (for plain masks, the mask's own CSR layout — nnz(C_i*) ≤
+//     nnz(M_i*) — which is exactly the paper's observation that the mask
+//     approximates the output structure), then compacted with a prefix
+//     sum.
+//   - Two-phase: a symbolic pass counts each output row, a prefix sum
+//     sizes the result exactly, and the numeric pass writes in place.
+//
+// Kernels receive a tid to index per-worker accumulator scratch.
+
+// rowNumericFn computes output row i into out slices (capacity ≥ the
+// row's bound) and returns the entry count.
+type rowNumericFn[T any] func(tid, i int, outIdx []int32, outVal []T) int
+
+// rowSymbolicFn counts output row i without computing values.
+type rowSymbolicFn func(tid, i int) int
+
+// onePhase runs the numeric kernel once per row into a slab laid out by
+// offsets (len rows+1, offsets[i+1]-offsets[i] ≥ row i's worst case),
+// then compacts.
+func onePhase[T any](rows, cols int, offsets []int64, threads, grain int, numeric rowNumericFn[T]) *sparse.CSR[T] {
+	slab := offsets[rows]
+	tmpIdx := make([]int32, slab)
+	tmpVal := make([]T, slab)
+	counts := make([]int64, rows+1)
+	parallel.ForEachBlock(rows, threads, grain, func(lo, hi, tid int) {
+		for i := lo; i < hi; i++ {
+			base, end := offsets[i], offsets[i+1]
+			counts[i] = int64(numeric(tid, i, tmpIdx[base:end], tmpVal[base:end]))
+		}
+	})
+	return compact(rows, cols, offsets, counts, tmpIdx, tmpVal, threads, grain)
+}
+
+// compact gathers per-row segments (counts[i] entries starting at
+// offsets[i]) into a tight CSR result.
+func compact[T any](rows, cols int, offsets, counts []int64, tmpIdx []int32, tmpVal []T, threads, grain int) *sparse.CSR[T] {
+	rowPtr := counts // reuse: becomes the exclusive prefix sum
+	parallel.PrefixSumParallel(rowPtr[:rows+1], threads)
+	out := &sparse.CSR[T]{
+		Pattern: sparse.Pattern{
+			Rows:   rows,
+			Cols:   cols,
+			RowPtr: rowPtr,
+			ColIdx: make([]int32, rowPtr[rows]),
+		},
+		Val: make([]T, rowPtr[rows]),
+	}
+	parallel.ForEachBlock(rows, threads, grain, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			n := rowPtr[i+1] - rowPtr[i]
+			src := offsets[i]
+			copy(out.ColIdx[rowPtr[i]:rowPtr[i+1]], tmpIdx[src:src+n])
+			copy(out.Val[rowPtr[i]:rowPtr[i+1]], tmpVal[src:src+n])
+		}
+	})
+	return out
+}
+
+// twoPhase runs the symbolic kernel to size every row, prefix-sums, and
+// lets the numeric kernel write directly into the exact-size result.
+func twoPhase[T any](rows, cols int, threads, grain int, symbolic rowSymbolicFn, numeric rowNumericFn[T]) *sparse.CSR[T] {
+	rowPtr := make([]int64, rows+1)
+	parallel.ForEachBlock(rows, threads, grain, func(lo, hi, tid int) {
+		for i := lo; i < hi; i++ {
+			rowPtr[i] = int64(symbolic(tid, i))
+		}
+	})
+	parallel.PrefixSumParallel(rowPtr, threads)
+	out := &sparse.CSR[T]{
+		Pattern: sparse.Pattern{
+			Rows:   rows,
+			Cols:   cols,
+			RowPtr: rowPtr,
+			ColIdx: make([]int32, rowPtr[rows]),
+		},
+		Val: make([]T, rowPtr[rows]),
+	}
+	parallel.ForEachBlock(rows, threads, grain, func(lo, hi, tid int) {
+		for i := lo; i < hi; i++ {
+			numeric(tid, i, out.ColIdx[rowPtr[i]:rowPtr[i+1]], out.Val[rowPtr[i]:rowPtr[i+1]])
+		}
+	})
+	return out
+}
+
+// lazySlots hands out one lazily-constructed scratch value per worker.
+type lazySlots[A any] struct {
+	slots []*A
+	make  func() *A
+}
+
+func newLazySlots[A any](threads int, mk func() *A) *lazySlots[A] {
+	return &lazySlots[A]{slots: make([]*A, threads), make: mk}
+}
+
+// get returns worker tid's scratch, constructing it on first use. Safe
+// without synchronization because each tid is owned by one goroutine.
+func (l *lazySlots[A]) get(tid int) *A {
+	if l.slots[tid] == nil {
+		l.slots[tid] = l.make()
+	}
+	return l.slots[tid]
+}
+
+// complementBounds computes, for every output row, the §5.2 upper bound
+// on a complemented-mask output row: min(cols − nnz(m_i),
+// Σ_{k : A_ik ≠ 0} nnz(B_k*)), returned as exclusive prefix offsets
+// (len rows+1). The second term also bounds the accumulator population.
+func complementBounds[T any](mask *sparse.Pattern, a, b *sparse.CSR[T], threads, grain int) []int64 {
+	rows := mask.Rows
+	offsets := make([]int64, rows+1)
+	parallel.ForEachBlock(rows, threads, grain, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			var gen int64
+			for _, k := range a.Row(i) {
+				gen += b.RowPtr[k+1] - b.RowPtr[k]
+			}
+			free := int64(mask.Cols) - int64(mask.RowNNZ(i))
+			if gen > free {
+				gen = free
+			}
+			offsets[i] = gen
+		}
+	})
+	parallel.PrefixSumParallel(offsets, threads)
+	return offsets
+}

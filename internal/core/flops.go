@@ -1,0 +1,77 @@
+package core
+
+import (
+	"maskedspgemm/internal/parallel"
+	"maskedspgemm/internal/sparse"
+)
+
+// Flops returns the multiply–add count of the unmasked product A·B in
+// Gustavson form: Σ_{(i,k) ∈ A} nnz(B_k*). The paper's GFLOPS figures
+// (Figs 10, 14) use 2·Flops (one multiply + one add per partial
+// product); see internal/bench.
+func Flops[T any](a, b *sparse.CSR[T]) int64 {
+	rowFlops := make([]int64, a.Rows)
+	parallel.ForEachBlock(a.Rows, 0, parallel.DefaultGrain, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			var f int64
+			for _, k := range a.Row(i) {
+				f += b.RowPtr[k+1] - b.RowPtr[k]
+			}
+			rowFlops[i] = f
+		}
+	})
+	var total int64
+	for _, f := range rowFlops {
+		total += f
+	}
+	return total
+}
+
+// MaskedFlops returns the multiply–add count that actually lands on
+// admitted mask positions: Σ over (i,k) ∈ A of |{j ∈ B_k* : M_ij
+// admitted}|. This is the useful work of a masked multiply; the gap
+// between Flops and MaskedFlops is the waste a mask-oblivious algorithm
+// pays (Figure 1).
+func MaskedFlops[T any](mask *sparse.Pattern, a, b *sparse.CSR[T], complement bool) int64 {
+	rowFlops := make([]int64, a.Rows)
+	parallel.ForEachBlock(a.Rows, 0, parallel.DefaultGrain, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			maskRow := mask.Row(i)
+			var f int64
+			for _, k := range a.Row(i) {
+				bCols := b.ColIdx[b.RowPtr[k]:b.RowPtr[k+1]]
+				if complement {
+					q := 0
+					for _, j := range bCols {
+						for q < len(maskRow) && maskRow[q] < j {
+							q++
+						}
+						if q >= len(maskRow) || maskRow[q] != j {
+							f++
+						}
+					}
+				} else {
+					p, q := 0, 0
+					for p < len(bCols) && q < len(maskRow) {
+						switch {
+						case bCols[p] < maskRow[q]:
+							p++
+						case bCols[p] > maskRow[q]:
+							q++
+						default:
+							f++
+							p++
+							q++
+						}
+					}
+				}
+			}
+			rowFlops[i] = f
+		}
+	})
+	var total int64
+	for _, f := range rowFlops {
+		total += f
+	}
+	return total
+}

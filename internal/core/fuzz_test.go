@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+)
+
+// FuzzMaskedSpGEMM feeds byte-derived sparse operands through every
+// algorithm and cross-checks against the dense oracle. The seed corpus
+// runs as a normal test; `go test -fuzz=FuzzMaskedSpGEMM ./internal/core`
+// explores further.
+func FuzzMaskedSpGEMM(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(8), uint8(8), uint8(8))
+	f.Add([]byte{0}, uint8(1), uint8(1), uint8(1))
+	f.Add([]byte{255, 0, 255, 0, 13, 77, 200, 31, 8, 9}, uint8(12), uint8(5), uint8(9))
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9}, uint8(16), uint8(3), uint8(16))
+	f.Fuzz(func(t *testing.T, data []byte, mRaw, kRaw, nRaw uint8) {
+		m := int(mRaw%24) + 1
+		k := int(kRaw%24) + 1
+		n := int(nRaw%24) + 1
+		a := matrixFromBytes(m, k, data, 0)
+		b := matrixFromBytes(k, n, data, 1)
+		mask := matrixFromBytes(m, n, data, 2).PatternView()
+		sr := semiring.PlusTimes[float64]{}
+		for _, complement := range []bool{false, true} {
+			want := sparse.DenseMaskedMultiply(mask, a, b, complement, sr.Add, sr.Mul, sr.Zero())
+			for _, algo := range Algorithms() {
+				if complement && !SupportsComplement(algo) {
+					continue
+				}
+				for _, ph := range []Phases{OnePhase, TwoPhase} {
+					got, err := MaskedSpGEMM(sr, mask, a, b, Options{
+						Algorithm: algo, Phases: ph, Complement: complement, Threads: 2,
+					})
+					if err != nil {
+						t.Fatalf("%v-%v complement=%v: %v", algo, ph, complement, err)
+					}
+					if err := got.Validate(); err != nil {
+						t.Fatalf("%v-%v complement=%v: invalid output: %v", algo, ph, complement, err)
+					}
+					if d := sparse.Diff(want, got, sparse.FloatEq(1e-9)); d != "" {
+						t.Fatalf("%v-%v complement=%v: %s", algo, ph, complement, d)
+					}
+				}
+			}
+		}
+	})
+}
+
+// matrixFromBytes deterministically derives an m×n sparse matrix from
+// fuzz bytes: byte i decides presence and value of entry i (mod the
+// matrix size), with a salt separating the three operands.
+func matrixFromBytes(m, n int, data []byte, salt byte) *sparse.CSR[float64] {
+	coo := sparse.NewCOO[float64](m, n, len(data))
+	for i, raw := range data {
+		x := raw ^ (salt * 97)
+		if x%3 == 0 {
+			continue // leave a hole
+		}
+		pos := (i*131 + int(x)) % (m * n)
+		coo.Append(int32(pos/n), int32(pos%n), float64(x%16)-7)
+	}
+	out, err := coo.ToCSR(func(a, b float64) float64 { return a + b })
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

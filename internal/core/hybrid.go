@@ -1,0 +1,97 @@
+package core
+
+import (
+	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+)
+
+// The hybrid algorithm the paper sketches as future work (§9:
+// "hybrid algorithms that can use different accumulators in the same
+// Masked SpGEMM depending on the density of the mask and parts of
+// matrices being processed"). Every row independently picks pull
+// (inner products) or push (MSA) using the §4.3 cost model:
+//
+//   pull cost  ≈ nnz(m_i) · (nnz(A_i*) + d̄_B)   one merge-dot per
+//                                                 admitted mask entry
+//   push cost  ≈ nnz(m_i) + Σ_k nnz(B_k*)        Gustavson flops
+//                                                 (+ gather)
+//
+// where d̄_B is B's average column size. When the mask row is much
+// sparser than the row's flops, pull wins (§4.3's asymptotic
+// argument); when the inputs are sparse relative to the mask, push
+// wins. The crossover is per row, which is exactly what a single
+// global algorithm choice cannot express — R-MAT's skewed rows mix
+// both regimes in one matrix.
+
+// hybridChooser precomputes what the per-row decision needs.
+type hybridChooser struct {
+	avgBCol float64
+	bRowPtr []int64
+}
+
+// pullWins applies the cost model to row i.
+func (h *hybridChooser) pullWins(maskRow, aCols []int32) bool {
+	if len(maskRow) == 0 || len(aCols) == 0 {
+		return false // trivial either way; push path avoids the CSC touch
+	}
+	var pushFlops int64
+	for _, k := range aCols {
+		pushFlops += h.bRowPtr[k+1] - h.bRowPtr[k]
+	}
+	pullCost := float64(len(maskRow)) * (float64(len(aCols)) + h.avgBCol)
+	pushCost := float64(len(maskRow)) + float64(pushFlops)
+	return pullCost < pushCost
+}
+
+// multiplyHybrid runs the per-row hybrid scheme. It pays one CSC
+// conversion of B up front (shared by all pull rows) and keeps one MSA
+// per worker for the push rows.
+func multiplyHybrid[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options) *sparse.CSR[T] {
+	bt := sparse.ToCSC(b)
+	chooser := &hybridChooser{bRowPtr: b.RowPtr}
+	if b.Cols > 0 {
+		chooser.avgBCol = float64(b.NNZ()) / float64(b.Cols)
+	}
+	slots := newLazySlots(opt.Threads, func() *accum.MSA[T, S] {
+		msa := accum.NewMSA[T](sr, b.Cols)
+		return msa
+	})
+	numeric := func(tid, i int, outIdx []int32, outVal []T) int {
+		maskRow := mask.Row(i)
+		aCols := a.Row(i)
+		if chooser.pullWins(maskRow, aCols) {
+			return innerRowNumeric(sr, maskRow, aCols, a.RowVals(i), bt, outIdx, outVal)
+		}
+		return pushRowNumeric[T](slots.get(tid), maskRow, aCols, a.RowVals(i), b, outIdx, outVal)
+	}
+	if opt.Phases == TwoPhase {
+		symbolic := func(tid, i int) int {
+			maskRow := mask.Row(i)
+			aCols := a.Row(i)
+			if chooser.pullWins(maskRow, aCols) {
+				return innerRowSymbolic(maskRow, aCols, bt.ColPtr, bt.RowIdx)
+			}
+			return pushRowSymbolic[T](slots.get(tid), maskRow, aCols, b)
+		}
+		return twoPhase(mask.Rows, mask.Cols, opt.Threads, opt.Grain, symbolic, numeric)
+	}
+	return onePhase(mask.Rows, mask.Cols, mask.RowPtr, opt.Threads, opt.Grain, numeric)
+}
+
+// HybridRowStats reports how the hybrid cost model would split a
+// workload's rows, for diagnostics and the ablation bench.
+func HybridRowStats[T any](mask *sparse.Pattern, a, b *sparse.CSR[T]) (pullRows, pushRows int) {
+	chooser := &hybridChooser{bRowPtr: b.RowPtr}
+	if b.Cols > 0 {
+		chooser.avgBCol = float64(b.NNZ()) / float64(b.Cols)
+	}
+	for i := 0; i < mask.Rows; i++ {
+		if chooser.pullWins(mask.Row(i), a.Row(i)) {
+			pullRows++
+		} else {
+			pushRows++
+		}
+	}
+	return pullRows, pushRows
+}

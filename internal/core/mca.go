@@ -1,0 +1,79 @@
+package core
+
+import (
+	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+)
+
+// mcaRowNumeric is Algorithm 3: for each nonzero u_k of the A row, merge
+// the sorted row B_k* against the sorted mask row; matches are inserted
+// into the MCA under their *position within the mask row*, which is what
+// lets the accumulator arrays be compressed to nnz(mask row) (§5.4).
+func mcaRowNumeric[T any, S semiring.Semiring[T]](acc *accum.MCA[T, S], maskRow []int32, aCols []int32, aVals []T, b *sparse.CSR[T], outIdx []int32, outVal []T) int {
+	acc.Grow(len(maskRow))
+	for k, col := range aCols {
+		lo, hi := b.RowPtr[col], b.RowPtr[col+1]
+		bCols := b.ColIdx[lo:hi]
+		bVals := b.Val[lo:hi]
+		av := aVals[k]
+		p, q := 0, 0
+		for p < len(bCols) && q < len(maskRow) {
+			switch {
+			case bCols[p] < maskRow[q]:
+				p++
+			case bCols[p] > maskRow[q]:
+				q++
+			default:
+				acc.Insert(int32(q), av, bVals[p])
+				p++
+				q++
+			}
+		}
+	}
+	return acc.Gather(maskRow, outIdx, outVal)
+}
+
+// mcaRowSymbolic is the pattern-only variant of Algorithm 3.
+func mcaRowSymbolic[T any, S semiring.Semiring[T]](acc *accum.MCA[T, S], maskRow []int32, aCols []int32, b *sparse.CSR[T]) int {
+	acc.Grow(len(maskRow))
+	for _, col := range aCols {
+		lo, hi := b.RowPtr[col], b.RowPtr[col+1]
+		bCols := b.ColIdx[lo:hi]
+		p, q := 0, 0
+		for p < len(bCols) && q < len(maskRow) {
+			switch {
+			case bCols[p] < maskRow[q]:
+				p++
+			case bCols[p] > maskRow[q]:
+				q++
+			default:
+				acc.InsertPattern(int32(q))
+				p++
+				q++
+			}
+		}
+	}
+	return acc.EndSymbolic(maskRow)
+}
+
+// multiplyMCA runs the MCA scheme (§5.4). MCA requires sorted mask and
+// B rows (guaranteed by the CSR invariant) and does not support
+// complemented masks — with a complemented mask there is no compressed
+// index space to map columns into.
+func multiplyMCA[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options) *sparse.CSR[T] {
+	maxRow := mask.MaxRowNNZ()
+	slots := newLazySlots(opt.Threads, func() *accum.MCA[T, S] {
+		return accum.NewMCA[T](sr, maxRow)
+	})
+	numeric := func(tid, i int, outIdx []int32, outVal []T) int {
+		return mcaRowNumeric(slots.get(tid), mask.Row(i), a.Row(i), a.RowVals(i), b, outIdx, outVal)
+	}
+	if opt.Phases == TwoPhase {
+		symbolic := func(tid, i int) int {
+			return mcaRowSymbolic(slots.get(tid), mask.Row(i), a.Row(i), b)
+		}
+		return twoPhase(mask.Rows, mask.Cols, opt.Threads, opt.Grain, symbolic, numeric)
+	}
+	return onePhase(mask.Rows, mask.Cols, mask.RowPtr, opt.Threads, opt.Grain, numeric)
+}

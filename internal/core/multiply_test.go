@@ -1,0 +1,388 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"maskedspgemm/internal/gen"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+)
+
+var floatEq = sparse.FloatEq(1e-9)
+
+// allOptions enumerates every algorithm × phase combination.
+func allOptions() []Options {
+	var opts []Options
+	for _, algo := range Algorithms() {
+		for _, ph := range []Phases{OnePhase, TwoPhase} {
+			opts = append(opts, Options{Algorithm: algo, Phases: ph})
+		}
+	}
+	return opts
+}
+
+// oracle computes the ground truth with the dense reference.
+func oracle(mask *sparse.Pattern, a, b *sparse.CSR[float64], complement bool) *sparse.CSR[float64] {
+	sr := semiring.PlusTimes[float64]{}
+	return sparse.DenseMaskedMultiply(mask, a, b, complement, sr.Add, sr.Mul, sr.Zero())
+}
+
+type caseSpec struct {
+	name       string
+	m, k, n    int
+	dA, dB, dM int
+	seed       uint64
+}
+
+func testCases() []caseSpec {
+	return []caseSpec{
+		{"square-balanced", 64, 64, 64, 8, 8, 8, 1},
+		{"square-dense-mask", 48, 48, 48, 4, 4, 24, 2},
+		{"square-sparse-mask", 80, 80, 80, 16, 16, 2, 3},
+		{"rect-wide", 40, 96, 160, 6, 12, 10, 4},
+		{"rect-tall", 160, 48, 32, 5, 7, 6, 5},
+		{"tiny", 3, 4, 5, 2, 2, 2, 6},
+		{"dense-inputs", 32, 32, 32, 24, 24, 8, 7},
+		{"single-row", 1, 50, 50, 10, 5, 10, 8},
+		{"single-col", 50, 50, 1, 5, 1, 1, 9},
+	}
+}
+
+func buildCase(c caseSpec) (*sparse.Pattern, *sparse.CSR[float64], *sparse.CSR[float64]) {
+	a := gen.Random(c.m, c.k, c.dA, c.seed*1000+1)
+	b := gen.Random(c.k, c.n, c.dB, c.seed*1000+2)
+	mask := gen.Random(c.m, c.n, c.dM, c.seed*1000+3).PatternView()
+	return mask, a, b
+}
+
+// TestMaskedSpGEMMAgainstOracle cross-validates every algorithm and
+// phase combination, plain and complemented, on a spread of shapes and
+// densities.
+func TestMaskedSpGEMMAgainstOracle(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	for _, c := range testCases() {
+		mask, a, b := buildCase(c)
+		for _, complement := range []bool{false, true} {
+			want := oracle(mask, a, b, complement)
+			for _, opt := range allOptions() {
+				opt.Complement = complement
+				if complement && !SupportsComplement(opt.Algorithm) {
+					continue
+				}
+				name := fmt.Sprintf("%s/%s/complement=%v", c.name, opt.SchemeName(), complement)
+				t.Run(name, func(t *testing.T) {
+					got, err := MaskedSpGEMM(sr, mask, a, b, opt)
+					if err != nil {
+						t.Fatalf("MaskedSpGEMM: %v", err)
+					}
+					if err := got.Validate(); err != nil {
+						t.Fatalf("invalid output: %v", err)
+					}
+					if d := sparse.Diff(want, got, floatEq); d != "" {
+						t.Fatalf("mismatch vs oracle: %s", d)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestMaskedSpGEMMThreadInvariance checks results are identical across
+// thread counts and grain sizes (rows are independent, so outputs must
+// be bit-for-bit equal).
+func TestMaskedSpGEMMThreadInvariance(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	mask, a, b := buildCase(caseSpec{"", 128, 128, 128, 8, 8, 8, 42})
+	for _, algo := range Algorithms() {
+		for _, complement := range []bool{false, true} {
+			if complement && !SupportsComplement(algo) {
+				continue
+			}
+			base, err := MaskedSpGEMM(sr, mask, a, b, Options{Algorithm: algo, Threads: 1, Complement: complement})
+			if err != nil {
+				t.Fatalf("%v: %v", algo, err)
+			}
+			for _, threads := range []int{2, 3, 7} {
+				for _, grain := range []int{1, 5, 1024} {
+					got, err := MaskedSpGEMM(sr, mask, a, b, Options{
+						Algorithm: algo, Threads: threads, Grain: grain, Complement: complement,
+					})
+					if err != nil {
+						t.Fatalf("%v threads=%d: %v", algo, threads, err)
+					}
+					if !sparse.EqualFunc(base, got, func(x, y float64) bool { return x == y }) {
+						t.Fatalf("%v complement=%v: result differs at threads=%d grain=%d",
+							algo, complement, threads, grain)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMaskedSpGEMMEmptyOperands exercises empty masks, empty inputs,
+// and empty intersections.
+func TestMaskedSpGEMMEmptyOperands(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	a := gen.Random(20, 30, 4, 11)
+	b := gen.Random(30, 25, 4, 12)
+	emptyMask := &sparse.Pattern{Rows: 20, Cols: 25, RowPtr: make([]int64, 21)}
+	emptyA := sparse.NewCSR[float64](20, 30)
+	emptyB := sparse.NewCSR[float64](30, 25)
+	fullMask := gen.Random(20, 25, 25, 13).PatternView()
+
+	for _, opt := range allOptions() {
+		t.Run(opt.SchemeName(), func(t *testing.T) {
+			got, err := MaskedSpGEMM(sr, emptyMask, a, b, opt)
+			if err != nil {
+				t.Fatalf("empty mask: %v", err)
+			}
+			if got.NNZ() != 0 {
+				t.Errorf("empty mask: want 0 nnz, got %d", got.NNZ())
+			}
+			got, err = MaskedSpGEMM(sr, fullMask, emptyA, b, opt)
+			if err != nil {
+				t.Fatalf("empty A: %v", err)
+			}
+			if got.NNZ() != 0 {
+				t.Errorf("empty A: want 0 nnz, got %d", got.NNZ())
+			}
+			got, err = MaskedSpGEMM(sr, fullMask, a, emptyB, opt)
+			if err != nil {
+				t.Fatalf("empty B: %v", err)
+			}
+			if got.NNZ() != 0 {
+				t.Errorf("empty B: want 0 nnz, got %d", got.NNZ())
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("invalid empty result: %v", err)
+			}
+		})
+	}
+}
+
+// TestMaskedSpGEMMDimensionErrors verifies shape validation.
+func TestMaskedSpGEMMDimensionErrors(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	a := gen.Random(10, 20, 3, 1)
+	b := gen.Random(20, 15, 3, 2)
+	badMask := gen.Random(10, 14, 3, 3).PatternView() // wrong cols
+	if _, err := MaskedSpGEMM(sr, badMask, a, b, Options{}); err == nil {
+		t.Error("want error for mask shape mismatch")
+	}
+	badB := gen.Random(21, 15, 3, 4) // wrong inner dim
+	mask := gen.Random(10, 15, 3, 5).PatternView()
+	if _, err := MaskedSpGEMM(sr, mask, a, badB, Options{}); err == nil {
+		t.Error("want error for inner dimension mismatch")
+	}
+}
+
+// TestMCARejectsComplement checks MCA reports the documented
+// limitation.
+func TestMCARejectsComplement(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	a := gen.Random(10, 10, 3, 1)
+	mask := gen.Random(10, 10, 3, 2).PatternView()
+	_, err := MaskedSpGEMM(sr, mask, a, a, Options{Algorithm: AlgoMCA, Complement: true})
+	if err == nil {
+		t.Fatal("want error: MCA does not support complemented masks")
+	}
+}
+
+// TestMaskedSpGEMMSemirings validates a non-arithmetic semiring
+// (plus-pair) against a dense oracle using the same algebra.
+func TestMaskedSpGEMMSemirings(t *testing.T) {
+	sr := semiring.PlusPair[int64]{}
+	af := gen.Random(40, 40, 6, 21)
+	a := &sparse.CSR[int64]{Pattern: af.Pattern, Val: make([]int64, len(af.Val))}
+	for i := range a.Val {
+		a.Val[i] = 7 // arbitrary: PlusPair must ignore values
+	}
+	mask := gen.Random(40, 40, 6, 22).PatternView()
+	want := sparse.DenseMaskedMultiply(mask, a, a, false, sr.Add, sr.Mul, sr.Zero())
+	for _, opt := range allOptions() {
+		got, err := MaskedSpGEMM(sr, mask, a, a, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", opt.SchemeName(), err)
+		}
+		if !sparse.Equal(want, got) {
+			t.Fatalf("%s: plus-pair mismatch: %s", opt.SchemeName(),
+				sparse.Diff(want, got, func(x, y int64) bool { return x == y }))
+		}
+	}
+}
+
+// TestHeapNInspectVariants checks the NInspect override produces
+// identical results for none, default, 1, 2, 16 and ∞.
+func TestHeapNInspectVariants(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	mask, a, b := buildCase(caseSpec{"", 60, 60, 60, 10, 10, 6, 77})
+	want := oracle(mask, a, b, false)
+	for _, nInspect := range []int{HeapInspectNone, HeapInspectDefault, 1, 2, 16, HeapInspectAll} {
+		got, err := MaskedSpGEMM(sr, mask, a, b, Options{Algorithm: AlgoHeap, HeapNInspect: nInspect})
+		if err != nil {
+			t.Fatalf("NInspect=%d: %v", nInspect, err)
+		}
+		if d := sparse.Diff(want, got, floatEq); d != "" {
+			t.Fatalf("NInspect=%d: %s", nInspect, d)
+		}
+	}
+}
+
+// TestHeapVsHeapDotDiffer pins the HeapNInspect sentinel semantics:
+// the default options must leave Heap (NInspect=1) and HeapDot
+// (NInspect=∞) on *different* code paths. This is a regression test
+// for the zero-value-means-override bug.
+func TestHeapVsHeapDotDiffer(t *testing.T) {
+	// Construct a case where inspection provably drops iterators:
+	// mask admits only low columns; B rows extend far beyond. Both
+	// algorithms must be correct; the test asserts correctness under
+	// both defaults and under explicit sentinel values matching them.
+	sr := semiring.PlusTimes[float64]{}
+	mask, a, b := buildCase(caseSpec{"", 50, 50, 50, 12, 12, 3, 79})
+	want := oracle(mask, a, b, false)
+	for _, opt := range []Options{
+		{Algorithm: AlgoHeap},
+		{Algorithm: AlgoHeapDot},
+		{Algorithm: AlgoHeap, HeapNInspect: 1},
+		{Algorithm: AlgoHeapDot, HeapNInspect: HeapInspectAll},
+	} {
+		got, err := MaskedSpGEMM(sr, mask, a, b, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := sparse.Diff(want, got, floatEq); d != "" {
+			t.Fatalf("%s: %s", opt.SchemeName(), d)
+		}
+	}
+}
+
+// TestInnerGallop checks the galloping dot produces identical results.
+func TestInnerGallop(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	// Skewed: long A rows, short B columns — galloping's target shape.
+	a := gen.Random(40, 200, 64, 81)
+	b := gen.Random(200, 40, 2, 82)
+	mask := gen.Random(40, 40, 12, 83).PatternView()
+	want := oracle(mask, a, b, false)
+	for _, ph := range []Phases{OnePhase, TwoPhase} {
+		got, err := MaskedSpGEMM(sr, mask, a, b, Options{Algorithm: AlgoInner, InnerGallop: true, Phases: ph})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := sparse.Diff(want, got, floatEq); d != "" {
+			t.Fatalf("gallop %v: %s", ph, d)
+		}
+	}
+}
+
+// TestGallopTo pins the gallop search helper.
+func TestGallopTo(t *testing.T) {
+	s := []int32{2, 4, 4, 8, 16, 32}
+	cases := []struct {
+		key        int32
+		from, want int
+	}{
+		{1, 0, 0}, {2, 0, 0}, {3, 0, 1}, {4, 0, 1}, {5, 0, 3},
+		{16, 2, 4}, {33, 0, 6}, {8, 4, 4}, {2, 5, 5},
+	}
+	for _, c := range cases {
+		if got := gallopTo(s, c.key, c.from); got != c.want {
+			t.Errorf("gallopTo(%v, %d, %d) = %d, want %d", s, c.key, c.from, got, c.want)
+		}
+	}
+	if got := gallopTo(nil, 5, 0); got != 0 {
+		t.Errorf("gallopTo(empty) = %d", got)
+	}
+}
+
+// TestHashLoadFactors checks the hash accumulator across load factors
+// (the ablation axis) for correctness.
+func TestHashLoadFactors(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	mask, a, b := buildCase(caseSpec{"", 60, 60, 60, 10, 10, 10, 78})
+	want := oracle(mask, a, b, false)
+	for _, lf := range []float64{0.125, 0.25, 0.5, 0.75, 1.0} {
+		got, err := MaskedSpGEMM(sr, mask, a, b, Options{Algorithm: AlgoHash, HashLoadFactor: lf})
+		if err != nil {
+			t.Fatalf("lf=%v: %v", lf, err)
+		}
+		if d := sparse.Diff(want, got, floatEq); d != "" {
+			t.Fatalf("lf=%v: %s", lf, d)
+		}
+	}
+}
+
+// TestSpGEMMUnmasked validates the plain SpGEMM substrate against a
+// dense multiply (via a full mask, which admits everything).
+func TestSpGEMMUnmasked(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	a := gen.Random(50, 60, 8, 31)
+	b := gen.Random(60, 40, 8, 32)
+	// A full mask makes DenseMaskedMultiply compute the plain product.
+	full := &sparse.Pattern{Rows: 50, Cols: 40, RowPtr: make([]int64, 51)}
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 40; j++ {
+			full.ColIdx = append(full.ColIdx, int32(j))
+		}
+		full.RowPtr[i+1] = int64(len(full.ColIdx))
+	}
+	want := sparse.DenseMaskedMultiply(full, a, b, false, sr.Add, sr.Mul, sr.Zero())
+	for _, ph := range []Phases{OnePhase, TwoPhase} {
+		got, err := SpGEMM(sr, a, b, Options{Phases: ph})
+		if err != nil {
+			t.Fatalf("SpGEMM: %v", err)
+		}
+		if d := sparse.Diff(want, got, floatEq); d != "" {
+			t.Fatalf("phases=%v: %s", ph, d)
+		}
+	}
+	if _, err := SpGEMM(sr, a, gen.Random(61, 40, 3, 33), Options{}); err == nil {
+		t.Error("want inner-dimension error")
+	}
+}
+
+// TestExplicitZerosKept pins GraphBLAS semantics: an output entry
+// exists when products were accumulated there, even if they cancel to
+// numeric zero (§5.1's SET state is about insertion, not value).
+func TestExplicitZerosKept(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	// A = [1 -1], B = [[1],[1]] → (A·B)₀₀ = 0 via cancellation.
+	a, _ := sparse.FromRows(1, 2, map[int]map[int]float64{0: {0: 1, 1: -1}})
+	b, _ := sparse.FromRows(2, 1, map[int]map[int]float64{0: {0: 1}, 1: {0: 1}})
+	mask, _ := sparse.FromRows(1, 1, map[int]map[int]float64{0: {0: 1}})
+	for _, opt := range allOptions() {
+		got, err := MaskedSpGEMM(sr, mask.PatternView(), a, b, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", opt.SchemeName(), err)
+		}
+		if got.NNZ() != 1 {
+			t.Errorf("%s: cancelled entry dropped (nnz=%d, want explicit zero kept)", opt.SchemeName(), got.NNZ())
+			continue
+		}
+		if v, ok := got.At(0, 0); !ok || v != 0 {
+			t.Errorf("%s: entry = %v, %v; want explicit 0", opt.SchemeName(), v, ok)
+		}
+	}
+}
+
+// TestFlopsCounts checks the flop counters on a hand-computable case.
+func TestFlopsCounts(t *testing.T) {
+	// A = [[1,1],[0,1]], B = [[1,0],[1,1]] (as patterns with values 1).
+	a, _ := sparse.FromRows(2, 2, map[int]map[int]float64{0: {0: 1, 1: 1}, 1: {1: 1}})
+	b, _ := sparse.FromRows(2, 2, map[int]map[int]float64{0: {0: 1}, 1: {0: 1, 1: 1}})
+	if got := Flops(a, b); got != 5 {
+		t.Errorf("Flops = %d, want 5", got)
+	}
+	// Mask admitting only (0,0): A row 0 hits B rows 0 {0} and 1 {0,1};
+	// products landing on (0,0): from B_00 and B_10 → 2 flops.
+	mask, _ := sparse.FromRows(2, 2, map[int]map[int]float64{0: {0: 1}})
+	if got := MaskedFlops(mask.PatternView(), a, b, false); got != 2 {
+		t.Errorf("MaskedFlops = %d, want 2", got)
+	}
+	// Complement of that mask admits everything except (0,0): 5-2 = 3.
+	if got := MaskedFlops(mask.PatternView(), a, b, true); got != 3 {
+		t.Errorf("MaskedFlops complement = %d, want 3", got)
+	}
+}

@@ -1,0 +1,186 @@
+// Package core implements the paper's masked SpGEMM algorithms: the
+// push-based row-by-row family (MSA, Hash, MCA, Heap — §5) in one-phase
+// and two-phase (symbolic+numeric, §6) forms, the pull-based
+// inner-product algorithm (§4.1), the complemented-mask variants, and
+// the SuiteSparse:GraphBLAS-style baselines used for comparison (§3,
+// §8).
+package core
+
+import (
+	"fmt"
+
+	"maskedspgemm/internal/parallel"
+	"maskedspgemm/internal/sparse"
+)
+
+// Algorithm selects the masked SpGEMM scheme. Names follow §8's
+// evaluation: MSA, Hash, MCA, Heap (NInspect=1), HeapDot (NInspect=∞),
+// Inner, plus the two baselines standing in for SS:SAXPY and SS:DOT.
+type Algorithm uint8
+
+const (
+	// AlgoMSA is the push algorithm over the Masked Sparse Accumulator
+	// (§5.2).
+	AlgoMSA Algorithm = iota
+	// AlgoMSAEpoch is MSA with epoch-stamped O(1)-reset states; the
+	// reset-strategy ablation (DESIGN.md §6), not a paper scheme.
+	AlgoMSAEpoch
+	// AlgoHash is the push algorithm over the open-addressing hash
+	// accumulator with load factor 0.25 (§5.3).
+	AlgoHash
+	// AlgoMCA is the push algorithm over the novel Mask Compressed
+	// Accumulator (§5.4). MCA does not support complemented masks.
+	AlgoMCA
+	// AlgoHeap is the heap (multi-way merge) algorithm with NInspect=1
+	// (§5.5).
+	AlgoHeap
+	// AlgoHeapDot is the heap algorithm with NInspect=∞: every iterator
+	// is merged against the whole remaining mask before being pushed
+	// (§5.5, §8: "HeapDot").
+	AlgoHeapDot
+	// AlgoInner is the pull-based inner-product algorithm: one sparse
+	// dot product per admitted mask entry, with B accessed by column
+	// (§4.1).
+	AlgoInner
+	// AlgoSaxpyThenMask is the naive baseline of Figure 1: a full
+	// unmasked Gustavson SpGEMM followed by applying the mask to the
+	// output. Stands in for the saxpy-family SS:GB path the paper
+	// compares against.
+	AlgoSaxpyThenMask
+	// AlgoDotTranspose is the dot-product baseline that, like SS:DOT as
+	// described in §8.4, re-transposes B on every call before running
+	// inner products.
+	AlgoDotTranspose
+	// AlgoHybrid picks pull (Inner) or push (MSA) per output row with
+	// the §4.3 cost model — the hybrid scheme §9 lists as future work.
+	// No complemented-mask support (complement always favors push).
+	AlgoHybrid
+)
+
+// String returns the scheme name as used in the paper's plots.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoMSA:
+		return "MSA"
+	case AlgoMSAEpoch:
+		return "MSA-Epoch"
+	case AlgoHash:
+		return "Hash"
+	case AlgoMCA:
+		return "MCA"
+	case AlgoHeap:
+		return "Heap"
+	case AlgoHeapDot:
+		return "HeapDot"
+	case AlgoInner:
+		return "Inner"
+	case AlgoSaxpyThenMask:
+		return "SS:SAXPY*"
+	case AlgoDotTranspose:
+		return "SS:DOT*"
+	case AlgoHybrid:
+		return "Hybrid"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", uint8(a))
+	}
+}
+
+// Algorithms lists every implemented scheme in evaluation order.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgoMSA, AlgoMSAEpoch, AlgoHash, AlgoMCA, AlgoHeap, AlgoHeapDot, AlgoInner, AlgoSaxpyThenMask, AlgoDotTranspose, AlgoHybrid}
+}
+
+// PaperAlgorithms lists the six schemes the paper proposes/evaluates as
+// "ours" (§8: Inner, MSA, Hash, MCA, Heap, HeapDot).
+func PaperAlgorithms() []Algorithm {
+	return []Algorithm{AlgoMSA, AlgoHash, AlgoMCA, AlgoHeap, AlgoHeapDot, AlgoInner}
+}
+
+// HeapNInspect sentinel values (§5.5's NInspect parameter).
+const (
+	// HeapInspectDefault keeps the algorithm's own NInspect (1 for
+	// AlgoHeap, ∞ for AlgoHeapDot).
+	HeapInspectDefault = 0
+	// HeapInspectNone pushes iterators without inspecting the mask —
+	// the paper's NInspect = 0 configuration.
+	HeapInspectNone = -1
+	// HeapInspectAll merges each iterator against the whole remaining
+	// mask before pushing — the paper's NInspect = ∞ (AlgoHeapDot's
+	// default).
+	HeapInspectAll = int(^uint(0) >> 1)
+)
+
+// Phases selects between the one-phase and two-phase (symbolic +
+// numeric) execution strategies (§6).
+type Phases uint8
+
+const (
+	// OnePhase allocates output space from the mask (nnz(C) ≤ nnz(M)
+	// row-wise) or a per-row upper bound, multiplies once, and compacts.
+	OnePhase Phases = iota
+	// TwoPhase first runs a symbolic multiplication to size the output
+	// exactly, then the numeric multiplication writes in place.
+	TwoPhase
+)
+
+// String returns the suffix used in the paper's plots ("1P"/"2P").
+func (p Phases) String() string {
+	if p == TwoPhase {
+		return "2P"
+	}
+	return "1P"
+}
+
+// Options configures a masked multiplication.
+type Options struct {
+	// Algorithm picks the scheme; default AlgoMSA.
+	Algorithm Algorithm
+	// Phases picks 1P or 2P; default OnePhase (the paper's overall
+	// winner).
+	Phases Phases
+	// Complement computes C = ¬M ⊙ (A·B) instead of C = M ⊙ (A·B).
+	Complement bool
+	// Threads is the worker count; < 1 means GOMAXPROCS.
+	Threads int
+	// Grain is the scheduler row-block size; < 1 means
+	// parallel.DefaultGrain.
+	Grain int
+	// HashLoadFactor overrides the hash accumulator load factor; ≤ 0
+	// means the paper's 0.25.
+	HashLoadFactor float64
+	// HeapNInspect overrides NInspect for AlgoHeap/AlgoHeapDot:
+	// HeapInspectDefault (0) keeps the per-algorithm default (1 for
+	// Heap, ∞ for HeapDot, none for complemented heaps);
+	// HeapInspectNone disables inspection (the paper's NInspect = 0);
+	// positive values set the inspection window. Use with AlgoHeap for
+	// the NInspect ablation.
+	HeapNInspect int
+	// InnerGallop switches AlgoInner's dot products from two-pointer
+	// merges to galloping (exponential + binary search) — profitable
+	// when A rows and B columns have very different lengths. Ablation:
+	// BenchmarkInnerGallop.
+	InnerGallop bool
+}
+
+// SchemeName formats "Algo-1P"/"Algo-2P" as in the paper's figures.
+func (o Options) SchemeName() string {
+	return o.Algorithm.String() + "-" + o.Phases.String()
+}
+
+func (o *Options) normalize() {
+	o.Threads = parallel.Threads(o.Threads)
+	if o.Grain < 1 {
+		o.Grain = parallel.DefaultGrain
+	}
+}
+
+// validate checks operand shapes: mask is m×n, A is m×k, B is k×n.
+func validate[T any](mask *sparse.Pattern, a, b *sparse.CSR[T]) error {
+	if a.Rows != mask.Rows || b.Cols != mask.Cols {
+		return fmt.Errorf("core: mask is %dx%d but A·B is %dx%d", mask.Rows, mask.Cols, a.Rows, b.Cols)
+	}
+	if a.Cols != b.Rows {
+		return fmt.Errorf("core: inner dimensions differ: A is %dx%d, B is %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+)
+
+// pushAcc is the combined numeric+symbolic accumulator protocol the
+// generic push drivers need; MSA, MSAEpoch, and Hash all satisfy it.
+type pushAcc[T any] interface {
+	accum.Numeric[T]
+	accum.Symbolic
+}
+
+// pushRowNumeric is Algorithm 2 generalized over the accumulator: scale
+// and merge the rows B_k* selected by A_i*, filtered through the mask
+// row, into one output row. The Insert call is where masked-out products
+// are discarded before the multiplication happens (§5.1).
+func pushRowNumeric[T any, A pushAcc[T]](acc A, maskRow []int32, aCols []int32, aVals []T, b *sparse.CSR[T], outIdx []int32, outVal []T) int {
+	acc.Begin(maskRow)
+	for k, col := range aCols {
+		lo, hi := b.RowPtr[col], b.RowPtr[col+1]
+		bCols := b.ColIdx[lo:hi]
+		bVals := b.Val[lo:hi]
+		av := aVals[k]
+		for t, j := range bCols {
+			acc.Insert(j, av, bVals[t])
+		}
+	}
+	return acc.Gather(maskRow, outIdx, outVal)
+}
+
+// pushRowSymbolic is the pattern-only pass of the same computation,
+// used by the two-phase variants (§6).
+func pushRowSymbolic[T any, A pushAcc[T]](acc A, maskRow []int32, aCols []int32, b *sparse.CSR[T]) int {
+	acc.BeginSymbolic(maskRow)
+	for _, col := range aCols {
+		lo, hi := b.RowPtr[col], b.RowPtr[col+1]
+		for _, j := range b.ColIdx[lo:hi] {
+			acc.InsertPattern(j)
+		}
+	}
+	return acc.EndSymbolic(maskRow)
+}
+
+// pushMultiply drives a push-family algorithm (MSA/MSAEpoch/Hash) in
+// either phase mode. newAcc constructs one per-worker accumulator.
+func pushMultiply[T any, A pushAcc[T]](mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options, newAcc func() A) *sparse.CSR[T] {
+	slots := make([]A, opt.Threads)
+	have := make([]bool, opt.Threads)
+	get := func(tid int) A {
+		if !have[tid] {
+			slots[tid] = newAcc()
+			have[tid] = true
+		}
+		return slots[tid]
+	}
+	numeric := func(tid, i int, outIdx []int32, outVal []T) int {
+		return pushRowNumeric(get(tid), mask.Row(i), a.Row(i), a.RowVals(i), b, outIdx, outVal)
+	}
+	if opt.Phases == TwoPhase {
+		symbolic := func(tid, i int) int {
+			return pushRowSymbolic[T](get(tid), mask.Row(i), a.Row(i), b)
+		}
+		return twoPhase(mask.Rows, mask.Cols, opt.Threads, opt.Grain, symbolic, numeric)
+	}
+	return onePhase(mask.Rows, mask.Cols, mask.RowPtr, opt.Threads, opt.Grain, numeric)
+}
+
+// multiplyMSA runs the MSA scheme (§5.2).
+func multiplyMSA[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options) *sparse.CSR[T] {
+	return pushMultiply(mask, a, b, opt, func() *accum.MSA[T, S] {
+		return accum.NewMSA[T](sr, b.Cols)
+	})
+}
+
+// multiplyMSAEpoch runs the epoch-reset MSA ablation variant.
+func multiplyMSAEpoch[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options) *sparse.CSR[T] {
+	return pushMultiply(mask, a, b, opt, func() *accum.MSAEpoch[T, S] {
+		return accum.NewMSAEpoch[T](sr, b.Cols)
+	})
+}
+
+// multiplyHash runs the hash scheme (§5.3). Tables are sized once per
+// worker by the densest mask row.
+func multiplyHash[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options) *sparse.CSR[T] {
+	maxRow := mask.MaxRowNNZ()
+	return pushMultiply(mask, a, b, opt, func() *accum.Hash[T, S] {
+		return accum.NewHash[T](sr, maxRow, opt.HashLoadFactor)
+	})
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+
+	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+)
+
+// Masked SpGEVM — the single-row form v⊺ = m⊺ ⊙ (u⊺B) the paper uses
+// to present all of §5's algorithms. It is exposed because masked
+// vector-matrix products are the building block of frontier-style
+// graph traversals (§4's push/pull motivation); internal/graph's
+// direction-optimized BFS is built on it.
+
+// MaskedSpVM computes v = m ⊙ (u⊺B) (complement: v = ¬m ⊙ (u⊺B))
+// where mask holds the admitted (sorted) positions. Supported
+// algorithms: AlgoMSA, AlgoHash, AlgoHeap, AlgoHeapDot (plain), and
+// AlgoMSA/AlgoHash/AlgoHeap for complemented masks. The call is
+// serial — a single row has no row-level parallelism to exploit
+// (§3: the paper deliberately does not parallelize single-row
+// formation).
+func MaskedSpVM[T any, S semiring.Semiring[T]](sr S, mask []int32, u *sparse.Vector[T], b *sparse.CSR[T], opt Options) (*sparse.Vector[T], error) {
+	if u.N != b.Rows {
+		return nil, fmt.Errorf("core: vector has dimension %d but B has %d rows", u.N, b.Rows)
+	}
+	if opt.Complement {
+		return maskedSpVMComplement(sr, mask, u, b, opt)
+	}
+	out := sparse.NewVector[T](b.Cols)
+	outIdx := make([]int32, len(mask))
+	outVal := make([]T, len(mask))
+	var n int
+	switch opt.Algorithm {
+	case AlgoMSA, AlgoMSAEpoch, AlgoHybrid:
+		acc := accum.NewMSA[T](sr, b.Cols)
+		n = pushRowNumeric[T](acc, mask, u.Idx, u.Val, b, outIdx, outVal)
+	case AlgoHash:
+		acc := accum.NewHash[T](sr, len(mask), opt.HashLoadFactor)
+		n = pushRowNumeric[T](acc, mask, u.Idx, u.Val, b, outIdx, outVal)
+	case AlgoMCA:
+		acc := accum.NewMCA[T](sr, len(mask))
+		n = mcaRowNumeric(acc, mask, u.Idx, u.Val, b, outIdx, outVal)
+	case AlgoHeap:
+		pq := accum.NewIterHeap(u.NNZ())
+		n = heapRowNumeric(sr, pq, 1, mask, u.Idx, u.Val, b, outIdx, outVal)
+	case AlgoHeapDot:
+		pq := accum.NewIterHeap(u.NNZ())
+		n = heapRowNumeric(sr, pq, heapInspectInf, mask, u.Idx, u.Val, b, outIdx, outVal)
+	default:
+		return nil, fmt.Errorf("core: MaskedSpVM does not support %v", opt.Algorithm)
+	}
+	out.Idx = outIdx[:n]
+	out.Val = outVal[:n]
+	return out, nil
+}
+
+// maskedSpVMComplement is the ¬m ⊙ (u⊺B) form.
+func maskedSpVMComplement[T any, S semiring.Semiring[T]](sr S, mask []int32, u *sparse.Vector[T], b *sparse.CSR[T], opt Options) (*sparse.Vector[T], error) {
+	bound := rowGenBound(u.Idx, b)
+	if free := b.Cols - len(mask); bound > free {
+		bound = free
+	}
+	outIdx := make([]int32, bound)
+	outVal := make([]T, bound)
+	var n int
+	switch opt.Algorithm {
+	case AlgoMSA, AlgoMSAEpoch:
+		acc := accum.NewMSAC[T](sr, b.Cols)
+		n = pushRowNumericC[T](acc, mask, u.Idx, u.Val, b, outIdx, outVal)
+	case AlgoHash:
+		acc := accum.NewHashC[T](sr, 16, opt.HashLoadFactor)
+		n = pushRowNumericC[T](acc, mask, u.Idx, u.Val, b, outIdx, outVal)
+	case AlgoHeap, AlgoHeapDot:
+		pq := accum.NewIterHeap(u.NNZ())
+		n = heapRowNumericComplement(sr, pq, mask, u.Idx, u.Val, b, outIdx, outVal)
+	default:
+		return nil, fmt.Errorf("core: complemented MaskedSpVM does not support %v", opt.Algorithm)
+	}
+	out := sparse.NewVector[T](b.Cols)
+	out.Idx = outIdx[:n]
+	out.Val = outVal[:n]
+	return out, nil
+}

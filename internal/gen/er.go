@@ -1,0 +1,78 @@
+package gen
+
+import (
+	"maskedspgemm/internal/sparse"
+)
+
+// ErdosRenyi returns an n×n sparse float64 matrix with, in expectation,
+// degree nonzeros per row, sampled uniformly (the G(n, m)-style model
+// the Fig-7 density sweeps use: "Erdős-Rényi inputs by varying the
+// degree"). Exactly degree distinct columns are drawn per row when
+// degree < n (sampling without replacement via retry — cheap at the
+// densities the experiments use); values are uniform in (0, 1].
+func ErdosRenyi(n, degree int, seed uint64) *sparse.CSR[float64] {
+	if degree > n {
+		degree = n
+	}
+	rng := NewRNG(seed)
+	out := &sparse.CSR[float64]{Pattern: sparse.Pattern{Rows: n, Cols: n, RowPtr: make([]int64, n+1)}}
+	out.ColIdx = make([]int32, 0, n*degree)
+	out.Val = make([]float64, 0, n*degree)
+	cols := make([]int32, 0, degree)
+	for i := 0; i < n; i++ {
+		cols = cols[:0]
+		if degree*4 >= n {
+			// Dense rows: Floyd-style selection would still need a set;
+			// simplest correct path is a Bernoulli scan.
+			p := float64(degree) / float64(n)
+			for j := 0; j < n; j++ {
+				if rng.Float64() < p {
+					cols = append(cols, int32(j))
+				}
+			}
+		} else {
+			for len(cols) < degree {
+				j := int32(rng.Intn(n))
+				dup := false
+				for _, c := range cols {
+					if c == j {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					cols = append(cols, j)
+				}
+			}
+			insertionSortInt32(cols)
+		}
+		for _, j := range cols {
+			out.ColIdx = append(out.ColIdx, j)
+			out.Val = append(out.Val, 1-rng.Float64())
+		}
+		out.RowPtr[i+1] = int64(len(out.ColIdx))
+	}
+	return out
+}
+
+// insertionSortInt32 sorts small slices in place; rows are short (the
+// sweep uses degree ≤ 1024) so insertion sort beats the generic sort.
+func insertionSortInt32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}
+
+// ErdosRenyiPattern returns only the pattern of an ER matrix — handy
+// for synthesizing masks of a chosen density (Fig 7 varies mask degree
+// independently of the inputs).
+func ErdosRenyiPattern(n, degree int, seed uint64) *sparse.Pattern {
+	m := ErdosRenyi(n, degree, seed)
+	return &m.Pattern
+}

@@ -1,0 +1,115 @@
+package gen
+
+import (
+	"maskedspgemm/internal/sparse"
+)
+
+// Graph500 R-MAT parameters (§7: "parameters identical to those used in
+// the Graph500 benchmark").
+const (
+	RMATA = 0.57
+	RMATB = 0.19
+	RMATC = 0.19
+	// RMATD = 1 - a - b - c = 0.05
+	// DefaultEdgeFactor is Graph500's edges-per-vertex ratio.
+	DefaultEdgeFactor = 16
+)
+
+// RMATConfig configures the recursive matrix generator of Chakrabarti
+// et al.
+type RMATConfig struct {
+	// Scale gives 2^Scale vertices.
+	Scale int
+	// EdgeFactor is edges per vertex; ≤ 0 means Graph500's 16.
+	EdgeFactor int
+	// A, B, C are the quadrant probabilities; zero values mean Graph500
+	// defaults (0.57, 0.19, 0.19).
+	A, B, C float64
+	// Noise perturbs quadrant probabilities per level as in the
+	// Graph500 reference implementation; 0 disables. A small value
+	// (e.g. 0.1) avoids the degenerate diagonal concentration.
+	Noise float64
+	// Seed drives the splitmix64 stream.
+	Seed uint64
+}
+
+func (c *RMATConfig) defaults() {
+	if c.EdgeFactor <= 0 {
+		c.EdgeFactor = DefaultEdgeFactor
+	}
+	if c.A == 0 && c.B == 0 && c.C == 0 {
+		c.A, c.B, c.C = RMATA, RMATB, RMATC
+	}
+}
+
+// RMAT generates a directed R-MAT graph as an n×n CSR matrix with unit
+// values, where n = 2^Scale. Duplicate edges are combined (kept once)
+// and self-loops removed, as the graph benchmarks require.
+func RMAT(cfg RMATConfig) *sparse.CSR[float64] {
+	cfg.defaults()
+	n := 1 << cfg.Scale
+	edges := n * cfg.EdgeFactor
+	rng := NewRNG(cfg.Seed)
+	coo := sparse.NewCOO[float64](n, n, edges)
+	for e := 0; e < edges; e++ {
+		i, j := rmatEdge(rng, cfg, n)
+		if i == j {
+			continue
+		}
+		coo.Append(int32(i), int32(j), 1)
+	}
+	out, err := coo.ToCSR(func(a, b float64) float64 { return 1 })
+	if err != nil {
+		panic(err) // generator produces in-range indices by construction
+	}
+	return out
+}
+
+// rmatEdge draws one edge by recursive quadrant descent.
+func rmatEdge(rng *RNG, cfg RMATConfig, n int) (int, int) {
+	i, j := 0, 0
+	a, b, c := cfg.A, cfg.B, cfg.C
+	for bit := n >> 1; bit > 0; bit >>= 1 {
+		r := rng.Float64()
+		switch {
+		case r < a:
+			// top-left: nothing to add
+		case r < a+b:
+			j += bit
+		case r < a+b+c:
+			i += bit
+		default:
+			i += bit
+			j += bit
+		}
+		if cfg.Noise > 0 {
+			// Jitter the quadrant probabilities ±Noise/2 relatively,
+			// then renormalize a as the remainder like the Graph500
+			// generator does.
+			a *= 0.95 + cfg.Noise*rng.Float64()
+			b *= 0.95 + cfg.Noise*rng.Float64()
+			c *= 0.95 + cfg.Noise*rng.Float64()
+			s := (a + b + c) / (cfg.A + cfg.B + cfg.C)
+			a, b, c = a/s, b/s, c/s
+		}
+	}
+	return i, j
+}
+
+// RMATSymmetric generates an undirected (symmetrized, zero-diagonal)
+// R-MAT graph: A ∨ Aᵀ with unit values. The graph applications (TC,
+// k-truss, BC) operate on undirected graphs.
+func RMATSymmetric(cfg RMATConfig) *sparse.CSR[float64] {
+	a := RMAT(cfg)
+	return Symmetrize(a)
+}
+
+// Symmetrize returns A ∨ Aᵀ with unit values and no diagonal.
+func Symmetrize(a *sparse.CSR[float64]) *sparse.CSR[float64] {
+	at := sparse.Transpose(a)
+	s, err := sparse.EWiseAdd(a, at, func(x, y float64) float64 { return 1 })
+	if err != nil {
+		panic(err)
+	}
+	return sparse.Select(s, func(i int, j int32, _ float64) bool { return int(j) != i })
+}

@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+
+	"maskedspgemm/internal/gen"
+	"maskedspgemm/internal/sparse"
+)
+
+func levelsEqual(a, b []int32) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("length %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Sprintf("vertex %d: level %d vs %d", i, a[i], b[i])
+		}
+	}
+	return ""
+}
+
+func TestBFSMatchesReference(t *testing.T) {
+	graphs := []struct {
+		name string
+		g    *sparse.CSR[float64]
+	}{
+		{"path", pathGraph(20)},
+		{"ring", gen.Ring(17)},
+		{"grid", gen.Grid2D(12, 12)},
+		{"rmat", gen.RMATSymmetric(gen.RMATConfig{Scale: 9, EdgeFactor: 8, Seed: 41})},
+		{"ba", gen.BarabasiAlbert(400, 4, 42)},
+		{"two-components", disjointUnion(gen.Ring(7), gen.Grid2D(5, 5))},
+	}
+	for _, g := range graphs {
+		for _, sources := range [][]int32{{0}, {0, 3}, {int32(g.g.Rows - 1)}} {
+			want := RefBFS(g.g, sources)
+			for _, strat := range []BFSStrategy{BFSAuto, BFSPush, BFSPull} {
+				res, err := BFS(g.g, sources, strat)
+				if err != nil {
+					t.Fatalf("%s/%v: %v", g.name, strat, err)
+				}
+				if d := levelsEqual(want, res.Level); d != "" {
+					t.Errorf("%s/%v sources=%v: %s", g.name, strat, sources, d)
+				}
+			}
+		}
+	}
+}
+
+func TestBFSDirectionSwitching(t *testing.T) {
+	// On a dense-ish small-diameter graph, auto mode should pull at
+	// least once after the frontier explodes.
+	g := gen.RMATSymmetric(gen.RMATConfig{Scale: 10, EdgeFactor: 16, Seed: 43})
+	res, err := BFS(g, []int32{0}, BFSAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PullLevels == 0 {
+		t.Log("auto BFS never pulled (acceptable on this topology, but unexpected)")
+	}
+	push, err := BFS(g, []int32{0}, BFSPush)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if push.PullLevels != 0 {
+		t.Error("BFSPush must not pull")
+	}
+	pull, err := BFS(g, []int32{0}, BFSPull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pull.PushLevels != 0 {
+		t.Error("BFSPull must not push")
+	}
+	if d := levelsEqual(push.Level, pull.Level); d != "" {
+		t.Errorf("push and pull disagree: %s", d)
+	}
+}
+
+func TestBFSEdgeCases(t *testing.T) {
+	g := gen.Ring(8)
+	// No sources: nothing reached.
+	res, err := BFS(g, nil, BFSAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range res.Level {
+		if l != -1 {
+			t.Fatal("vertex reached without sources")
+		}
+	}
+	// Duplicate sources are fine.
+	res, err = BFS(g, []int32{2, 2, 2}, BFSAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Level[2] != 0 {
+		t.Error("source level must be 0")
+	}
+	if _, err := BFS(g, []int32{-1}, BFSAuto); err == nil {
+		t.Error("want error for negative source")
+	}
+	if _, err := BFS(gen.Random(3, 4, 2, 1), []int32{0}, BFSAuto); err == nil {
+		t.Error("want error for rectangular adjacency")
+	}
+	// Isolated source: depth 1, only itself at level 0.
+	iso := disjointUnion(gen.Ring(5), ringless(1))
+	res, err = BFS(iso, []int32{5}, BFSAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Level[5] != 0 || res.Level[0] != -1 {
+		t.Errorf("isolated-source levels wrong: %v", res.Level)
+	}
+}
+
+// ringless returns n isolated vertices.
+func ringless(n int) *sparse.CSR[float64] {
+	return sparse.NewCSR[float64](n, n)
+}
+
+func TestMergeSortedAndHelpers(t *testing.T) {
+	got := mergeSorted([]int32{1, 4, 9}, []int32{2, 3, 10})
+	want := []int32{1, 2, 3, 4, 9, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mergeSorted = %v", got)
+		}
+	}
+	if !intersectsSorted([]int32{1, 5, 9}, []int32{2, 5}) {
+		t.Error("intersectsSorted missed a hit")
+	}
+	if intersectsSorted([]int32{1, 3}, []int32{2, 4}) {
+		t.Error("intersectsSorted false positive")
+	}
+	s := []int32{5, 1, 3}
+	sortInt32(s)
+	if s[0] != 1 || s[1] != 3 || s[2] != 5 {
+		t.Errorf("sortInt32 = %v", s)
+	}
+}

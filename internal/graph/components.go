@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"fmt"
+
+	"maskedspgemm/internal/sparse"
+)
+
+// ConnectedComponents labels the connected components of an undirected
+// graph by sweeping direction-optimized BFS over unvisited vertices —
+// a composite consumer of the masked-SpVM traversal machinery.
+// Returns the component id of each vertex (ids are dense, assigned in
+// discovery order) and the component count.
+func ConnectedComponents(a *sparse.CSR[float64]) ([]int32, int, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, 0, fmt.Errorf("graph: adjacency must be square, got %dx%d", a.Rows, a.Cols)
+	}
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	id := int32(0)
+	for {
+		// Find the next unlabeled vertex.
+		for next < n && comp[next] >= 0 {
+			next++
+		}
+		if next >= n {
+			break
+		}
+		res, err := BFS(a, []int32{int32(next)}, BFSAuto)
+		if err != nil {
+			return nil, 0, err
+		}
+		for v, l := range res.Level {
+			if l >= 0 {
+				comp[v] = id
+			}
+		}
+		id++
+	}
+	return comp, int(id), nil
+}
+
+// RefConnectedComponents is the union-find oracle.
+func RefConnectedComponents(a *sparse.CSR[float64]) ([]int32, int) {
+	n := a.Rows
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < n; i++ {
+		for _, j := range a.Row(i) {
+			ri, rj := find(int32(i)), find(j)
+			if ri != rj {
+				parent[ri] = rj
+			}
+		}
+	}
+	// Relabel roots densely in first-seen order to match
+	// ConnectedComponents' discovery-order ids.
+	label := make(map[int32]int32)
+	comp := make([]int32, n)
+	for i := 0; i < n; i++ {
+		r := find(int32(i))
+		if _, ok := label[r]; !ok {
+			label[r] = int32(len(label))
+		}
+		comp[i] = label[r]
+	}
+	return comp, len(label)
+}

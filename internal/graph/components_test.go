@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"testing"
+
+	"maskedspgemm/internal/gen"
+	"maskedspgemm/internal/sparse"
+)
+
+func TestConnectedComponents(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *sparse.CSR[float64]
+		want int
+	}{
+		{"ring", gen.Ring(10), 1},
+		{"two-rings", disjointUnion(gen.Ring(5), gen.Ring(7)), 2},
+		{"isolated", sparse.NewCSR[float64](5, 5), 5},
+		{"grid", gen.Grid2D(6, 6), 1},
+		{"three", disjointUnion(disjointUnion(gen.Ring(3), gen.Complete(4)), gen.Grid2D(2, 2)), 3},
+	}
+	for _, c := range cases {
+		comp, count, err := ConnectedComponents(c.g)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if count != c.want {
+			t.Errorf("%s: components = %d, want %d", c.name, count, c.want)
+		}
+		wantComp, wantCount := RefConnectedComponents(c.g)
+		if wantCount != count {
+			t.Errorf("%s: oracle count %d != %d", c.name, wantCount, count)
+		}
+		for v := range comp {
+			if comp[v] != wantComp[v] {
+				t.Errorf("%s: vertex %d labeled %d, oracle %d", c.name, v, comp[v], wantComp[v])
+				break
+			}
+		}
+	}
+}
+
+func TestConnectedComponentsRandom(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		// Sparse ER graphs at this density fragment into many
+		// components.
+		g := gen.Symmetrize(gen.ErdosRenyi(300, 1, seed))
+		comp, count, err := ConnectedComponents(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantComp, wantCount := RefConnectedComponents(g)
+		if count != wantCount {
+			t.Fatalf("seed %d: count %d != oracle %d", seed, count, wantCount)
+		}
+		for v := range comp {
+			if comp[v] != wantComp[v] {
+				t.Fatalf("seed %d: label mismatch at %d", seed, v)
+			}
+		}
+		// Every edge must stay within one component.
+		for i := 0; i < g.Rows; i++ {
+			for _, j := range g.Row(i) {
+				if comp[i] != comp[j] {
+					t.Fatalf("seed %d: edge (%d,%d) crosses components", seed, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestConnectedComponentsErrors(t *testing.T) {
+	if _, _, err := ConnectedComponents(gen.Random(3, 4, 2, 1)); err == nil {
+		t.Error("want error for rectangular adjacency")
+	}
+}

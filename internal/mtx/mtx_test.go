@@ -1,0 +1,193 @@
+package mtx
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"maskedspgemm/internal/sparse"
+)
+
+func randomCSR(seed int64, rows, cols, nnz int) *sparse.CSR[float64] {
+	r := rand.New(rand.NewSource(seed))
+	coo := sparse.NewCOO[float64](rows, cols, nnz)
+	for k := 0; k < nnz; k++ {
+		coo.Append(int32(r.Intn(rows)), int32(r.Intn(cols)), r.NormFloat64())
+	}
+	m, err := coo.ToCSR(func(a, b float64) float64 { return a + b })
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		m := randomCSR(seed, 17, 23, 60)
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		back, h, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Field != "real" || h.Symmetry != "general" {
+			t.Errorf("header = %+v", h)
+		}
+		if !sparse.EqualFunc(m, back, sparse.FloatEq(1e-15)) {
+			t.Fatalf("round trip mismatch: %s", sparse.Diff(m, back, sparse.FloatEq(1e-15)))
+		}
+	}
+}
+
+func TestReadPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+% a comment
+3 4 3
+1 1
+2 3
+3 4
+`
+	m, h, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Field != "pattern" {
+		t.Errorf("field = %q", h.Field)
+	}
+	if m.NNZ() != 3 {
+		t.Fatalf("nnz = %d", m.NNZ())
+	}
+	if v, ok := m.At(1, 2); !ok || v != 1 {
+		t.Errorf("pattern value = %v, %v", v, ok)
+	}
+}
+
+func TestReadSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 5.0
+2 1 2.0
+3 2 -1.5
+`
+	m, _, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Off-diagonal entries expand to both triangles; diagonal stays
+	// single.
+	if m.NNZ() != 5 {
+		t.Fatalf("nnz = %d, want 5", m.NNZ())
+	}
+	if v, _ := m.At(0, 1); v != 2.0 {
+		t.Errorf("mirrored (0,1) = %v", v)
+	}
+	if v, _ := m.At(1, 2); v != -1.5 {
+		t.Errorf("mirrored (1,2) = %v", v)
+	}
+}
+
+func TestReadSkewSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 3.0
+`
+	m, _, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.At(0, 1); v != -3.0 {
+		t.Errorf("skew mirror = %v, want -3", v)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"no banner":     "1 1 0\n",
+		"bad object":    "%%MatrixMarket vector coordinate real general\n1 1 0\n",
+		"dense":         "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"complex":       "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"bad symmetry":  "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n",
+		"short banner":  "%%MatrixMarket matrix\n",
+		"missing size":  "%%MatrixMarket matrix coordinate real general\n",
+		"bad entry":     "%%MatrixMarket matrix coordinate real general\n2 2 1\nx y z\n",
+		"out of range":  "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
+		"missing entry": "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
+		"pattern short": "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1\n",
+		"bad value":     "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 zzz\n",
+	}
+	for name, in := range cases {
+		if _, _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	m := randomCSR(9, 10, 10, 30)
+	path := filepath.Join(t.TempDir(), "m.mtx")
+	if err := WriteFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.EqualFunc(m, back, sparse.FloatEq(1e-15)) {
+		t.Fatal("file round trip mismatch")
+	}
+	if _, _, err := ReadFile(filepath.Join(t.TempDir(), "absent.mtx")); err == nil {
+		t.Error("want error for missing file")
+	}
+}
+
+func TestWritePattern(t *testing.T) {
+	m := randomCSR(4, 6, 6, 12)
+	var buf bytes.Buffer
+	if err := WritePattern(&buf, m.PatternView()); err != nil {
+		t.Fatal(err)
+	}
+	back, h, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Field != "pattern" {
+		t.Errorf("field = %q", h.Field)
+	}
+	if !sparse.PatternEqual(m.PatternView(), back.PatternView()) {
+		t.Error("pattern round trip mismatch")
+	}
+}
+
+func TestReadIntegerField(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate integer general
+2 2 2
+1 1 4
+2 2 -7
+`
+	m, _, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.At(1, 1); v != -7 {
+		t.Errorf("integer value = %v", v)
+	}
+}
+
+func TestDuplicatesSummed(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+2 2 2
+1 1 1.5
+1 1 2.5
+`
+	m, _, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.At(0, 0); v != 4.0 {
+		t.Errorf("duplicate sum = %v, want 4", v)
+	}
+}

@@ -1,0 +1,153 @@
+// Package serial provides a fast little-endian binary codec for CSR
+// matrices — the cache format for large generated benchmark inputs,
+// where Matrix Market's decimal round trip costs more than the graph
+// generation itself. The format is versioned and self-describing:
+//
+//	magic "MSPG" | version u32 | rows u64 | cols u64 | nnz u64
+//	rowptr [rows+1]u64 | colidx [nnz]u32 | val [nnz]f64
+package serial
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"maskedspgemm/internal/sparse"
+)
+
+const (
+	magic   = "MSPG"
+	version = 1
+)
+
+// Write encodes a float64 CSR matrix.
+func Write(w io.Writer, m *sparse.CSR[float64]) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	hdr := make([]byte, 4+8+8+8)
+	binary.LittleEndian.PutUint32(hdr[0:], version)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(m.Rows))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(m.Cols))
+	binary.LittleEndian.PutUint64(hdr[20:], uint64(m.NNZ()))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	var buf [8]byte
+	for _, p := range m.RowPtr {
+		binary.LittleEndian.PutUint64(buf[:], uint64(p))
+		if _, err := bw.Write(buf[:8]); err != nil {
+			return err
+		}
+	}
+	for _, j := range m.ColIdx {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(j))
+		if _, err := bw.Write(buf[:4]); err != nil {
+			return err
+		}
+	}
+	for _, v := range m.Val {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		if _, err := bw.Write(buf[:8]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes a matrix written by Write, validating structure before
+// returning.
+func Read(r io.Reader) (*sparse.CSR[float64], error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	head := make([]byte, 4+4+8+8+8)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("serial: short header: %w", err)
+	}
+	if string(head[:4]) != magic {
+		return nil, fmt.Errorf("serial: bad magic %q", head[:4])
+	}
+	if v := binary.LittleEndian.Uint32(head[4:]); v != version {
+		return nil, fmt.Errorf("serial: unsupported version %d", v)
+	}
+	rows := binary.LittleEndian.Uint64(head[8:])
+	cols := binary.LittleEndian.Uint64(head[16:])
+	nnz := binary.LittleEndian.Uint64(head[24:])
+	const sanity = 1 << 40
+	if rows > sanity || cols > sanity || nnz > sanity {
+		return nil, fmt.Errorf("serial: implausible header rows=%d cols=%d nnz=%d", rows, cols, nnz)
+	}
+	m := &sparse.CSR[float64]{
+		Pattern: sparse.Pattern{
+			Rows:   int(rows),
+			Cols:   int(cols),
+			RowPtr: make([]int64, rows+1),
+			ColIdx: make([]int32, nnz),
+		},
+		Val: make([]float64, nnz),
+	}
+	buf := make([]byte, 8*(rows+1))
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("serial: short rowptr: %w", err)
+	}
+	for i := range m.RowPtr {
+		m.RowPtr[i] = int64(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	buf = make([]byte, 4*nnz)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("serial: short colidx: %w", err)
+	}
+	for i := range m.ColIdx {
+		m.ColIdx[i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	buf = make([]byte, 8*nnz)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("serial: short values: %w", err)
+	}
+	for i := range m.Val {
+		m.Val[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("serial: corrupt matrix: %w", err)
+	}
+	return m, nil
+}
+
+// WriteFile writes a matrix to disk.
+func WriteFile(path string, m *sparse.CSR[float64]) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a matrix from disk.
+func ReadFile(path string) (*sparse.CSR[float64], error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Cached returns the matrix stored at path, generating and caching it
+// on a miss — the memoization helper the big benchmark sweeps use.
+func Cached(path string, build func() *sparse.CSR[float64]) (*sparse.CSR[float64], error) {
+	if m, err := ReadFile(path); err == nil {
+		return m, nil
+	}
+	m := build()
+	if err := WriteFile(path, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,153 @@
+package sparse
+
+import "fmt"
+
+// DCSR is the doubly compressed sparse row format of Buluç & Gilbert
+// (paper §2.1/§3: the format SuiteSparse:GraphBLAS uses for its
+// hypersparse case). Rows that hold no entries are not represented at
+// all, so storage is O(nnz + nzr) instead of O(nnz + rows) — the right
+// trade once nnz ≪ rows, which happens to the shrinking graphs of
+// iterative algorithms like k-truss.
+type DCSR[T any] struct {
+	Rows, Cols int
+	// RowID[r] is the original index of the r-th non-empty row,
+	// strictly increasing.
+	RowID []int32
+	// RowPtr has len(RowID)+1 entries delimiting each stored row.
+	RowPtr []int64
+	// ColIdx and Val are as in CSR.
+	ColIdx []int32
+	Val    []T
+}
+
+// NNZ returns the stored-entry count.
+func (a *DCSR[T]) NNZ() int64 {
+	if len(a.RowPtr) == 0 {
+		return 0
+	}
+	return a.RowPtr[len(a.RowPtr)-1]
+}
+
+// NZR returns the number of non-empty rows.
+func (a *DCSR[T]) NZR() int { return len(a.RowID) }
+
+// Validate checks the DCSR invariants.
+func (a *DCSR[T]) Validate() error {
+	if len(a.RowPtr) != len(a.RowID)+1 {
+		return fmt.Errorf("sparse: DCSR RowPtr length %d, want %d", len(a.RowPtr), len(a.RowID)+1)
+	}
+	if len(a.RowPtr) > 0 && a.RowPtr[0] != 0 {
+		return fmt.Errorf("sparse: DCSR RowPtr[0] = %d", a.RowPtr[0])
+	}
+	prevRow := int32(-1)
+	for r, id := range a.RowID {
+		if id <= prevRow {
+			return fmt.Errorf("sparse: DCSR row ids not strictly increasing at %d", r)
+		}
+		if int(id) >= a.Rows {
+			return fmt.Errorf("sparse: DCSR row id %d out of range [0,%d)", id, a.Rows)
+		}
+		prevRow = id
+		lo, hi := a.RowPtr[r], a.RowPtr[r+1]
+		if lo >= hi {
+			return fmt.Errorf("sparse: DCSR stores empty row %d (id %d)", r, id)
+		}
+		prevCol := int32(-1)
+		for _, j := range a.ColIdx[lo:hi] {
+			if j < 0 || int(j) >= a.Cols {
+				return fmt.Errorf("sparse: DCSR column %d out of range", j)
+			}
+			if j <= prevCol {
+				return fmt.Errorf("sparse: DCSR row %d columns not increasing", id)
+			}
+			prevCol = j
+		}
+	}
+	if n := int64(len(a.ColIdx)); len(a.RowPtr) > 0 && a.RowPtr[len(a.RowPtr)-1] != n {
+		return fmt.Errorf("sparse: DCSR RowPtr[last] = %d, want %d", a.RowPtr[len(a.RowPtr)-1], n)
+	}
+	if len(a.Val) != len(a.ColIdx) {
+		return fmt.Errorf("sparse: DCSR Val length %d, want %d", len(a.Val), len(a.ColIdx))
+	}
+	return nil
+}
+
+// ToDCSR compresses away a CSR matrix's empty rows.
+func ToDCSR[T any](a *CSR[T]) *DCSR[T] {
+	out := &DCSR[T]{
+		Rows:   a.Rows,
+		Cols:   a.Cols,
+		ColIdx: append([]int32(nil), a.ColIdx...),
+		Val:    append([]T(nil), a.Val...),
+	}
+	out.RowPtr = append(out.RowPtr, 0)
+	for i := 0; i < a.Rows; i++ {
+		if a.RowNNZ(i) > 0 {
+			out.RowID = append(out.RowID, int32(i))
+			out.RowPtr = append(out.RowPtr, a.RowPtr[i+1])
+		}
+	}
+	return out
+}
+
+// ToCSR expands a DCSR matrix back to CSR.
+func (a *DCSR[T]) ToCSR() *CSR[T] {
+	out := &CSR[T]{
+		Pattern: Pattern{
+			Rows:   a.Rows,
+			Cols:   a.Cols,
+			RowPtr: make([]int64, a.Rows+1),
+			ColIdx: append([]int32(nil), a.ColIdx...),
+		},
+		Val: append([]T(nil), a.Val...),
+	}
+	for r, id := range a.RowID {
+		out.RowPtr[id+1] = a.RowPtr[r+1] - a.RowPtr[r]
+	}
+	for i := 0; i < a.Rows; i++ {
+		out.RowPtr[i+1] += out.RowPtr[i]
+	}
+	return out
+}
+
+// Row returns the column indices of original row i (empty when the row
+// is not stored), via binary search over RowID.
+func (a *DCSR[T]) Row(i int) []int32 {
+	r := a.findRow(i)
+	if r < 0 {
+		return nil
+	}
+	return a.ColIdx[a.RowPtr[r]:a.RowPtr[r+1]]
+}
+
+// RowVals returns the values of original row i.
+func (a *DCSR[T]) RowVals(i int) []T {
+	r := a.findRow(i)
+	if r < 0 {
+		return nil
+	}
+	return a.Val[a.RowPtr[r]:a.RowPtr[r+1]]
+}
+
+func (a *DCSR[T]) findRow(i int) int {
+	lo, hi := 0, len(a.RowID)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(a.RowID[mid]) < i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(a.RowID) && int(a.RowID[lo]) == i {
+		return lo
+	}
+	return -1
+}
+
+// CompressionRatio reports the pointer-array saving of DCSR over CSR:
+// (rows+1) / (2·nzr+1). Ratios above 1 favor DCSR.
+func (a *DCSR[T]) CompressionRatio() float64 {
+	den := float64(2*a.NZR() + 1)
+	return float64(a.Rows+1) / den
+}

@@ -1,0 +1,103 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDCSRRoundTrip(t *testing.T) {
+	f := func(q quickCSR) bool {
+		d := ToDCSR(q.M)
+		if d.Validate() != nil {
+			return false
+		}
+		back := d.ToCSR()
+		return Equal(q.M, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDCSRHypersparse(t *testing.T) {
+	// 1000 rows, only 3 non-empty.
+	m, _ := FromRows(1000, 1000, map[int]map[int]float64{
+		5:   {1: 1, 7: 2},
+		500: {0: 3},
+		999: {999: 4},
+	})
+	d := ToDCSR(m)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NZR() != 3 {
+		t.Fatalf("NZR = %d, want 3", d.NZR())
+	}
+	if d.NNZ() != 4 {
+		t.Fatalf("NNZ = %d, want 4", d.NNZ())
+	}
+	if d.CompressionRatio() < 100 {
+		t.Errorf("compression ratio = %v, expected large", d.CompressionRatio())
+	}
+	// Row access through the binary search.
+	if row := d.Row(5); len(row) != 2 || row[0] != 1 || row[1] != 7 {
+		t.Errorf("Row(5) = %v", row)
+	}
+	if vals := d.RowVals(500); len(vals) != 1 || vals[0] != 3 {
+		t.Errorf("RowVals(500) = %v", vals)
+	}
+	if d.Row(6) != nil {
+		t.Error("Row(6) should be nil (empty)")
+	}
+	if d.RowVals(0) != nil {
+		t.Error("RowVals(0) should be nil (empty)")
+	}
+}
+
+func TestDCSRValidateErrors(t *testing.T) {
+	bad := &DCSR[float64]{
+		Rows: 3, Cols: 3,
+		RowID:  []int32{1, 1},
+		RowPtr: []int64{0, 1, 2},
+		ColIdx: []int32{0, 1},
+		Val:    []float64{1, 2},
+	}
+	if bad.Validate() == nil {
+		t.Error("want error for duplicate row ids")
+	}
+	badEmpty := &DCSR[float64]{
+		Rows: 3, Cols: 3,
+		RowID:  []int32{0},
+		RowPtr: []int64{0, 0},
+	}
+	if badEmpty.Validate() == nil {
+		t.Error("want error for stored empty row")
+	}
+	badCols := &DCSR[float64]{
+		Rows: 2, Cols: 2,
+		RowID:  []int32{0},
+		RowPtr: []int64{0, 1},
+		ColIdx: []int32{7},
+		Val:    []float64{1},
+	}
+	if badCols.Validate() == nil {
+		t.Error("want error for out-of-range column")
+	}
+}
+
+func TestDCSREmptyAndDense(t *testing.T) {
+	empty := NewCSR[float64](5, 5)
+	d := ToDCSR(empty)
+	if d.NZR() != 0 || d.NNZ() != 0 || d.Validate() != nil {
+		t.Error("empty DCSR wrong")
+	}
+	if !Equal(empty, d.ToCSR()) {
+		t.Error("empty round trip failed")
+	}
+	full := randomCSR(rand.New(rand.NewSource(3)), 10, 10, 200)
+	df := ToDCSR(full)
+	if !Equal(full, df.ToCSR()) {
+		t.Error("dense round trip failed")
+	}
+}

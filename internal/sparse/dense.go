@@ -1,0 +1,99 @@
+package sparse
+
+// Dense reference helpers. These are deliberately simple O(m·n) oracles
+// used by the test suite to validate every masked SpGEMM algorithm
+// against an unoptimized ground truth.
+
+// Dense is a row-major dense matrix used only as a test oracle.
+type Dense[T any] struct {
+	Rows, Cols int
+	Data       []T // len Rows*Cols, row-major
+}
+
+// NewDense allocates a zeroed rows×cols dense matrix.
+func NewDense[T any](rows, cols int) *Dense[T] {
+	return &Dense[T]{Rows: rows, Cols: cols, Data: make([]T, rows*cols)}
+}
+
+// At returns element (i, j).
+func (d *Dense[T]) At(i, j int) T { return d.Data[i*d.Cols+j] }
+
+// Set assigns element (i, j).
+func (d *Dense[T]) Set(i, j int, v T) { d.Data[i*d.Cols+j] = v }
+
+// ToDense expands a CSR matrix, also returning a parallel occupancy map
+// (sparse zero values are distinguishable from absent entries).
+func ToDense[T any](a *CSR[T]) (*Dense[T], *Dense[bool]) {
+	d := NewDense[T](a.Rows, a.Cols)
+	occ := NewDense[bool](a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		vals := a.RowVals(i)
+		for k, j := range a.Row(i) {
+			d.Set(i, int(j), vals[k])
+			occ.Set(i, int(j), true)
+		}
+	}
+	return d, occ
+}
+
+// FromDense compresses a dense matrix + occupancy map into CSR.
+func FromDense[T any](d *Dense[T], occ *Dense[bool]) *CSR[T] {
+	out := &CSR[T]{Pattern: Pattern{Rows: d.Rows, Cols: d.Cols, RowPtr: make([]int64, d.Rows+1)}}
+	for i := 0; i < d.Rows; i++ {
+		for j := 0; j < d.Cols; j++ {
+			if occ.At(i, j) {
+				out.ColIdx = append(out.ColIdx, int32(j))
+				out.Val = append(out.Val, d.At(i, j))
+			}
+		}
+		out.RowPtr[i+1] = int64(len(out.ColIdx))
+	}
+	return out
+}
+
+// DenseMaskedMultiply computes M ⊙ (A·B) (or ¬M ⊙ (A·B) when complement
+// is set) by brute force over the given add/mul/zero, producing the
+// ground-truth CSR result: an output entry exists exactly when the mask
+// admits position (i,j) and at least one product contributes to it —
+// matching the accumulator semantics where SET requires an insertion
+// (§5.1), regardless of the accumulated numeric value.
+func DenseMaskedMultiply[T any](
+	mask *Pattern, a, b *CSR[T], complement bool,
+	add, mul func(x, y T) T, zero T,
+) *CSR[T] {
+	out := &CSR[T]{Pattern: Pattern{Rows: mask.Rows, Cols: mask.Cols, RowPtr: make([]int64, mask.Rows+1)}}
+	bd, bocc := ToDense(b)
+	for i := 0; i < mask.Rows; i++ {
+		av, arow := a.RowVals(i), a.Row(i)
+		maskRow := mask.Row(i)
+		q := 0
+		for j := 0; j < mask.Cols; j++ {
+			for q < len(maskRow) && int(maskRow[q]) < j {
+				q++
+			}
+			onMask := q < len(maskRow) && int(maskRow[q]) == j
+			if onMask == complement {
+				continue
+			}
+			acc := zero
+			hit := false
+			for k, aj := range arow {
+				if bocc.At(int(aj), j) {
+					p := mul(av[k], bd.At(int(aj), j))
+					if !hit {
+						acc = p
+						hit = true
+					} else {
+						acc = add(acc, p)
+					}
+				}
+			}
+			if hit {
+				out.ColIdx = append(out.ColIdx, int32(j))
+				out.Val = append(out.Val, acc)
+			}
+		}
+		out.RowPtr[i+1] = int64(len(out.ColIdx))
+	}
+	return out
+}

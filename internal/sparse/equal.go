@@ -1,0 +1,94 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// Equal reports whether two matrices have identical shape, pattern and
+// values (compared with eq). A nil eq means comparable via ==, which only
+// works for comparable T; prefer passing eq explicitly for floats.
+func Equal[T comparable](a, b *CSR[T]) bool {
+	return EqualFunc(a, b, func(x, y T) bool { return x == y })
+}
+
+// EqualFunc reports whether two matrices have identical shape, pattern,
+// and values under eq.
+func EqualFunc[T any](a, b *CSR[T], eq func(x, y T) bool) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := 0; i <= a.Rows; i++ {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for k := range a.ColIdx {
+		if a.ColIdx[k] != b.ColIdx[k] {
+			return false
+		}
+	}
+	for k := range a.Val {
+		if !eq(a.Val[k], b.Val[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns a human-readable description of the first difference
+// between a and b, or "" if they are equal under eq. Intended for test
+// failure messages.
+func Diff[T any](a, b *CSR[T], eq func(x, y T) bool) string {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return fmt.Sprintf("shape %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	for i := 0; i < a.Rows; i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		va, vb := a.RowVals(i), b.RowVals(i)
+		if len(ra) != len(rb) {
+			return fmt.Sprintf("row %d: nnz %d vs %d (cols %v vs %v)", i, len(ra), len(rb), ra, rb)
+		}
+		for k := range ra {
+			if ra[k] != rb[k] {
+				return fmt.Sprintf("row %d entry %d: col %d vs %d", i, k, ra[k], rb[k])
+			}
+			if !eq(va[k], vb[k]) {
+				return fmt.Sprintf("row %d col %d: value %v vs %v", i, ra[k], va[k], vb[k])
+			}
+		}
+	}
+	return ""
+}
+
+// FloatEq returns an approximate float64 comparison with relative
+// tolerance tol, suitable for EqualFunc/Diff on arithmetic-semiring
+// results whose summation order may differ between algorithms.
+func FloatEq(tol float64) func(x, y float64) bool {
+	return func(x, y float64) bool {
+		if x == y {
+			return true
+		}
+		d := math.Abs(x - y)
+		m := math.Max(math.Abs(x), math.Abs(y))
+		return d <= tol*math.Max(m, 1)
+	}
+}
+
+// PatternEqual reports whether two patterns are identical.
+func PatternEqual(a, b *Pattern) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := 0; i <= a.Rows; i++ {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for k := range a.ColIdx {
+		if a.ColIdx[k] != b.ColIdx[k] {
+			return false
+		}
+	}
+	return true
+}

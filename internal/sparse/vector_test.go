@@ -1,0 +1,85 @@
+package sparse
+
+import (
+	"testing"
+)
+
+func TestVectorBasics(t *testing.T) {
+	v := NewVector[float64](10)
+	if v.NNZ() != 0 || v.Validate() != nil {
+		t.Fatal("empty vector invalid")
+	}
+	v.Idx = []int32{1, 4, 7}
+	v.Val = []float64{1.5, -2, 3}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if x, ok := v.At(4); !ok || x != -2 {
+		t.Errorf("At(4) = %v, %v", x, ok)
+	}
+	if _, ok := v.At(5); ok {
+		t.Error("At(5) should be absent")
+	}
+	c := v.Clone()
+	c.Val[0] = 99
+	if v.Val[0] == 99 {
+		t.Error("Clone aliases storage")
+	}
+}
+
+func TestVectorValidateErrors(t *testing.T) {
+	bad := &Vector[int]{N: 3, Idx: []int32{2, 1}, Val: []int{1, 2}}
+	if bad.Validate() == nil {
+		t.Error("want error for unsorted indices")
+	}
+	bad2 := &Vector[int]{N: 3, Idx: []int32{1, 1}, Val: []int{1, 2}}
+	if bad2.Validate() == nil {
+		t.Error("want error for duplicate indices")
+	}
+	bad3 := &Vector[int]{N: 3, Idx: []int32{5}, Val: []int{1}}
+	if bad3.Validate() == nil {
+		t.Error("want error for out-of-range index")
+	}
+	bad4 := &Vector[int]{N: 3, Idx: []int32{1}, Val: []int{}}
+	if bad4.Validate() == nil {
+		t.Error("want error for length mismatch")
+	}
+}
+
+func TestVectorDenseRoundTrip(t *testing.T) {
+	dense := []float64{0, 1, 0, 2.5, 0, -3}
+	v := VectorFromDense(dense, func(x float64) bool { return x != 0 })
+	if v.NNZ() != 3 {
+		t.Fatalf("nnz = %d", v.NNZ())
+	}
+	back := v.ToDense()
+	for i := range dense {
+		if back[i] != dense[i] {
+			t.Fatalf("dense round trip: %v vs %v", back, dense)
+		}
+	}
+	all := VectorFromDense(dense, nil)
+	if all.NNZ() != 6 {
+		t.Errorf("keep-all nnz = %d", all.NNZ())
+	}
+}
+
+func TestRowVector(t *testing.T) {
+	m, _ := FromRows(2, 5, map[int]map[int]float64{1: {0: 4, 3: 5}})
+	v := RowVector(m, 1)
+	if v.N != 5 || v.NNZ() != 2 {
+		t.Fatalf("RowVector shape: N=%d nnz=%d", v.N, v.NNZ())
+	}
+	if x, _ := v.At(3); x != 5 {
+		t.Errorf("At(3) = %v", x)
+	}
+	// Shares storage with the matrix.
+	v.Val[0] = 42
+	if got, _ := m.At(1, 0); got != 42 {
+		t.Error("RowVector should alias matrix storage")
+	}
+	empty := RowVector(m, 0)
+	if empty.NNZ() != 0 {
+		t.Error("empty row should give empty vector")
+	}
+}

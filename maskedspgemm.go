@@ -1,0 +1,174 @@
+// Package maskedspgemm is a parallel masked sparse matrix-matrix
+// multiplication library, a from-scratch Go reproduction of
+// "Parallel Algorithms for Masked Sparse Matrix-Matrix Products"
+// (Milaković, Selvitopi, Nisa, Budimlić, Buluç — PPoPP 2022).
+//
+// Masked SpGEMM computes C = M ⊙ (A·B): the product of two sparse
+// matrices restricted to the nonzero pattern of a mask M (or to its
+// complement). The library implements the paper's four accumulator
+// families (MSA, Hash, MCA, Heap), the pull-based inner-product
+// algorithm, one-phase and two-phase execution, and complemented
+// masks, plus the GraphBLAS-style applications built on them:
+// triangle counting, k-truss, and betweenness centrality.
+//
+// This package is the convenience facade over the float64 arithmetic
+// semiring. The full generic API (custom element types and semirings)
+// lives in the internal packages and is exercised via the application
+// wrappers here; see DESIGN.md for the architecture.
+//
+// Quick start:
+//
+//	a := maskedspgemm.RMAT(12, 16, 1)           // 4096-vertex graph
+//	c, err := maskedspgemm.Multiply(a.PatternView(), a, a,
+//	    maskedspgemm.WithAlgorithm(maskedspgemm.MSA))
+package maskedspgemm
+
+import (
+	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/gen"
+	"maskedspgemm/internal/graph"
+	"maskedspgemm/internal/mtx"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+)
+
+// Matrix is a float64 CSR sparse matrix.
+type Matrix = sparse.CSR[float64]
+
+// Pattern is a sparsity structure; masks are Patterns.
+type Pattern = sparse.Pattern
+
+// Algorithm selects a masked SpGEMM scheme.
+type Algorithm = core.Algorithm
+
+// Exported algorithm selectors (see the paper's §5 and §8 for the
+// trade-offs; MSA one-phase is the best all-rounder).
+const (
+	// MSA is the Masked Sparse Accumulator scheme (§5.2).
+	MSA = core.AlgoMSA
+	// Hash is the hash-accumulator scheme (§5.3).
+	Hash = core.AlgoHash
+	// MCA is the Mask Compressed Accumulator scheme (§5.4). No
+	// complemented-mask support.
+	MCA = core.AlgoMCA
+	// Heap is the multi-way merge scheme with NInspect=1 (§5.5).
+	Heap = core.AlgoHeap
+	// HeapDot is the multi-way merge scheme with NInspect=∞ (§5.5).
+	HeapDot = core.AlgoHeapDot
+	// Inner is the pull-based dot-product scheme (§4.1).
+	Inner = core.AlgoInner
+	// SaxpyThenMask is the unmasked-multiply-then-filter baseline.
+	SaxpyThenMask = core.AlgoSaxpyThenMask
+	// DotTranspose is the transpose-per-call dot baseline.
+	DotTranspose = core.AlgoDotTranspose
+	// Hybrid picks pull or push per output row with the §4.3 cost
+	// model (the paper's §9 future-work scheme). No complemented-mask
+	// support.
+	Hybrid = core.AlgoHybrid
+)
+
+// Option configures Multiply.
+type Option func(*core.Options)
+
+// WithAlgorithm picks the scheme (default MSA).
+func WithAlgorithm(a Algorithm) Option {
+	return func(o *core.Options) { o.Algorithm = a }
+}
+
+// WithTwoPhase enables the symbolic+numeric strategy (§6); the default
+// is one-phase, the paper's usual winner.
+func WithTwoPhase() Option {
+	return func(o *core.Options) { o.Phases = core.TwoPhase }
+}
+
+// WithComplement computes C = ¬M ⊙ (A·B).
+func WithComplement() Option {
+	return func(o *core.Options) { o.Complement = true }
+}
+
+// WithThreads pins the worker count (default GOMAXPROCS).
+func WithThreads(threads int) Option {
+	return func(o *core.Options) { o.Threads = threads }
+}
+
+// buildOptions folds Option values over the defaults.
+func buildOptions(opts []Option) core.Options {
+	var o core.Options
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+// Multiply computes C = M ⊙ (A·B) over the float64 arithmetic
+// semiring. mask is m×n, a is m×k, b is k×n. Output rows are sorted.
+func Multiply(mask *Pattern, a, b *Matrix, opts ...Option) (*Matrix, error) {
+	return core.MaskedSpGEMM(semiring.PlusTimes[float64]{}, mask, a, b, buildOptions(opts))
+}
+
+// MultiplyUnmasked computes the plain product A·B (the Gustavson hash
+// SpGEMM substrate).
+func MultiplyUnmasked(a, b *Matrix, opts ...Option) (*Matrix, error) {
+	return core.SpGEMM(semiring.PlusTimes[float64]{}, a, b, buildOptions(opts))
+}
+
+// TriangleCount returns the number of triangles in the undirected
+// graph (symmetric adjacency, zero diagonal), computed as
+// sum(L ⊙ (L·L)) after degree relabeling (§8.2).
+func TriangleCount(a *Matrix, opts ...Option) (int64, error) {
+	return graph.TriangleCount(a, buildOptions(opts))
+}
+
+// KTruss returns the adjacency matrix of the graph's k-truss (§8.3).
+func KTruss(a *Matrix, k int, opts ...Option) (*Matrix, error) {
+	res, err := graph.KTruss(a, k, buildOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	return sparse.Apply(res.Truss, func(v int64) float64 { return float64(v) }), nil
+}
+
+// Betweenness returns per-vertex betweenness-centrality dependencies
+// accumulated over the given source batch (§8.4).
+func Betweenness(a *Matrix, sources []int32, opts ...Option) ([]float64, error) {
+	res, err := graph.Betweenness(a, sources, buildOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	return res.Centrality, nil
+}
+
+// BFSLevels runs direction-optimized breadth-first search (push =
+// complemented masked SpVM, pull = frontier intersection; §4's
+// motivating application) and returns each vertex's depth, -1 when
+// unreached.
+func BFSLevels(a *Matrix, sources []int32) ([]int32, error) {
+	res, err := graph.BFS(a, sources, graph.BFSAuto)
+	if err != nil {
+		return nil, err
+	}
+	return res.Level, nil
+}
+
+// RMAT generates a symmetrized Graph500-parameter R-MAT graph with
+// 2^scale vertices.
+func RMAT(scale, edgeFactor int, seed uint64) *Matrix {
+	return gen.RMATSymmetric(gen.RMATConfig{Scale: scale, EdgeFactor: edgeFactor, Seed: seed})
+}
+
+// ErdosRenyi generates an n×n uniform random matrix with the given
+// expected row degree.
+func ErdosRenyi(n, degree int, seed uint64) *Matrix {
+	return gen.ErdosRenyi(n, degree, seed)
+}
+
+// ReadMatrixMarket loads a Matrix Market file.
+func ReadMatrixMarket(path string) (*Matrix, error) {
+	m, _, err := mtx.ReadFile(path)
+	return m, err
+}
+
+// WriteMatrixMarket stores a matrix as a Matrix Market file.
+func WriteMatrixMarket(path string, m *Matrix) error {
+	return mtx.WriteFile(path, m)
+}

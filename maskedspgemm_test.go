@@ -1,0 +1,100 @@
+package maskedspgemm
+
+import (
+	"path/filepath"
+	"testing"
+
+	"maskedspgemm/internal/graph"
+	"maskedspgemm/internal/sparse"
+)
+
+func TestMultiplyFacade(t *testing.T) {
+	a := ErdosRenyi(128, 8, 1)
+	b := ErdosRenyi(128, 8, 2)
+	mask := ErdosRenyi(128, 4, 3).PatternView()
+	base, err := Multiply(mask, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algorithm{MSA, Hash, MCA, Heap, HeapDot, Inner, SaxpyThenMask, DotTranspose} {
+		got, err := Multiply(mask, a, b, WithAlgorithm(algo), WithThreads(2))
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if !sparse.EqualFunc(base, got, sparse.FloatEq(1e-9)) {
+			t.Fatalf("%v disagrees with default", algo)
+		}
+	}
+	two, err := Multiply(mask, a, b, WithTwoPhase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.EqualFunc(base, two, sparse.FloatEq(1e-9)) {
+		t.Fatal("two-phase disagrees")
+	}
+	comp, err := Multiply(mask, a, b, WithComplement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := MultiplyUnmasked(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// masked + complemented partitions the full product.
+	if base.NNZ()+comp.NNZ() != full.NNZ() {
+		t.Fatalf("partition violated: %d + %d != %d", base.NNZ(), comp.NNZ(), full.NNZ())
+	}
+}
+
+func TestFacadeApplications(t *testing.T) {
+	g := RMAT(9, 8, 5)
+	count, err := TriangleCount(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.RefTriangleCount(g)
+	if count != want {
+		t.Fatalf("TriangleCount = %d, want %d", count, want)
+	}
+	truss, err := KTruss(g, 4, WithAlgorithm(Hash))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTruss := graph.RefKTruss(g, 4)
+	if truss.NNZ() != wantTruss.NNZ() {
+		t.Fatalf("KTruss nnz = %d, want %d", truss.NNZ(), wantTruss.NNZ())
+	}
+	sources := graph.BatchSources(g.Rows, 16)
+	bc, err := Betweenness(g, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := graph.RefBrandesBC(g, sources)
+	for v := range bc {
+		d := bc[v] - ref[v]
+		if d > 1e-6 || d < -1e-6 {
+			t.Fatalf("Betweenness[%d] = %v, want %v", v, bc[v], ref[v])
+		}
+	}
+}
+
+func TestFacadeIO(t *testing.T) {
+	g := ErdosRenyi(32, 4, 9)
+	path := filepath.Join(t.TempDir(), "g.mtx")
+	if err := WriteMatrixMarket(path, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.EqualFunc(g, back, sparse.FloatEq(1e-15)) {
+		t.Fatal("matrix market round trip failed")
+	}
+	if _, err := ReadMatrixMarket(filepath.Join(t.TempDir(), "missing.mtx")); err == nil {
+		t.Error("want error for missing file")
+	}
+}
