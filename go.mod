@@ -1,0 +1,3 @@
+module maskedspgemm
+
+go 1.24

@@ -37,17 +37,8 @@ func NewHash[T any, S semiring.Semiring[T]](sr S, maxMaskRow int, loadFactor flo
 	if loadFactor <= 0 || loadFactor > 1 {
 		loadFactor = DefaultLoadFactor
 	}
-	capHint := nextPow2(maxInt(int(float64(maxMaskRow)/loadFactor), 16))
-	h := &Hash[T, S]{
-		sr:     sr,
-		keys:   make([]int32, capHint),
-		states: make([]uint8, capHint),
-		values: make([]T, capHint),
-		lf:     loadFactor,
-	}
-	for i := range h.keys {
-		h.keys[i] = -1
-	}
+	h := &Hash[T, S]{sr: sr, lf: loadFactor}
+	h.grow(tableCap(maxMaskRow, loadFactor))
 	return h
 }
 
@@ -58,16 +49,51 @@ func maxInt(a, b int) int {
 	return b
 }
 
+// tableCap is the one table-sizing rule: the power-of-two capacity for
+// n keys at load factor lf, always leaving at least one empty slot so
+// linear probing for absent keys terminates even at load factor 1.0
+// (a row of exactly c keys would otherwise fill the table and make
+// slot() spin forever).
+func tableCap(n int, lf float64) int {
+	c := nextPow2(maxInt(int(float64(n)/lf), 16))
+	for c <= n {
+		c <<= 1
+	}
+	return c
+}
+
+// grow reallocates the backing arrays to capacity c when they are
+// smaller, leaving every slot empty.
+func (h *Hash[T, S]) grow(c int) {
+	if c <= len(h.keys) {
+		return
+	}
+	h.keys = make([]int32, c)
+	h.states = make([]uint8, c)
+	h.values = make([]T, c)
+	for i := range h.keys {
+		h.keys[i] = -1
+	}
+}
+
+// Reconfigure adjusts a pooled accumulator for a new product: it adopts
+// the given load factor (≤ 0 means the paper's 0.25) and pre-grows the
+// table for mask rows of up to maxMaskRow entries. Used by executor
+// workspaces that keep one Hash per worker across many multiplications.
+func (h *Hash[T, S]) Reconfigure(maxMaskRow int, loadFactor float64) {
+	if loadFactor <= 0 || loadFactor > 1 {
+		loadFactor = DefaultLoadFactor
+	}
+	h.lf = loadFactor
+	h.grow(tableCap(maxMaskRow, h.lf))
+}
+
 // sizeFor picks the active capacity for a row with n mask entries and
 // clears that region. Growing beyond the constructor hint is supported
 // (it just reallocates), so callers may size optimistically.
 func (h *Hash[T, S]) sizeFor(n int) {
-	c := nextPow2(maxInt(int(float64(n)/h.lf), 16))
-	if c > len(h.keys) {
-		h.keys = make([]int32, c)
-		h.states = make([]uint8, c)
-		h.values = make([]T, c)
-	}
+	c := tableCap(n, h.lf)
+	h.grow(c)
 	h.cap = c
 	for i := 0; i < c; i++ {
 		h.keys[i] = -1
@@ -193,10 +219,20 @@ func NewHashC[T any, S semiring.Semiring[T]](sr S, maxEntries int, loadFactor fl
 	return h
 }
 
+// Reconfigure adopts a new load factor (≤ 0 means the complement
+// default 0.5) on a pooled accumulator. Table growth is per-row
+// (BeginSized), so no pre-sizing is needed here.
+func (h *HashC[T, S]) Reconfigure(loadFactor float64) {
+	if loadFactor <= 0 || loadFactor > 1 {
+		loadFactor = 0.5
+	}
+	h.lf = loadFactor
+}
+
 // BeginSized prepares the table for a row whose mask has the given
 // entries and whose output size is bounded by bound.
 func (h *HashC[T, S]) BeginSized(maskRow []int32, bound int) {
-	need := nextPow2(maxInt(int(float64(bound+len(maskRow))/h.lf), 16))
+	need := tableCap(bound+len(maskRow), h.lf)
 	if need > len(h.keys) {
 		h.keys = make([]int32, need)
 		h.states = make([]uint8, need)

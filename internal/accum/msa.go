@@ -23,6 +23,17 @@ func NewMSA[T any, S semiring.Semiring[T]](sr S, ncols int) *MSA[T, S] {
 	return &MSA[T, S]{sr: sr, states: make([]uint8, ncols), values: make([]T, ncols)}
 }
 
+// EnsureCols grows the dense arrays to cover output rows of width
+// ncols. Fresh slots start NOTALLOWED (the zero state), so growing
+// between rows is always safe. Used by executor workspaces that keep
+// one MSA per worker across products of different widths.
+func (m *MSA[T, S]) EnsureCols(ncols int) {
+	if ncols > len(m.states) {
+		m.states = make([]uint8, ncols)
+		m.values = make([]T, ncols)
+	}
+}
+
 // Begin marks every key in maskRow ALLOWED.
 func (m *MSA[T, S]) Begin(maskRow []int32) {
 	for _, j := range maskRow {
@@ -106,6 +117,16 @@ const (
 	msacNotAllowed uint8 = 1
 	msacSet        uint8 = 2
 )
+
+// EnsureCols grows the dense arrays to cover output rows of width
+// ncols. Fresh slots start at the zero state, which for MSAC means
+// ALLOWED — exactly the clean between-rows state.
+func (m *MSAC[T, S]) EnsureCols(ncols int) {
+	if ncols > len(m.states) {
+		m.states = make([]uint8, ncols)
+		m.values = make([]T, ncols)
+	}
+}
 
 // Begin marks every key in maskRow NOTALLOWED; all other keys are
 // admitted.

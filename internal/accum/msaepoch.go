@@ -21,6 +21,17 @@ func NewMSAEpoch[T any, S semiring.Semiring[T]](sr S, ncols int) *MSAEpoch[T, S]
 	return &MSAEpoch[T, S]{sr: sr, stamps: make([]int64, ncols), values: make([]T, ncols), epoch: 0}
 }
 
+// EnsureCols grows the stamp/value arrays to width ncols. Fresh stamps
+// are 0, which no live epoch ever equals (Begin increments the epoch
+// before use, so ALLOWED stamps are ≥ 2), so growth between rows is
+// safe.
+func (m *MSAEpoch[T, S]) EnsureCols(ncols int) {
+	if ncols > len(m.stamps) {
+		m.stamps = make([]int64, ncols)
+		m.values = make([]T, ncols)
+	}
+}
+
 // Begin starts a new row epoch and marks the mask keys ALLOWED.
 func (m *MSAEpoch[T, S]) Begin(maskRow []int32) {
 	m.epoch++

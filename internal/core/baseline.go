@@ -67,7 +67,7 @@ func SpGEMM[T any, S semiring.Semiring[T]](sr S, a, b *sparse.CSR[T], opt Option
 		symbolic := func(tid, i int) int {
 			return unmaskedRowSymbolic(slots.get(tid), a.Row(i), b)
 		}
-		return twoPhase(a.Rows, b.Cols, opt.Threads, opt.Grain, symbolic, numeric), nil
+		return twoPhase(a.Rows, b.Cols, opt.Threads, opt.Grain, symbolic, numeric, nil), nil
 	}
 	// One-phase slab: per-row flops bound.
 	offsets := make([]int64, a.Rows+1)
@@ -80,7 +80,7 @@ func SpGEMM[T any, S semiring.Semiring[T]](sr S, a, b *sparse.CSR[T], opt Option
 		offsets[i] = total
 		total += c
 	}
-	return onePhase(a.Rows, b.Cols, offsets, opt.Threads, opt.Grain, numeric), nil
+	return onePhase(a.Rows, b.Cols, offsets, opt.Threads, opt.Grain, numeric, nil), nil
 }
 
 func errInnerDim[T any](a, b *sparse.CSR[T]) error {
@@ -93,22 +93,14 @@ func (e *dimError) Error() string {
 	return "core: inner dimensions differ in SpGEMM"
 }
 
-// multiplySaxpyThenMask is the naive baseline: full SpGEMM, then mask.
-func multiplySaxpyThenMask[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options) (*sparse.CSR[T], error) {
-	full, err := SpGEMM(sr, a, b, opt)
+// directSaxpyThenMask is the naive baseline as a registry direct
+// executor: full SpGEMM, then mask. It does not decompose into masked
+// row kernels — the mask only enters after the whole product exists,
+// which is precisely the waste being measured.
+func directSaxpyThenMask[T any, S semiring.Semiring[T]](p *Plan[T, S], a, b *sparse.CSR[T]) (*sparse.CSR[T], error) {
+	full, err := SpGEMM(p.sr, a, b, p.opt)
 	if err != nil {
 		return nil, err
 	}
-	return sparse.ApplyMask(full, mask, opt.Complement)
-}
-
-// multiplyDotBaseline is the SS:DOT-style baseline: transpose B, then
-// run the pull algorithm. The transpose happens on every call by
-// design.
-func multiplyDotBaseline[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options) *sparse.CSR[T] {
-	bt := sparse.ToCSC(b) // deliberate per-call cost, matching SS:DOT
-	if opt.Complement {
-		return multiplyInnerComplement(sr, mask, a, b, opt)
-	}
-	return multiplyInner(sr, mask, a, b, opt, bt)
+	return sparse.ApplyMask(full, p.mask, p.opt.Complement)
 }

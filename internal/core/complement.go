@@ -60,42 +60,34 @@ func pushRowSymbolicC[T any, A pushAccC[T]](acc A, maskRow []int32, aCols []int3
 	return acc.EndSymbolic()
 }
 
-// pushMultiplyComplement drives a complement push algorithm in either
-// phase mode.
-func pushMultiplyComplement[T any, A pushAccC[T]](mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options, newAcc func() A) *sparse.CSR[T] {
-	slots := make([]A, opt.Threads)
-	have := make([]bool, opt.Threads)
-	get := func(tid int) A {
-		if !have[tid] {
-			slots[tid] = newAcc()
-			have[tid] = true
-		}
-		return slots[tid]
+// pushKernelsC builds the row kernels of a complement push scheme over
+// any accumulator obtained per worker from getAcc.
+func pushKernelsC[T any, A pushAccC[T]](mask *sparse.Pattern, a, b *sparse.CSR[T], getAcc func(tid int) A) kernels[T] {
+	return kernels[T]{
+		numeric: func(tid, i int, outIdx []int32, outVal []T) int {
+			return pushRowNumericC(getAcc(tid), mask.Row(i), a.Row(i), a.RowVals(i), b, outIdx, outVal)
+		},
+		symbolic: func(tid, i int) int {
+			return pushRowSymbolicC[T](getAcc(tid), mask.Row(i), a.Row(i), b)
+		},
 	}
-	numeric := func(tid, i int, outIdx []int32, outVal []T) int {
-		return pushRowNumericC(get(tid), mask.Row(i), a.Row(i), a.RowVals(i), b, outIdx, outVal)
-	}
-	if opt.Phases == TwoPhase {
-		symbolic := func(tid, i int) int {
-			return pushRowSymbolicC[T](get(tid), mask.Row(i), a.Row(i), b)
-		}
-		return twoPhase(mask.Rows, mask.Cols, opt.Threads, opt.Grain, symbolic, numeric)
-	}
-	offsets := complementBounds(mask, a, b, opt.Threads, opt.Grain)
-	return onePhase(mask.Rows, mask.Cols, offsets, opt.Threads, opt.Grain, numeric)
 }
 
-// multiplyMSAComplement runs complemented MSA (§5.2).
-func multiplyMSAComplement[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options) *sparse.CSR[T] {
-	return pushMultiplyComplement(mask, a, b, opt, func() *accum.MSAC[T, S] {
-		return accum.NewMSAC[T](sr, b.Cols)
+// bindMSAC registers complemented MSA (§5.2). It also serves as the
+// MSAEpoch complement fallback — the epoch variant has no complement
+// form of its own.
+func bindMSAC[T any, S semiring.Semiring[T]](p *Plan[T, S], a, b *sparse.CSR[T]) kernels[T] {
+	exec, ncols := p.exec, b.Cols
+	return pushKernelsC(p.mask, a, b, func(tid int) *accum.MSAC[T, S] {
+		return exec.worker(tid).MSAC(ncols)
 	})
 }
 
-// multiplyHashComplement runs the complemented hash scheme. Tables grow
-// per row to the row's population bound.
-func multiplyHashComplement[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options) *sparse.CSR[T] {
-	return pushMultiplyComplement(mask, a, b, opt, func() *accum.HashC[T, S] {
-		return accum.NewHashC[T](sr, 16, opt.HashLoadFactor)
+// bindHashC registers the complemented hash scheme. Tables grow per
+// row to the row's population bound.
+func bindHashC[T any, S semiring.Semiring[T]](p *Plan[T, S], a, b *sparse.CSR[T]) kernels[T] {
+	exec, lf := p.exec, p.opt.HashLoadFactor
+	return pushKernelsC(p.mask, a, b, func(tid int) *accum.HashC[T, S] {
+		return exec.worker(tid).HashC(lf)
 	})
 }

@@ -28,34 +28,34 @@ type rowSymbolicFn func(tid, i int) int
 
 // onePhase runs the numeric kernel once per row into a slab laid out by
 // offsets (len rows+1, offsets[i+1]-offsets[i] ≥ row i's worst case),
-// then compacts.
-func onePhase[T any](rows, cols int, offsets []int64, threads, grain int, numeric rowNumericFn[T]) *sparse.CSR[T] {
+// then compacts. es supplies pooled scratch; nil allocates fresh.
+func onePhase[T any](rows, cols int, offsets []int64, threads, grain int, numeric rowNumericFn[T], es *engineScratch[T]) *sparse.CSR[T] {
 	slab := offsets[rows]
-	tmpIdx := make([]int32, slab)
-	tmpVal := make([]T, slab)
-	counts := make([]int64, rows+1)
+	tmpIdx, tmpVal := es.slab(slab)
+	counts := es.rowPtrBuf(rows + 1)
 	parallel.ForEachBlock(rows, threads, grain, func(lo, hi, tid int) {
 		for i := lo; i < hi; i++ {
 			base, end := offsets[i], offsets[i+1]
 			counts[i] = int64(numeric(tid, i, tmpIdx[base:end], tmpVal[base:end]))
 		}
 	})
-	return compact(rows, cols, offsets, counts, tmpIdx, tmpVal, threads, grain)
+	return compact(rows, cols, offsets, counts, tmpIdx, tmpVal, threads, grain, es)
 }
 
 // compact gathers per-row segments (counts[i] entries starting at
 // offsets[i]) into a tight CSR result.
-func compact[T any](rows, cols int, offsets, counts []int64, tmpIdx []int32, tmpVal []T, threads, grain int) *sparse.CSR[T] {
+func compact[T any](rows, cols int, offsets, counts []int64, tmpIdx []int32, tmpVal []T, threads, grain int, es *engineScratch[T]) *sparse.CSR[T] {
 	rowPtr := counts // reuse: becomes the exclusive prefix sum
 	parallel.PrefixSumParallel(rowPtr[:rows+1], threads)
+	colIdx, val := es.outBufs(rowPtr[rows])
 	out := &sparse.CSR[T]{
 		Pattern: sparse.Pattern{
 			Rows:   rows,
 			Cols:   cols,
 			RowPtr: rowPtr,
-			ColIdx: make([]int32, rowPtr[rows]),
+			ColIdx: colIdx,
 		},
-		Val: make([]T, rowPtr[rows]),
+		Val: val,
 	}
 	parallel.ForEachBlock(rows, threads, grain, func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
@@ -70,22 +70,25 @@ func compact[T any](rows, cols int, offsets, counts []int64, tmpIdx []int32, tmp
 
 // twoPhase runs the symbolic kernel to size every row, prefix-sums, and
 // lets the numeric kernel write directly into the exact-size result.
-func twoPhase[T any](rows, cols int, threads, grain int, symbolic rowSymbolicFn, numeric rowNumericFn[T]) *sparse.CSR[T] {
-	rowPtr := make([]int64, rows+1)
+// es supplies pooled output buffers; nil allocates fresh.
+func twoPhase[T any](rows, cols int, threads, grain int, symbolic rowSymbolicFn, numeric rowNumericFn[T], es *engineScratch[T]) *sparse.CSR[T] {
+	rowPtr := es.rowPtrBuf(rows + 1)
 	parallel.ForEachBlock(rows, threads, grain, func(lo, hi, tid int) {
 		for i := lo; i < hi; i++ {
 			rowPtr[i] = int64(symbolic(tid, i))
 		}
 	})
+	rowPtr[rows] = 0
 	parallel.PrefixSumParallel(rowPtr, threads)
+	colIdx, val := es.outBufs(rowPtr[rows])
 	out := &sparse.CSR[T]{
 		Pattern: sparse.Pattern{
 			Rows:   rows,
 			Cols:   cols,
 			RowPtr: rowPtr,
-			ColIdx: make([]int32, rowPtr[rows]),
+			ColIdx: colIdx,
 		},
-		Val: make([]T, rowPtr[rows]),
+		Val: val,
 	}
 	parallel.ForEachBlock(rows, threads, grain, func(lo, hi, tid int) {
 		for i := lo; i < hi; i++ {

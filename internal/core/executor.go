@@ -1,0 +1,180 @@
+package core
+
+import (
+	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/semiring"
+)
+
+// Executor owns the reusable execution state of masked products: one
+// workspace of lazily-constructed accumulators per worker, the
+// one-phase tmp slabs, and (opt-in) pooled output buffers. Everything
+// is grow-only, so after a warm-up execution on the largest structure,
+// repeated executions allocate approximately nothing.
+//
+// One Executor may back many Plans — the iterative applications
+// (k-truss pruning, betweenness levels) build a fresh Plan per
+// iteration because the operand structure changes, while the
+// accumulators and slabs carry over. An Executor is NOT safe for
+// concurrent use: executions sharing one must be sequential.
+type Executor[T any, S semiring.Semiring[T]] struct {
+	sr      S
+	workers []*workspace[T, S]
+	scratch engineScratch[T]
+}
+
+// NewExecutor returns an empty executor over the given semiring.
+func NewExecutor[T any, S semiring.Semiring[T]](sr S) *Executor[T, S] {
+	return &Executor[T, S]{sr: sr}
+}
+
+// ensureWorkers grows the per-worker workspace slice to threads slots.
+func (e *Executor[T, S]) ensureWorkers(threads int) {
+	for len(e.workers) < threads {
+		e.workers = append(e.workers, &workspace[T, S]{sr: e.sr})
+	}
+}
+
+// worker returns worker tid's workspace. Safe without synchronization
+// because each tid is owned by one goroutine and the slice is sized
+// before the parallel region starts.
+func (e *Executor[T, S]) worker(tid int) *workspace[T, S] {
+	return e.workers[tid]
+}
+
+// workspace is one worker's pooled accumulator set. Each accumulator
+// family is constructed on first use by a scheme that needs it and
+// grown in place when a later product is wider.
+type workspace[T any, S semiring.Semiring[T]] struct {
+	sr       S
+	msa      *accum.MSA[T, S]
+	msaEpoch *accum.MSAEpoch[T, S]
+	hash     *accum.Hash[T, S]
+	mca      *accum.MCA[T, S]
+	heap     *accum.IterHeap
+	msac     *accum.MSAC[T, S]
+	hashC    *accum.HashC[T, S]
+}
+
+// MSA returns the worker's MSA sized for rows of width ncols.
+func (w *workspace[T, S]) MSA(ncols int) *accum.MSA[T, S] {
+	if w.msa == nil {
+		w.msa = accum.NewMSA[T](w.sr, ncols)
+	} else {
+		w.msa.EnsureCols(ncols)
+	}
+	return w.msa
+}
+
+// MSAEpoch returns the worker's epoch-stamped MSA.
+func (w *workspace[T, S]) MSAEpoch(ncols int) *accum.MSAEpoch[T, S] {
+	if w.msaEpoch == nil {
+		w.msaEpoch = accum.NewMSAEpoch[T](w.sr, ncols)
+	} else {
+		w.msaEpoch.EnsureCols(ncols)
+	}
+	return w.msaEpoch
+}
+
+// Hash returns the worker's hash accumulator configured for the given
+// densest-mask-row hint and load factor.
+func (w *workspace[T, S]) Hash(maxMaskRow int, loadFactor float64) *accum.Hash[T, S] {
+	if w.hash == nil {
+		w.hash = accum.NewHash[T](w.sr, maxMaskRow, loadFactor)
+	} else {
+		w.hash.Reconfigure(maxMaskRow, loadFactor)
+	}
+	return w.hash
+}
+
+// MCA returns the worker's mask-compressed accumulator.
+func (w *workspace[T, S]) MCA(maxMaskRow int) *accum.MCA[T, S] {
+	if w.mca == nil {
+		w.mca = accum.NewMCA[T](w.sr, maxMaskRow)
+	} else {
+		w.mca.Grow(maxMaskRow)
+	}
+	return w.mca
+}
+
+// Heap returns the worker's iterator heap sized for maxARow iterators.
+func (w *workspace[T, S]) Heap(maxARow int) *accum.IterHeap {
+	if w.heap == nil {
+		w.heap = accum.NewIterHeap(maxARow)
+	} else {
+		w.heap.Grow(maxARow)
+	}
+	return w.heap
+}
+
+// MSAC returns the worker's complemented MSA.
+func (w *workspace[T, S]) MSAC(ncols int) *accum.MSAC[T, S] {
+	if w.msac == nil {
+		w.msac = accum.NewMSAC[T](w.sr, ncols)
+	} else {
+		w.msac.EnsureCols(ncols)
+	}
+	return w.msac
+}
+
+// HashC returns the worker's complemented hash accumulator.
+func (w *workspace[T, S]) HashC(loadFactor float64) *accum.HashC[T, S] {
+	if w.hashC == nil {
+		w.hashC = accum.NewHashC[T](w.sr, 16, loadFactor)
+	} else {
+		w.hashC.Reconfigure(loadFactor)
+	}
+	return w.hashC
+}
+
+// engineScratch pools the engine drivers' transient arrays: the
+// one-phase slab (tmpIdx/tmpVal) that never escapes, and — only when
+// reuseOut is set — the output triple (RowPtr/ColIdx/Val) that the
+// returned matrix is built from. All buffers are grow-only. Methods
+// tolerate a nil receiver, which means "allocate fresh every time"
+// (the behaviour of the pre-plan engine).
+type engineScratch[T any] struct {
+	tmpIdx   []int32
+	tmpVal   []T
+	rowPtr   []int64
+	colIdx   []int32
+	val      []T
+	reuseOut bool
+}
+
+// slab returns an n-entry tmp slab (pooled when pooling is available).
+func (es *engineScratch[T]) slab(n int64) ([]int32, []T) {
+	if es == nil {
+		return make([]int32, n), make([]T, n)
+	}
+	if int64(cap(es.tmpIdx)) < n {
+		es.tmpIdx = make([]int32, n)
+		es.tmpVal = make([]T, n)
+	}
+	return es.tmpIdx[:n], es.tmpVal[:n]
+}
+
+// rowPtrBuf returns the n-entry array that will become the output
+// RowPtr. It is pooled only under reuseOut — otherwise it escapes into
+// the result and must be fresh.
+func (es *engineScratch[T]) rowPtrBuf(n int) []int64 {
+	if es == nil || !es.reuseOut {
+		return make([]int64, n)
+	}
+	if cap(es.rowPtr) < n {
+		es.rowPtr = make([]int64, n)
+	}
+	return es.rowPtr[:n]
+}
+
+// outBufs returns the nnz-entry ColIdx/Val arrays of the output,
+// pooled only under reuseOut.
+func (es *engineScratch[T]) outBufs(nnz int64) ([]int32, []T) {
+	if es == nil || !es.reuseOut {
+		return make([]int32, nnz), make([]T, nnz)
+	}
+	if int64(cap(es.colIdx)) < nnz {
+		es.colIdx = make([]int32, nnz)
+		es.val = make([]T, nnz)
+	}
+	return es.colIdx[:nnz], es.val[:nnz]
+}

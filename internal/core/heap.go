@@ -190,50 +190,32 @@ func heapRowSymbolicComplement(pq *accum.IterHeap, maskRow []int32, aCols []int3
 	return n
 }
 
-// multiplyHeap runs the heap scheme; nInspect distinguishes Heap (1)
-// from HeapDot (∞), with Options.HeapNInspect able to override for the
-// ablation study.
-func multiplyHeap[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options, nInspect int) *sparse.CSR[T] {
-	switch {
-	case opt.HeapNInspect == HeapInspectDefault:
-		// keep the per-algorithm nInspect
-	case opt.HeapNInspect == HeapInspectNone:
-		nInspect = 0
-	case opt.HeapNInspect > 0:
-		nInspect = opt.HeapNInspect
+// bindHeap registers the heap scheme; the plan's resolved nInspect
+// distinguishes Heap (1) from HeapDot (∞), with Options.HeapNInspect
+// folded in for the ablation study.
+func bindHeap[T any, S semiring.Semiring[T]](p *Plan[T, S], a, b *sparse.CSR[T]) kernels[T] {
+	sr, exec, mask := p.sr, p.exec, p.mask
+	nInspect, maxARow := p.heapNInspect, p.maxARow
+	return kernels[T]{
+		numeric: func(tid, i int, outIdx []int32, outVal []T) int {
+			return heapRowNumeric(sr, exec.worker(tid).Heap(maxARow), nInspect, mask.Row(i), a.Row(i), a.RowVals(i), b, outIdx, outVal)
+		},
+		symbolic: func(tid, i int) int {
+			return heapRowSymbolic(exec.worker(tid).Heap(maxARow), nInspect, mask.Row(i), a.Row(i), b.ColIdx, b.RowPtr)
+		},
 	}
-	maxARow := a.MaxRowNNZ()
-	slots := newLazySlots(opt.Threads, func() *accum.IterHeap {
-		return accum.NewIterHeap(maxARow)
-	})
-	numeric := func(tid, i int, outIdx []int32, outVal []T) int {
-		return heapRowNumeric(sr, slots.get(tid), nInspect, mask.Row(i), a.Row(i), a.RowVals(i), b, outIdx, outVal)
-	}
-	if opt.Phases == TwoPhase {
-		symbolic := func(tid, i int) int {
-			return heapRowSymbolic(slots.get(tid), nInspect, mask.Row(i), a.Row(i), b.ColIdx, b.RowPtr)
-		}
-		return twoPhase(mask.Rows, mask.Cols, opt.Threads, opt.Grain, symbolic, numeric)
-	}
-	return onePhase(mask.Rows, mask.Cols, mask.RowPtr, opt.Threads, opt.Grain, numeric)
 }
 
-// multiplyHeapComplement runs the complemented heap scheme (NInspect
+// bindHeapComplement registers the complemented heap scheme (NInspect
 // fixed at 0, §5.5).
-func multiplyHeapComplement[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options) *sparse.CSR[T] {
-	maxARow := a.MaxRowNNZ()
-	slots := newLazySlots(opt.Threads, func() *accum.IterHeap {
-		return accum.NewIterHeap(maxARow)
-	})
-	numeric := func(tid, i int, outIdx []int32, outVal []T) int {
-		return heapRowNumericComplement(sr, slots.get(tid), mask.Row(i), a.Row(i), a.RowVals(i), b, outIdx, outVal)
+func bindHeapComplement[T any, S semiring.Semiring[T]](p *Plan[T, S], a, b *sparse.CSR[T]) kernels[T] {
+	sr, exec, mask, maxARow := p.sr, p.exec, p.mask, p.maxARow
+	return kernels[T]{
+		numeric: func(tid, i int, outIdx []int32, outVal []T) int {
+			return heapRowNumericComplement(sr, exec.worker(tid).Heap(maxARow), mask.Row(i), a.Row(i), a.RowVals(i), b, outIdx, outVal)
+		},
+		symbolic: func(tid, i int) int {
+			return heapRowSymbolicComplement(exec.worker(tid).Heap(maxARow), mask.Row(i), a.Row(i), b.ColIdx, b.RowPtr)
+		},
 	}
-	if opt.Phases == TwoPhase {
-		symbolic := func(tid, i int) int {
-			return heapRowSymbolicComplement(slots.get(tid), mask.Row(i), a.Row(i), b.ColIdx, b.RowPtr)
-		}
-		return twoPhase(mask.Rows, mask.Cols, opt.Threads, opt.Grain, symbolic, numeric)
-	}
-	offsets := complementBounds(mask, a, b, opt.Threads, opt.Grain)
-	return onePhase(mask.Rows, mask.Cols, offsets, opt.Threads, opt.Grain, numeric)
 }

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"maskedspgemm/internal/accum"
 	"maskedspgemm/internal/semiring"
 	"maskedspgemm/internal/sparse"
 )
@@ -44,39 +43,30 @@ func (h *hybridChooser) pullWins(maskRow, aCols []int32) bool {
 	return pullCost < pushCost
 }
 
-// multiplyHybrid runs the per-row hybrid scheme. It pays one CSC
-// conversion of B up front (shared by all pull rows) and keeps one MSA
-// per worker for the push rows.
-func multiplyHybrid[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options) *sparse.CSR[T] {
-	bt := sparse.ToCSC(b)
-	chooser := &hybridChooser{bRowPtr: b.RowPtr}
-	if b.Cols > 0 {
-		chooser.avgBCol = float64(b.NNZ()) / float64(b.Cols)
-	}
-	slots := newLazySlots(opt.Threads, func() *accum.MSA[T, S] {
-		msa := accum.NewMSA[T](sr, b.Cols)
-		return msa
-	})
-	numeric := func(tid, i int, outIdx []int32, outVal []T) int {
-		maskRow := mask.Row(i)
-		aCols := a.Row(i)
-		if chooser.pullWins(maskRow, aCols) {
-			return innerRowNumeric(sr, maskRow, aCols, a.RowVals(i), bt, outIdx, outVal)
-		}
-		return pushRowNumeric[T](slots.get(tid), maskRow, aCols, a.RowVals(i), b, outIdx, outVal)
-	}
-	if opt.Phases == TwoPhase {
-		symbolic := func(tid, i int) int {
+// bindHybrid registers the per-row hybrid scheme. The cost-model
+// decisions and B's CSC view are precomputed by the plan (exactly the
+// per-(mask, A, B) analysis a plan exists to amortize); each worker
+// keeps one MSA in its pooled workspace for the push rows.
+func bindHybrid[T any, S semiring.Semiring[T]](p *Plan[T, S], a, b *sparse.CSR[T]) kernels[T] {
+	sr, exec, mask, pull, ncols := p.sr, p.exec, p.mask, p.pull, b.Cols
+	return kernels[T]{
+		numeric: func(tid, i int, outIdx []int32, outVal []T) int {
 			maskRow := mask.Row(i)
 			aCols := a.Row(i)
-			if chooser.pullWins(maskRow, aCols) {
-				return innerRowSymbolic(maskRow, aCols, bt.ColPtr, bt.RowIdx)
+			if pull[i] {
+				return innerRowNumeric(sr, maskRow, aCols, a.RowVals(i), p.bt, outIdx, outVal)
 			}
-			return pushRowSymbolic[T](slots.get(tid), maskRow, aCols, b)
-		}
-		return twoPhase(mask.Rows, mask.Cols, opt.Threads, opt.Grain, symbolic, numeric)
+			return pushRowNumeric[T](exec.worker(tid).MSA(ncols), maskRow, aCols, a.RowVals(i), b, outIdx, outVal)
+		},
+		symbolic: func(tid, i int) int {
+			maskRow := mask.Row(i)
+			aCols := a.Row(i)
+			if pull[i] {
+				return innerRowSymbolic(maskRow, aCols, p.bt.ColPtr, p.bt.RowIdx)
+			}
+			return pushRowSymbolic[T](exec.worker(tid).MSA(ncols), maskRow, aCols, b)
+		},
 	}
-	return onePhase(mask.Rows, mask.Cols, mask.RowPtr, opt.Threads, opt.Grain, numeric)
 }
 
 // HybridRowStats reports how the hybrid cost model would split a

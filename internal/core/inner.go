@@ -153,30 +153,26 @@ func innerRowSymbolic(maskRow []int32, aCols []int32, btColPtr []int64, btRowIdx
 	return n
 }
 
-// multiplyInner runs the pull scheme. When prepared is non-nil it is
-// used as the CSC view of B; otherwise B is converted per call (the
-// cost the paper's SS:DOT baseline pays on every invocation — see
-// multiplyDotBaseline).
-func multiplyInner[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options, prepared *sparse.CSC[T]) *sparse.CSR[T] {
-	bt := prepared
-	if bt == nil {
-		bt = sparse.ToCSC(b)
-	}
+// bindInner registers the pull scheme. The CSC view of B comes from
+// the plan: cached across executions for AlgoInner, rebuilt per call
+// for the SS:DOT baseline (TransposePerExecute) — which is why the
+// kernels read p.bt at row time instead of capturing it.
+func bindInner[T any, S semiring.Semiring[T]](p *Plan[T, S], a, b *sparse.CSR[T]) kernels[T] {
+	sr, mask := p.sr, p.mask
 	numeric := func(_, i int, outIdx []int32, outVal []T) int {
-		return innerRowNumeric(sr, mask.Row(i), a.Row(i), a.RowVals(i), bt, outIdx, outVal)
+		return innerRowNumeric(sr, mask.Row(i), a.Row(i), a.RowVals(i), p.bt, outIdx, outVal)
 	}
-	if opt.InnerGallop {
+	if p.opt.InnerGallop {
 		numeric = func(_, i int, outIdx []int32, outVal []T) int {
-			return innerRowNumericGallop(sr, mask.Row(i), a.Row(i), a.RowVals(i), bt, outIdx, outVal)
+			return innerRowNumericGallop(sr, mask.Row(i), a.Row(i), a.RowVals(i), p.bt, outIdx, outVal)
 		}
 	}
-	if opt.Phases == TwoPhase {
-		symbolic := func(_, i int) int {
-			return innerRowSymbolic(mask.Row(i), a.Row(i), bt.ColPtr, bt.RowIdx)
-		}
-		return twoPhase(mask.Rows, mask.Cols, opt.Threads, opt.Grain, symbolic, numeric)
+	return kernels[T]{
+		numeric: numeric,
+		symbolic: func(_, i int) int {
+			return innerRowSymbolic(mask.Row(i), a.Row(i), p.bt.ColPtr, p.bt.RowIdx)
+		},
 	}
-	return onePhase(mask.Rows, mask.Cols, mask.RowPtr, opt.Threads, opt.Grain, numeric)
 }
 
 // innerRowNumericComplement computes one complemented row: a dot
@@ -222,19 +218,16 @@ func innerRowSymbolicComplement(cols int, maskRow []int32, aCols []int32, btColP
 	return n
 }
 
-// multiplyInnerComplement runs the pull scheme with a complemented
-// mask.
-func multiplyInnerComplement[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options) *sparse.CSR[T] {
-	bt := sparse.ToCSC(b)
-	numeric := func(_, i int, outIdx []int32, outVal []T) int {
-		return innerRowNumericComplement(sr, mask.Cols, mask.Row(i), a.Row(i), a.RowVals(i), bt, outIdx, outVal)
+// bindInnerComplement registers the pull scheme for complemented
+// masks.
+func bindInnerComplement[T any, S semiring.Semiring[T]](p *Plan[T, S], a, b *sparse.CSR[T]) kernels[T] {
+	sr, mask := p.sr, p.mask
+	return kernels[T]{
+		numeric: func(_, i int, outIdx []int32, outVal []T) int {
+			return innerRowNumericComplement(sr, mask.Cols, mask.Row(i), a.Row(i), a.RowVals(i), p.bt, outIdx, outVal)
+		},
+		symbolic: func(_, i int) int {
+			return innerRowSymbolicComplement(mask.Cols, mask.Row(i), a.Row(i), p.bt.ColPtr, p.bt.RowIdx)
+		},
 	}
-	if opt.Phases == TwoPhase {
-		symbolic := func(_, i int) int {
-			return innerRowSymbolicComplement(mask.Cols, mask.Row(i), a.Row(i), bt.ColPtr, bt.RowIdx)
-		}
-		return twoPhase(mask.Rows, mask.Cols, opt.Threads, opt.Grain, symbolic, numeric)
-	}
-	offsets := complementBounds(mask, a, b, opt.Threads, opt.Grain)
-	return onePhase(mask.Rows, mask.Cols, offsets, opt.Threads, opt.Grain, numeric)
 }

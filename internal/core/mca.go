@@ -57,23 +57,18 @@ func mcaRowSymbolic[T any, S semiring.Semiring[T]](acc *accum.MCA[T, S], maskRow
 	return acc.EndSymbolic(maskRow)
 }
 
-// multiplyMCA runs the MCA scheme (§5.4). MCA requires sorted mask and
-// B rows (guaranteed by the CSR invariant) and does not support
+// bindMCA registers the MCA scheme (§5.4). MCA requires sorted mask
+// and B rows (guaranteed by the CSR invariant) and does not support
 // complemented masks — with a complemented mask there is no compressed
-// index space to map columns into.
-func multiplyMCA[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options) *sparse.CSR[T] {
-	maxRow := mask.MaxRowNNZ()
-	slots := newLazySlots(opt.Threads, func() *accum.MCA[T, S] {
-		return accum.NewMCA[T](sr, maxRow)
-	})
-	numeric := func(tid, i int, outIdx []int32, outVal []T) int {
-		return mcaRowNumeric(slots.get(tid), mask.Row(i), a.Row(i), a.RowVals(i), b, outIdx, outVal)
+// index space to map columns into (see its registry entry).
+func bindMCA[T any, S semiring.Semiring[T]](p *Plan[T, S], a, b *sparse.CSR[T]) kernels[T] {
+	exec, mask, maxRow := p.exec, p.mask, p.maxMaskRow
+	return kernels[T]{
+		numeric: func(tid, i int, outIdx []int32, outVal []T) int {
+			return mcaRowNumeric(exec.worker(tid).MCA(maxRow), mask.Row(i), a.Row(i), a.RowVals(i), b, outIdx, outVal)
+		},
+		symbolic: func(tid, i int) int {
+			return mcaRowSymbolic(exec.worker(tid).MCA(maxRow), mask.Row(i), a.Row(i), b)
+		},
 	}
-	if opt.Phases == TwoPhase {
-		symbolic := func(tid, i int) int {
-			return mcaRowSymbolic(slots.get(tid), mask.Row(i), a.Row(i), b)
-		}
-		return twoPhase(mask.Rows, mask.Cols, opt.Threads, opt.Grain, symbolic, numeric)
-	}
-	return onePhase(mask.Rows, mask.Cols, mask.RowPtr, opt.Threads, opt.Grain, numeric)
 }

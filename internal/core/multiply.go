@@ -1,74 +1,28 @@
 package core
 
 import (
-	"fmt"
-
 	"maskedspgemm/internal/semiring"
 	"maskedspgemm/internal/sparse"
 )
 
 // MaskedSpGEMM computes C = M ⊙ (A·B) — or C = ¬M ⊙ (A·B) when
-// opt.Complement is set — over the given semiring, dispatching to the
-// algorithm and phase strategy selected in opt. The mask's values are
-// never read; only its pattern matters (§2). Output rows are always
-// sorted by column index.
+// opt.Complement is set — over the given semiring, dispatching through
+// the scheme registry to the algorithm and phase strategy selected in
+// opt. The mask's values are never read; only its pattern matters
+// (§2). Output rows are always sorted by column index.
+//
+// This is the one-shot form: it builds a Plan, executes it once, and
+// discards it. Iterative callers (k-truss, betweenness, served
+// traffic) should hold a Plan — and share an Executor — so the
+// per-structure analysis and the accumulator workspaces are paid once.
 func MaskedSpGEMM[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options) (*sparse.CSR[T], error) {
-	if err := validate(mask, a, b); err != nil {
+	// The one-shot result must outlive the call, so pooled output is
+	// never meaningful here — clear it in case a plan-oriented Options
+	// value is reused for a one-shot call.
+	opt.ReuseOutput = false
+	p, err := NewPlan(sr, mask, a, b, opt, nil)
+	if err != nil {
 		return nil, err
 	}
-	opt.normalize()
-	if opt.Complement {
-		switch opt.Algorithm {
-		case AlgoMSA, AlgoMSAEpoch:
-			// The epoch variant has no complement form; fall back to MSAC.
-			return multiplyMSAComplement(sr, mask, a, b, opt), nil
-		case AlgoHash:
-			return multiplyHashComplement(sr, mask, a, b, opt), nil
-		case AlgoHeap, AlgoHeapDot:
-			// NInspect is always 0 for complemented masks (§5.5).
-			return multiplyHeapComplement(sr, mask, a, b, opt), nil
-		case AlgoInner:
-			return multiplyInnerComplement(sr, mask, a, b, opt), nil
-		case AlgoSaxpyThenMask:
-			return multiplySaxpyThenMask(sr, mask, a, b, opt)
-		case AlgoDotTranspose:
-			return multiplyDotBaseline(sr, mask, a, b, opt), nil
-		case AlgoMCA:
-			return nil, fmt.Errorf("core: MCA does not support complemented masks (§5.4)")
-		case AlgoHybrid:
-			return nil, fmt.Errorf("core: Hybrid does not support complemented masks (use MSA or Hash)")
-		default:
-			return nil, fmt.Errorf("core: unknown algorithm %v", opt.Algorithm)
-		}
-	}
-	switch opt.Algorithm {
-	case AlgoMSA:
-		return multiplyMSA(sr, mask, a, b, opt), nil
-	case AlgoMSAEpoch:
-		return multiplyMSAEpoch(sr, mask, a, b, opt), nil
-	case AlgoHash:
-		return multiplyHash(sr, mask, a, b, opt), nil
-	case AlgoMCA:
-		return multiplyMCA(sr, mask, a, b, opt), nil
-	case AlgoHeap:
-		return multiplyHeap(sr, mask, a, b, opt, 1), nil
-	case AlgoHeapDot:
-		return multiplyHeap(sr, mask, a, b, opt, heapInspectInf), nil
-	case AlgoInner:
-		return multiplyInner(sr, mask, a, b, opt, nil), nil
-	case AlgoSaxpyThenMask:
-		return multiplySaxpyThenMask(sr, mask, a, b, opt)
-	case AlgoDotTranspose:
-		return multiplyDotBaseline(sr, mask, a, b, opt), nil
-	case AlgoHybrid:
-		return multiplyHybrid(sr, mask, a, b, opt), nil
-	default:
-		return nil, fmt.Errorf("core: unknown algorithm %v", opt.Algorithm)
-	}
+	return p.Execute(a, b)
 }
-
-// SupportsComplement reports whether the algorithm implements
-// complemented masks. MCA does not (§5.4: the compressed index space
-// is defined by the mask's nonzeros); Hybrid does not because a
-// complemented mask always favors the push side of its cost model.
-func SupportsComplement(a Algorithm) bool { return a != AlgoMCA && a != AlgoHybrid }

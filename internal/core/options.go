@@ -57,44 +57,10 @@ const (
 	AlgoHybrid
 )
 
-// String returns the scheme name as used in the paper's plots.
-func (a Algorithm) String() string {
-	switch a {
-	case AlgoMSA:
-		return "MSA"
-	case AlgoMSAEpoch:
-		return "MSA-Epoch"
-	case AlgoHash:
-		return "Hash"
-	case AlgoMCA:
-		return "MCA"
-	case AlgoHeap:
-		return "Heap"
-	case AlgoHeapDot:
-		return "HeapDot"
-	case AlgoInner:
-		return "Inner"
-	case AlgoSaxpyThenMask:
-		return "SS:SAXPY*"
-	case AlgoDotTranspose:
-		return "SS:DOT*"
-	case AlgoHybrid:
-		return "Hybrid"
-	default:
-		return fmt.Sprintf("Algorithm(%d)", uint8(a))
-	}
-}
-
-// Algorithms lists every implemented scheme in evaluation order.
-func Algorithms() []Algorithm {
-	return []Algorithm{AlgoMSA, AlgoMSAEpoch, AlgoHash, AlgoMCA, AlgoHeap, AlgoHeapDot, AlgoInner, AlgoSaxpyThenMask, AlgoDotTranspose, AlgoHybrid}
-}
-
-// PaperAlgorithms lists the six schemes the paper proposes/evaluates as
-// "ours" (§8: Inner, MSA, Hash, MCA, Heap, HeapDot).
-func PaperAlgorithms() []Algorithm {
-	return []Algorithm{AlgoMSA, AlgoHash, AlgoMCA, AlgoHeap, AlgoHeapDot, AlgoInner}
-}
+// The Algorithm name, the evaluation-order enumerations, and the
+// capability queries (String, Algorithms, PaperAlgorithms,
+// SupportsComplement) all derive from the scheme registry in
+// scheme.go.
 
 // HeapNInspect sentinel values (§5.5's NInspect parameter).
 const (
@@ -160,6 +126,14 @@ type Options struct {
 	// when A rows and B columns have very different lengths. Ablation:
 	// BenchmarkInnerGallop.
 	InnerGallop bool
+	// ReuseOutput lets Plan.Execute back the result matrix with
+	// executor-owned pooled buffers, making steady-state executions
+	// allocation-free. The result is then valid only until the next
+	// execution on the same executor; Clone it to retain. The one-shot
+	// MaskedSpGEMM path clears this flag, since its result must outlive
+	// the call — callers that take ownership of a plan's result should
+	// likewise leave it off.
+	ReuseOutput bool
 }
 
 // SchemeName formats "Algo-1P"/"Algo-2P" as in the paper's figures.

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"maskedspgemm/internal/parallel"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+)
+
+// Plan captures everything about a masked product C = M ⊙ (A·B) that
+// depends only on the operands' *structure*: shape validation, the
+// scheme's capability check, one-phase slab offsets (the mask's own
+// layout for plain masks, the §5.2 bounds for complemented ones), B's
+// CSC transpose for the pull-based schemes, the Hybrid per-row
+// pull/push decisions, accumulator sizing hints, and the flops
+// profile. Executing the plan then does only the numeric work.
+//
+// The applications the paper benchmarks are iterative — k-truss
+// repeats C = M ⊙ (A·A) to a fixed point, betweenness runs one masked
+// product per BFS level — and SuiteSparse-lineage libraries amortize
+// exactly this symbolic analysis across repeated products. Plan is
+// that amortization: analyze once with NewPlan, execute many times
+// with Execute.
+//
+// A Plan (and the Executor behind it) is not safe for concurrent use.
+type Plan[T any, S semiring.Semiring[T]] struct {
+	sr   S
+	opt  Options
+	info SchemeInfo
+	mask *sparse.Pattern
+
+	// Planned operand structure, checked against Execute arguments.
+	aRows, aCols int
+	bRows, bCols int
+	aNNZ, bNNZ   int64
+
+	// offsets is the one-phase slab layout (nil under TwoPhase or for
+	// direct schemes).
+	offsets []int64
+	// bt is B's cached CSC view for pull-based schemes; btPerm refreshes
+	// its values in O(nnz) on every Execute, since callers may mutate B's
+	// values in place between executions.
+	bt     *sparse.CSC[T]
+	btPerm []int64
+	// pull is Hybrid's per-row §4.3 cost-model decision.
+	pull []bool
+	// heapNInspect is the resolved NInspect for the heap schemes.
+	heapNInspect int
+	// maxMaskRow / maxARow size the hash/MCA and heap accumulators.
+	maxMaskRow, maxARow int
+	// flops is the unmasked multiply–add count of A·B, the normalizer of
+	// the paper's GFLOPS rates; computed on first use.
+	flops     int64
+	flopsDone bool
+
+	exec *Executor[T, S]
+	reg  schemeKernels[T, S]
+
+	// Bound kernels are cached per (A, B) identity so steady-state
+	// Execute calls allocate no closures.
+	lastA, lastB *sparse.CSR[T]
+	bound        kernels[T]
+	haveBound    bool
+}
+
+// NewPlan validates and analyzes one masked product and returns a
+// reusable execution plan. exec supplies the pooled workspaces; nil
+// creates a private one. opt is normalized and frozen into the plan.
+func NewPlan[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options, exec *Executor[T, S]) (*Plan[T, S], error) {
+	if err := validate(mask, a, b); err != nil {
+		return nil, err
+	}
+	opt.normalize()
+	info, ok := LookupScheme(opt.Algorithm)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown algorithm %v", opt.Algorithm)
+	}
+	if opt.Complement && !info.Complement {
+		return nil, errors.New(info.ComplementNote)
+	}
+	if exec == nil {
+		exec = NewExecutor[T](sr)
+	}
+	exec.ensureWorkers(opt.Threads)
+	p := &Plan[T, S]{
+		sr: sr, opt: opt, info: info, mask: mask,
+		aRows: a.Rows, aCols: a.Cols, bRows: b.Rows, bCols: b.Cols,
+		aNNZ: a.NNZ(), bNNZ: b.NNZ(),
+		exec: exec, reg: kernelsForAlgo[T, S](opt.Algorithm),
+	}
+	if p.reg.direct == nil {
+		if opt.Phases == OnePhase {
+			if opt.Complement {
+				p.offsets = complementBounds(mask, a, b, opt.Threads, opt.Grain)
+			} else {
+				p.offsets = mask.RowPtr
+			}
+		}
+		if p.needsCSC() && !info.TransposePerExecute {
+			p.bt, p.btPerm = sparse.ToCSCPerm(b)
+		}
+		switch opt.Algorithm {
+		case AlgoHash, AlgoMCA:
+			p.maxMaskRow = mask.MaxRowNNZ()
+		case AlgoHeap, AlgoHeapDot:
+			p.maxARow = a.MaxRowNNZ()
+			p.heapNInspect = resolveHeapNInspect(opt)
+		case AlgoHybrid:
+			p.planHybrid(a, b)
+		}
+	}
+	return p, nil
+}
+
+// needsCSC reports whether this plan's execution pulls from B by
+// column.
+func (p *Plan[T, S]) needsCSC() bool {
+	if p.opt.Complement {
+		return p.info.ComplementNeedsCSC
+	}
+	return p.info.NeedsCSC
+}
+
+// resolveHeapNInspect folds the HeapNInspect override into the
+// per-algorithm default (1 for Heap, ∞ for HeapDot; §5.5).
+func resolveHeapNInspect(opt Options) int {
+	nInspect := 1
+	if opt.Algorithm == AlgoHeapDot {
+		nInspect = heapInspectInf
+	}
+	switch {
+	case opt.HeapNInspect == HeapInspectNone:
+		nInspect = 0
+	case opt.HeapNInspect > 0:
+		nInspect = opt.HeapNInspect
+	}
+	return nInspect
+}
+
+// planHybrid precomputes the §4.3 pull-vs-push decision for every
+// output row. The decisions depend only on structure, so they are part
+// of the plan, not of execution.
+func (p *Plan[T, S]) planHybrid(a, b *sparse.CSR[T]) {
+	chooser := &hybridChooser{bRowPtr: b.RowPtr}
+	if b.Cols > 0 {
+		chooser.avgBCol = float64(b.NNZ()) / float64(b.Cols)
+	}
+	p.pull = make([]bool, p.mask.Rows)
+	parallel.ForEachBlock(p.mask.Rows, p.opt.Threads, p.opt.Grain, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			p.pull[i] = chooser.pullWins(p.mask.Row(i), a.Row(i))
+		}
+	})
+}
+
+// Options returns the plan's normalized options.
+func (p *Plan[T, S]) Options() Options { return p.opt }
+
+// FlopsEstimate returns the unmasked multiply–add count of the planned
+// product (cached after the first call). It needs the numeric A and B
+// only for their structure, so any Execute-compatible pair works.
+func (p *Plan[T, S]) FlopsEstimate(a, b *sparse.CSR[T]) int64 {
+	if !p.flopsDone {
+		p.flops = Flops(a, b)
+		p.flopsDone = true
+	}
+	return p.flops
+}
+
+// checkArgs verifies an Execute argument pair matches the planned
+// structure. The check is cheap (shapes and nnz); passing matrices
+// with the same counts but different patterns is undefined behaviour,
+// as documented on Execute.
+func (p *Plan[T, S]) checkArgs(a, b *sparse.CSR[T]) error {
+	if a.Rows != p.aRows || a.Cols != p.aCols || a.NNZ() != p.aNNZ {
+		return fmt.Errorf("core: plan expects A %dx%d (nnz %d), got %dx%d (nnz %d)",
+			p.aRows, p.aCols, p.aNNZ, a.Rows, a.Cols, a.NNZ())
+	}
+	if b.Rows != p.bRows || b.Cols != p.bCols || b.NNZ() != p.bNNZ {
+		return fmt.Errorf("core: plan expects B %dx%d (nnz %d), got %dx%d (nnz %d)",
+			p.bRows, p.bCols, p.bNNZ, b.Rows, b.Cols, b.NNZ())
+	}
+	return nil
+}
+
+// refreshCSC brings the cached CSC view of B up to date with the
+// values of the matrix being executed. For the SS:DOT baseline the
+// transpose is rebuilt wholesale every call — its defining overhead
+// (§8.4); otherwise the cached transpose is value-refreshed through
+// the recorded permutation on every call. The refresh cannot be
+// skipped on pointer identity: the Execute contract lets callers
+// mutate B's values in place between executions, so identity proves
+// nothing about value freshness, and the O(nnz) copy is within every
+// pull scheme's numeric work anyway.
+func (p *Plan[T, S]) refreshCSC(b *sparse.CSR[T]) {
+	if !p.needsCSC() {
+		return
+	}
+	if p.info.TransposePerExecute {
+		p.bt = sparse.ToCSC(b)
+		return
+	}
+	for i, q := range p.btPerm {
+		p.bt.Val[i] = b.Val[q]
+	}
+}
+
+// kernelsFor returns the scheme's row kernels bound to (a, b), reusing
+// the previous binding when the operands are the same matrices.
+func (p *Plan[T, S]) kernelsFor(a, b *sparse.CSR[T]) kernels[T] {
+	if p.haveBound && p.lastA == a && p.lastB == b {
+		return p.bound
+	}
+	bind := p.reg.plain
+	if p.opt.Complement {
+		bind = p.reg.complement
+	}
+	p.bound = bind(p, a, b)
+	p.lastA, p.lastB = a, b
+	p.haveBound = true
+	return p.bound
+}
+
+// Execute runs the planned product on (a, b), which must have the
+// structure the plan was built from (values may differ — that is the
+// point of reuse). Output rows are sorted.
+//
+// With Options.ReuseOutput set, the returned matrix is backed by
+// executor-owned buffers and stays valid only until the next Execute
+// on any plan sharing this executor; Clone it to retain. Without it
+// (the default) the output is freshly allocated and only the internal
+// scratch is pooled.
+func (p *Plan[T, S]) Execute(a, b *sparse.CSR[T]) (*sparse.CSR[T], error) {
+	if err := p.checkArgs(a, b); err != nil {
+		return nil, err
+	}
+	if p.reg.direct != nil {
+		return p.reg.direct(p, a, b)
+	}
+	p.refreshCSC(b)
+	k := p.kernelsFor(a, b)
+	es := &p.exec.scratch
+	es.reuseOut = p.opt.ReuseOutput
+	if p.opt.Phases == TwoPhase {
+		return twoPhase(p.mask.Rows, p.mask.Cols, p.opt.Threads, p.opt.Grain, k.symbolic, k.numeric, es), nil
+	}
+	return onePhase(p.mask.Rows, p.mask.Cols, p.offsets, p.opt.Threads, p.opt.Grain, k.numeric, es), nil
+}

@@ -44,49 +44,41 @@ func pushRowSymbolic[T any, A pushAcc[T]](acc A, maskRow []int32, aCols []int32,
 	return acc.EndSymbolic(maskRow)
 }
 
-// pushMultiply drives a push-family algorithm (MSA/MSAEpoch/Hash) in
-// either phase mode. newAcc constructs one per-worker accumulator.
-func pushMultiply[T any, A pushAcc[T]](mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options, newAcc func() A) *sparse.CSR[T] {
-	slots := make([]A, opt.Threads)
-	have := make([]bool, opt.Threads)
-	get := func(tid int) A {
-		if !have[tid] {
-			slots[tid] = newAcc()
-			have[tid] = true
-		}
-		return slots[tid]
+// pushKernels builds the row kernels of a push-family scheme over any
+// accumulator obtained per worker from getAcc (a pooled-workspace
+// getter on the plan's executor).
+func pushKernels[T any, A pushAcc[T]](mask *sparse.Pattern, a, b *sparse.CSR[T], getAcc func(tid int) A) kernels[T] {
+	return kernels[T]{
+		numeric: func(tid, i int, outIdx []int32, outVal []T) int {
+			return pushRowNumeric(getAcc(tid), mask.Row(i), a.Row(i), a.RowVals(i), b, outIdx, outVal)
+		},
+		symbolic: func(tid, i int) int {
+			return pushRowSymbolic[T](getAcc(tid), mask.Row(i), a.Row(i), b)
+		},
 	}
-	numeric := func(tid, i int, outIdx []int32, outVal []T) int {
-		return pushRowNumeric(get(tid), mask.Row(i), a.Row(i), a.RowVals(i), b, outIdx, outVal)
-	}
-	if opt.Phases == TwoPhase {
-		symbolic := func(tid, i int) int {
-			return pushRowSymbolic[T](get(tid), mask.Row(i), a.Row(i), b)
-		}
-		return twoPhase(mask.Rows, mask.Cols, opt.Threads, opt.Grain, symbolic, numeric)
-	}
-	return onePhase(mask.Rows, mask.Cols, mask.RowPtr, opt.Threads, opt.Grain, numeric)
 }
 
-// multiplyMSA runs the MSA scheme (§5.2).
-func multiplyMSA[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options) *sparse.CSR[T] {
-	return pushMultiply(mask, a, b, opt, func() *accum.MSA[T, S] {
-		return accum.NewMSA[T](sr, b.Cols)
+// bindMSA registers the MSA scheme (§5.2).
+func bindMSA[T any, S semiring.Semiring[T]](p *Plan[T, S], a, b *sparse.CSR[T]) kernels[T] {
+	exec, ncols := p.exec, b.Cols
+	return pushKernels(p.mask, a, b, func(tid int) *accum.MSA[T, S] {
+		return exec.worker(tid).MSA(ncols)
 	})
 }
 
-// multiplyMSAEpoch runs the epoch-reset MSA ablation variant.
-func multiplyMSAEpoch[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options) *sparse.CSR[T] {
-	return pushMultiply(mask, a, b, opt, func() *accum.MSAEpoch[T, S] {
-		return accum.NewMSAEpoch[T](sr, b.Cols)
+// bindMSAEpoch registers the epoch-reset MSA ablation variant.
+func bindMSAEpoch[T any, S semiring.Semiring[T]](p *Plan[T, S], a, b *sparse.CSR[T]) kernels[T] {
+	exec, ncols := p.exec, b.Cols
+	return pushKernels(p.mask, a, b, func(tid int) *accum.MSAEpoch[T, S] {
+		return exec.worker(tid).MSAEpoch(ncols)
 	})
 }
 
-// multiplyHash runs the hash scheme (§5.3). Tables are sized once per
-// worker by the densest mask row.
-func multiplyHash[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options) *sparse.CSR[T] {
-	maxRow := mask.MaxRowNNZ()
-	return pushMultiply(mask, a, b, opt, func() *accum.Hash[T, S] {
-		return accum.NewHash[T](sr, maxRow, opt.HashLoadFactor)
+// bindHash registers the hash scheme (§5.3). Tables are sized per
+// worker by the densest mask row, precomputed at plan time.
+func bindHash[T any, S semiring.Semiring[T]](p *Plan[T, S], a, b *sparse.CSR[T]) kernels[T] {
+	exec, maxRow, lf := p.exec, p.maxMaskRow, p.opt.HashLoadFactor
+	return pushKernels(p.mask, a, b, func(tid int) *accum.Hash[T, S] {
+		return exec.worker(tid).Hash(maxRow, lf)
 	})
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"maskedspgemm/internal/accum"
 	"maskedspgemm/internal/semiring"
 	"maskedspgemm/internal/sparse"
 )
@@ -16,70 +15,78 @@ import (
 
 // MaskedSpVM computes v = m ⊙ (u⊺B) (complement: v = ¬m ⊙ (u⊺B))
 // where mask holds the admitted (sorted) positions. Supported
-// algorithms: AlgoMSA, AlgoHash, AlgoHeap, AlgoHeapDot (plain), and
-// AlgoMSA/AlgoHash/AlgoHeap for complemented masks. The call is
-// serial — a single row has no row-level parallelism to exploit
-// (§3: the paper deliberately does not parallelize single-row
-// formation).
+// algorithms: AlgoMSA, AlgoMSAEpoch, AlgoHash, AlgoMCA, AlgoHeap,
+// AlgoHeapDot, and AlgoHybrid (treated as MSA — a single row has no
+// per-row scheme choice to make) for plain masks, and AlgoMSA/
+// AlgoMSAEpoch/AlgoHash/AlgoHeap/AlgoHeapDot for complemented masks. The call is serial — a single
+// row has no row-level parallelism to exploit (§3: the paper
+// deliberately does not parallelize single-row formation).
 func MaskedSpVM[T any, S semiring.Semiring[T]](sr S, mask []int32, u *sparse.Vector[T], b *sparse.CSR[T], opt Options) (*sparse.Vector[T], error) {
+	return MaskedSpVMWith(NewExecutor[T](sr), mask, u, b, opt)
+}
+
+// MaskedSpVMWith is MaskedSpVM drawing its accumulator and output
+// scratch from exec's worker-0 workspace, so a traversal loop (one
+// masked SpVM per BFS level) allocates only the exact-size result
+// vectors after warm-up. exec must not be used concurrently.
+func MaskedSpVMWith[T any, S semiring.Semiring[T]](exec *Executor[T, S], mask []int32, u *sparse.Vector[T], b *sparse.CSR[T], opt Options) (*sparse.Vector[T], error) {
 	if u.N != b.Rows {
 		return nil, fmt.Errorf("core: vector has dimension %d but B has %d rows", u.N, b.Rows)
 	}
+	exec.ensureWorkers(1)
+	ws := exec.worker(0)
 	if opt.Complement {
-		return maskedSpVMComplement(sr, mask, u, b, opt)
+		return maskedSpVMComplement(exec, ws, mask, u, b, opt)
 	}
-	out := sparse.NewVector[T](b.Cols)
-	outIdx := make([]int32, len(mask))
-	outVal := make([]T, len(mask))
+	outIdx, outVal := exec.scratch.slab(int64(len(mask)))
 	var n int
 	switch opt.Algorithm {
-	case AlgoMSA, AlgoMSAEpoch, AlgoHybrid:
-		acc := accum.NewMSA[T](sr, b.Cols)
-		n = pushRowNumeric[T](acc, mask, u.Idx, u.Val, b, outIdx, outVal)
+	case AlgoMSA, AlgoHybrid:
+		n = pushRowNumeric[T](ws.MSA(b.Cols), mask, u.Idx, u.Val, b, outIdx, outVal)
+	case AlgoMSAEpoch:
+		n = pushRowNumeric[T](ws.MSAEpoch(b.Cols), mask, u.Idx, u.Val, b, outIdx, outVal)
 	case AlgoHash:
-		acc := accum.NewHash[T](sr, len(mask), opt.HashLoadFactor)
-		n = pushRowNumeric[T](acc, mask, u.Idx, u.Val, b, outIdx, outVal)
+		n = pushRowNumeric[T](ws.Hash(len(mask), opt.HashLoadFactor), mask, u.Idx, u.Val, b, outIdx, outVal)
 	case AlgoMCA:
-		acc := accum.NewMCA[T](sr, len(mask))
-		n = mcaRowNumeric(acc, mask, u.Idx, u.Val, b, outIdx, outVal)
+		n = mcaRowNumeric(ws.MCA(len(mask)), mask, u.Idx, u.Val, b, outIdx, outVal)
 	case AlgoHeap:
-		pq := accum.NewIterHeap(u.NNZ())
-		n = heapRowNumeric(sr, pq, 1, mask, u.Idx, u.Val, b, outIdx, outVal)
+		n = heapRowNumeric(exec.sr, ws.Heap(u.NNZ()), 1, mask, u.Idx, u.Val, b, outIdx, outVal)
 	case AlgoHeapDot:
-		pq := accum.NewIterHeap(u.NNZ())
-		n = heapRowNumeric(sr, pq, heapInspectInf, mask, u.Idx, u.Val, b, outIdx, outVal)
+		n = heapRowNumeric(exec.sr, ws.Heap(u.NNZ()), heapInspectInf, mask, u.Idx, u.Val, b, outIdx, outVal)
 	default:
 		return nil, fmt.Errorf("core: MaskedSpVM does not support %v", opt.Algorithm)
 	}
-	out.Idx = outIdx[:n]
-	out.Val = outVal[:n]
-	return out, nil
+	return vectorFromScratch(b.Cols, outIdx, outVal, n), nil
 }
 
 // maskedSpVMComplement is the ¬m ⊙ (u⊺B) form.
-func maskedSpVMComplement[T any, S semiring.Semiring[T]](sr S, mask []int32, u *sparse.Vector[T], b *sparse.CSR[T], opt Options) (*sparse.Vector[T], error) {
+func maskedSpVMComplement[T any, S semiring.Semiring[T]](exec *Executor[T, S], ws *workspace[T, S], mask []int32, u *sparse.Vector[T], b *sparse.CSR[T], opt Options) (*sparse.Vector[T], error) {
 	bound := rowGenBound(u.Idx, b)
 	if free := b.Cols - len(mask); bound > free {
 		bound = free
 	}
-	outIdx := make([]int32, bound)
-	outVal := make([]T, bound)
+	outIdx, outVal := exec.scratch.slab(int64(bound))
 	var n int
 	switch opt.Algorithm {
 	case AlgoMSA, AlgoMSAEpoch:
-		acc := accum.NewMSAC[T](sr, b.Cols)
-		n = pushRowNumericC[T](acc, mask, u.Idx, u.Val, b, outIdx, outVal)
+		n = pushRowNumericC[T](ws.MSAC(b.Cols), mask, u.Idx, u.Val, b, outIdx, outVal)
 	case AlgoHash:
-		acc := accum.NewHashC[T](sr, 16, opt.HashLoadFactor)
-		n = pushRowNumericC[T](acc, mask, u.Idx, u.Val, b, outIdx, outVal)
+		n = pushRowNumericC[T](ws.HashC(opt.HashLoadFactor), mask, u.Idx, u.Val, b, outIdx, outVal)
 	case AlgoHeap, AlgoHeapDot:
-		pq := accum.NewIterHeap(u.NNZ())
-		n = heapRowNumericComplement(sr, pq, mask, u.Idx, u.Val, b, outIdx, outVal)
+		n = heapRowNumericComplement(exec.sr, ws.Heap(u.NNZ()), mask, u.Idx, u.Val, b, outIdx, outVal)
 	default:
 		return nil, fmt.Errorf("core: complemented MaskedSpVM does not support %v", opt.Algorithm)
 	}
-	out := sparse.NewVector[T](b.Cols)
-	out.Idx = outIdx[:n]
-	out.Val = outVal[:n]
-	return out, nil
+	return vectorFromScratch(b.Cols, outIdx, outVal, n), nil
+}
+
+// vectorFromScratch copies the first n scratch entries into an
+// exact-size result vector. The copy is what lets the scratch slab be
+// pooled: results never alias executor memory, so a BFS loop can feed
+// one level's output back in as the next level's frontier.
+func vectorFromScratch[T any](n64 int, outIdx []int32, outVal []T, n int) *sparse.Vector[T] {
+	out := sparse.NewVector[T](n64)
+	out.Idx = append(make([]int32, 0, n), outIdx[:n]...)
+	out.Val = append(make([]T, 0, n), outVal[:n]...)
+	return out
 }

@@ -55,16 +55,32 @@ func Betweenness(a *sparse.CSR[float64], sources []int32, opt core.Options) (*BC
 	// levels[d] is the frontier at depth d (σ values on its pattern).
 	levels := []*sparse.CSR[float64]{frontier}
 
-	// Forward: F ← ¬NumSP ⊙ (F · A); NumSP += F.
+	// One executor pools the accumulator workspaces across every level
+	// of both sweeps; the frontier/mask structure changes per level, so
+	// each level builds a fresh plan on top. Plan construction is timed
+	// with the execution: it is part of the masked product's cost (the
+	// analysis the one-shot path would do internally).
+	exec := core.NewExecutor[float64](sr)
+
+	// Forward: F ← ¬NumSP ⊙ (F · A); NumSP += F. The output of each
+	// level persists (as the next frontier and in levels), so the
+	// forward sweep must not use pooled output buffers — force the flag
+	// off in case the caller opted in for the consumed-per-level parts.
+	fwdOpt := withComplement(opt, true)
+	fwdOpt.ReuseOutput = false
 	at := sparse.Transpose(a) // backward sweep multiplies by Aᵀ
 	for {
-		res.Flops += core.Flops(frontier, a)
 		start := time.Now()
-		next, err := core.MaskedSpGEMM(sr, numSP.PatternView(), frontier, a, withComplement(opt, true))
+		plan, err := core.NewPlan(sr, numSP.PatternView(), frontier, a, fwdOpt, exec)
+		if err != nil {
+			return nil, err
+		}
+		next, err := plan.Execute(frontier, a)
 		res.MaskedTime += time.Since(start)
 		if err != nil {
 			return nil, err
 		}
+		res.Flops += plan.FlopsEstimate(frontier, a)
 		if next.NNZ() == 0 {
 			break
 		}
@@ -82,16 +98,24 @@ func Betweenness(a *sparse.CSR[float64], sources []int32, opt core.Options) (*BC
 	//   t2 = S_{d-1} ⊙ (t1 · Aᵀ)          (plain masked SpGEMM)
 	//   t3 = t2 ⊗ NumSP
 	//   BCU += t3
+	// t2 is consumed by the element-wise ops before the next level's
+	// execution, so the backward sweep can use pooled output buffers.
+	backOpt := withComplement(opt, false)
+	backOpt.ReuseOutput = true
 	bcu := sparse.NewCSR[float64](b, n)
 	for d := len(levels) - 1; d >= 1; d-- {
 		t1 := buildT1(levels[d], bcu, numSP)
-		res.Flops += core.Flops(t1, at)
 		start := time.Now()
-		t2, err := core.MaskedSpGEMM(sr, levels[d-1].PatternView(), t1, at, withComplement(opt, false))
+		plan, err := core.NewPlan(sr, levels[d-1].PatternView(), t1, at, backOpt, exec)
+		if err != nil {
+			return nil, err
+		}
+		t2, err := plan.Execute(t1, at)
 		res.MaskedTime += time.Since(start)
 		if err != nil {
 			return nil, err
 		}
+		res.Flops += plan.FlopsEstimate(t1, at)
 		t3, err := sparse.EWiseMultParallel(t2, numSP, func(x, y float64) float64 { return x * y }, opt.Threads)
 		if err != nil {
 			return nil, err

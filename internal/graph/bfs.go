@@ -89,6 +89,10 @@ func BFS(a *sparse.CSR[float64], sources []int32, strategy BFSStrategy) (*BFSRes
 
 	res := &BFSResult{Level: level}
 	sr := semiring.PlusTimes[float64]{}
+	// One executor pools the push-step accumulator (the O(n) MSAC
+	// arrays) and scratch across levels instead of reallocating per
+	// level.
+	exec := core.NewExecutor[float64](sr)
 	depth := int32(0)
 	var edgesFromVisited int64
 	for _, v := range visited {
@@ -115,7 +119,7 @@ func BFS(a *sparse.CSR[float64], sources []int32, strategy BFSStrategy) (*BFSRes
 		} else {
 			res.PushLevels++
 			var err error
-			next, err = core.MaskedSpVM(sr, visited, frontier, a,
+			next, err = core.MaskedSpVMWith(exec, visited, frontier, a,
 				core.Options{Algorithm: core.AlgoMSA, Complement: true})
 			if err != nil {
 				return nil, err

@@ -226,6 +226,23 @@ func TestBetweennessMatchesBrandes(t *testing.T) {
 	}
 }
 
+// TestBetweennessCallerReuseOutput pins that a caller opting into
+// pooled output buffers cannot corrupt the forward sweep, whose level
+// outputs persist across executions: Betweenness must force the flag
+// off there.
+func TestBetweennessCallerReuseOutput(t *testing.T) {
+	g := gen.RMATSymmetric(gen.RMATConfig{Scale: 7, EdgeFactor: 4, Seed: 31})
+	sources := BatchSources(g.Rows, 64)
+	want := RefBrandesBC(g, sources)
+	res, err := Betweenness(g, sources, core.Options{ReuseOutput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := bcClose(want, res.Centrality); d != "" {
+		t.Errorf("ReuseOutput caller: centrality mismatch: %s", d)
+	}
+}
+
 func TestBetweennessEdgeCases(t *testing.T) {
 	g := gen.Ring(8)
 	res, err := Betweenness(g, nil, core.Options{})

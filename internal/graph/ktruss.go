@@ -37,10 +37,23 @@ func KTruss(a *sparse.CSR[float64], k int, opt core.Options) (*KTrussResult, err
 	c := asInt64(a)
 	res := &KTrussResult{}
 	minSupport := int64(k - 2)
+	// One executor carries the accumulator workspaces and output
+	// buffers across iterations; the pruned edge set changes structure
+	// every round, so each iteration gets its own (cheap) plan on top.
+	// The support matrix is consumed by Select before the next
+	// execution, so pooled output (ReuseOutput) is safe.
+	sr := semiring.PlusPair[int64]{}
+	exec := core.NewExecutor[int64](sr)
+	iterOpt := opt
+	iterOpt.ReuseOutput = true
 	for {
 		res.Iterations++
-		res.Flops += core.Flops(c, c)
-		s, err := core.MaskedSpGEMM(semiring.PlusPair[int64]{}, c.PatternView(), c, c, opt)
+		plan, err := core.NewPlan(sr, c.PatternView(), c, c, iterOpt, exec)
+		if err != nil {
+			return nil, err
+		}
+		res.Flops += plan.FlopsEstimate(c, c)
+		s, err := plan.Execute(c, c)
 		if err != nil {
 			return nil, err
 		}

@@ -62,6 +62,23 @@ func TransposePattern(p *Pattern) *Pattern {
 // scatter with row/column roles swapped, so the result represents the
 // same matrix.
 func ToCSC[T any](a *CSR[T]) *CSC[T] {
+	return cscScatter(a, nil)
+}
+
+// ToCSCPerm is ToCSC plus the scatter permutation it used: perm[p] is
+// the position in a.Val whose value landed at c.Val[p]. Callers that
+// cache the CSC view of a structurally-stable matrix (execution plans
+// for the pull-based algorithms) use perm to refresh the cached values
+// in one O(nnz) pass when the same structure arrives with new values.
+func ToCSCPerm[T any](a *CSR[T]) (*CSC[T], []int64) {
+	perm := make([]int64, a.NNZ())
+	return cscScatter(a, perm), perm
+}
+
+// cscScatter is the counting-sort CSR→CSC conversion behind ToCSC and
+// ToCSCPerm; a non-nil perm (length nnz) additionally records the
+// scatter permutation.
+func cscScatter[T any](a *CSR[T], perm []int64) *CSC[T] {
 	nnz := a.NNZ()
 	c := &CSC[T]{
 		Rows:   a.Rows,
@@ -79,10 +96,14 @@ func ToCSC[T any](a *CSR[T]) *CSC[T] {
 	next := append([]int64(nil), c.ColPtr...)
 	for i := 0; i < a.Rows; i++ {
 		vals := a.RowVals(i)
+		lo := a.RowPtr[i]
 		for k, j := range a.Row(i) {
 			p := next[j]
 			c.RowIdx[p] = int32(i)
 			c.Val[p] = vals[k]
+			if perm != nil {
+				perm[p] = lo + int64(k)
+			}
 			next[j]++
 		}
 	}

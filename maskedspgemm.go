@@ -100,10 +100,78 @@ func buildOptions(opts []Option) core.Options {
 	return o
 }
 
+// WithReuseOutput backs Plan.Execute results with executor-owned
+// pooled buffers: steady-state executions allocate nothing, but each
+// result is valid only until the next execution on the same executor
+// (Clone it to retain). Iterative consumers that fold the product into
+// something else immediately — k-truss support counting, betweenness
+// dependency accumulation — are the intended users.
+func WithReuseOutput() Option {
+	return func(o *core.Options) { o.ReuseOutput = true }
+}
+
 // Multiply computes C = M ⊙ (A·B) over the float64 arithmetic
 // semiring. mask is m×n, a is m×k, b is k×n. Output rows are sorted.
+//
+// Multiply is the one-shot form: it plans, executes once, and discards
+// the analysis. Callers repeating products over the same structure
+// (iterative algorithms, served query traffic) should use NewPlan.
 func Multiply(mask *Pattern, a, b *Matrix, opts ...Option) (*Matrix, error) {
 	return core.MaskedSpGEMM(semiring.PlusTimes[float64]{}, mask, a, b, buildOptions(opts))
+}
+
+// Plan is a reusable masked multiplication: the per-structure analysis
+// (validation, slab layout, B's transpose for pull-based schemes,
+// hybrid row decisions) is done once by NewPlan, and Execute then runs
+// only the numeric work, reusing pooled per-worker workspaces so
+// repeated executions allocate approximately nothing after warm-up.
+// Plans and executors are not safe for concurrent use.
+type Plan struct {
+	p *core.Plan[float64, semiring.PlusTimes[float64]]
+}
+
+// NewPlan analyzes C = M ⊙ (A·B) for the selected scheme and returns a
+// plan bound to the operands' structure. Execute accepts any matrices
+// with that structure, so values may change between executions.
+func NewPlan(mask *Pattern, a, b *Matrix, opts ...Option) (*Plan, error) {
+	return newPlan(nil, mask, a, b, opts)
+}
+
+// Execute runs the planned product on (a, b), which must match the
+// planned structure. With WithReuseOutput the result aliases pooled
+// buffers and is valid only until the next execution on this plan's
+// executor.
+func (p *Plan) Execute(a, b *Matrix) (*Matrix, error) {
+	return p.p.Execute(a, b)
+}
+
+// Executor owns the pooled per-worker workspaces (accumulators, slab
+// and output buffers) behind plan execution. Sharing one executor
+// across plans — as the k-truss and betweenness loops do internally —
+// lets workloads whose structure changes every iteration still reuse
+// all scratch memory. An Executor must not be used concurrently.
+type Executor struct {
+	e *core.Executor[float64, semiring.PlusTimes[float64]]
+}
+
+// NewExecutor returns an empty executor over the float64 arithmetic
+// semiring.
+func NewExecutor() *Executor {
+	return &Executor{e: core.NewExecutor[float64](semiring.PlusTimes[float64]{})}
+}
+
+// NewPlan is NewPlan drawing workspaces from this executor instead of
+// a private one.
+func (e *Executor) NewPlan(mask *Pattern, a, b *Matrix, opts ...Option) (*Plan, error) {
+	return newPlan(e.e, mask, a, b, opts)
+}
+
+func newPlan(exec *core.Executor[float64, semiring.PlusTimes[float64]], mask *Pattern, a, b *Matrix, opts []Option) (*Plan, error) {
+	p, err := core.NewPlan(semiring.PlusTimes[float64]{}, mask, a, b, buildOptions(opts), exec)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{p: p}, nil
 }
 
 // MultiplyUnmasked computes the plain product A·B (the Gustavson hash

@@ -49,6 +49,71 @@ func TestMultiplyFacade(t *testing.T) {
 	}
 }
 
+func TestPlanFacade(t *testing.T) {
+	a := ErdosRenyi(96, 6, 11)
+	b := ErdosRenyi(96, 6, 12)
+	mask := ErdosRenyi(96, 5, 13).PatternView()
+	want, err := Multiply(mask, a, b, WithAlgorithm(Inner))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(mask, a, b, WithAlgorithm(Inner))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 3; rep++ {
+		got, err := plan.Execute(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sparse.EqualFunc(want, got, func(x, y float64) bool { return x == y }) {
+			t.Fatalf("plan execution %d differs from Multiply", rep)
+		}
+	}
+	// New values over the same structure must flow through the plan's
+	// cached analysis (including Inner's cached transpose of B).
+	b2 := b.Clone()
+	for i := range b2.Val {
+		b2.Val[i] *= 3
+	}
+	want2, err := Multiply(mask, a, b2, WithAlgorithm(Inner))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := plan.Execute(a, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.EqualFunc(want2, got2, func(x, y float64) bool { return x == y }) {
+		t.Fatal("plan with updated B values differs from Multiply")
+	}
+	// A shared executor serves plans over different structures, and
+	// pooled output stays correct when consumed before the next run.
+	exec := NewExecutor()
+	for seed := uint64(20); seed < 23; seed++ {
+		g := ErdosRenyi(64+int(seed), 4, seed)
+		p, err := exec.NewPlan(g.PatternView(), g, g, WithAlgorithm(MSA), WithReuseOutput())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pooled, err := p.Execute(g, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := Multiply(g.PatternView(), g, g, WithAlgorithm(MSA))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sparse.EqualFunc(ref, pooled, func(x, y float64) bool { return x == y }) {
+			t.Fatalf("shared-executor plan (seed %d) differs from Multiply", seed)
+		}
+	}
+	// Structure mismatch is rejected.
+	if _, err := plan.Execute(a, ErdosRenyi(96, 12, 14)); err == nil {
+		t.Error("want structure-mismatch error")
+	}
+}
+
 func TestFacadeApplications(t *testing.T) {
 	g := RMAT(9, 8, 5)
 	count, err := TriangleCount(g)
