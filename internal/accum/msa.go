@@ -204,6 +204,11 @@ func (m *MSAC[T, S]) EndSymbolic() int {
 // sort.Slice's closure in the per-row gather path.
 type int32Slice []int32
 
-func (s int32Slice) Len() int           { return len(s) }
+// Len implements sort.Interface.
+func (s int32Slice) Len() int { return len(s) }
+
+// Less implements sort.Interface.
 func (s int32Slice) Less(i, j int) bool { return s[i] < s[j] }
-func (s int32Slice) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+// Swap implements sort.Interface.
+func (s int32Slice) Swap(i, j int) { s[i], s[j] = s[j], s[i] }

@@ -45,11 +45,16 @@ func (a AppKind) String() string {
 // ProfileConfig parameterizes a performance-profile experiment (Figs 8,
 // 9, 12, 13, 16).
 type ProfileConfig struct {
-	App       AppKind
+	// App selects the measured application.
+	App AppKind
+	// Instances is the graph suite to sweep.
 	Instances []gen.Instance
-	Schemes   []Scheme
-	Threads   int
-	Reps      int
+	// Schemes lists the schemes compared.
+	Schemes []Scheme
+	// Threads is the worker count (0 = GOMAXPROCS).
+	Threads int
+	// Reps is the best-of repetition count.
+	Reps int
 	// KTrussK is the truss order (paper: 5).
 	KTrussK int
 	// BCBatch is the betweenness source-batch size (paper: 512).
@@ -136,7 +141,9 @@ func WriteProfile(w io.Writer, caption string, p *perfprof.Profile) {
 // ScalePoint is one (scale, scheme) measurement of the R-MAT sweeps
 // (Figs 10, 14, 15).
 type ScalePoint struct {
-	Scale  int
+	// Scale is the R-MAT scale of the measured graph.
+	Scale int
+	// Scheme is the measured scheme's display name.
 	Scheme string
 	// Seconds is the best-of-reps runtime of the measured region.
 	Seconds float64
@@ -147,15 +154,24 @@ type ScalePoint struct {
 
 // ScaleSweepConfig parameterizes Figures 10/14/15.
 type ScaleSweepConfig struct {
-	App        AppKind
-	Scales     []int
+	// App selects the measured application.
+	App AppKind
+	// Scales lists the R-MAT scales swept.
+	Scales []int
+	// EdgeFactor is the R-MAT edge factor.
 	EdgeFactor int
-	Schemes    []Scheme
-	Threads    int
-	Reps       int
-	KTrussK    int
-	BCBatch    int
-	Seed       uint64
+	// Schemes lists the schemes compared.
+	Schemes []Scheme
+	// Threads is the worker count (0 = GOMAXPROCS).
+	Threads int
+	// Reps is the best-of repetition count.
+	Reps int
+	// KTrussK is the truss order (paper: 5).
+	KTrussK int
+	// BCBatch is the betweenness source-batch size.
+	BCBatch int
+	// Seed feeds the graph generator.
+	Seed uint64
 }
 
 // RunScaleSweep measures rate-vs-scale series on R-MAT graphs.
@@ -257,20 +273,30 @@ func WriteScaleSweep(w io.Writer, caption, rateName string, cfg ScaleSweepConfig
 // ThreadPoint is one (threads, scheme) measurement of the strong-
 // scaling experiment (Fig 11).
 type ThreadPoint struct {
+	// Threads is the measured worker count.
 	Threads int
-	Scheme  string
+	// Scheme is the measured scheme's display name.
+	Scheme string
+	// Seconds is the best-of-reps runtime.
 	Seconds float64
-	Rate    float64
+	// Rate is TC GFLOPS at this thread count.
+	Rate float64
 }
 
 // ThreadSweepConfig parameterizes Figure 11.
 type ThreadSweepConfig struct {
-	Scale      int
+	// Scale is the R-MAT scale of the fixed graph.
+	Scale int
+	// EdgeFactor is the R-MAT edge factor.
 	EdgeFactor int
-	Threads    []int
-	Schemes    []Scheme
-	Reps       int
-	Seed       uint64
+	// Threads lists the worker counts swept.
+	Threads []int
+	// Schemes lists the schemes compared.
+	Schemes []Scheme
+	// Reps is the best-of repetition count.
+	Reps int
+	// Seed feeds the graph generator.
+	Seed uint64
 }
 
 // RunThreadSweep measures TC GFLOPS across thread counts on one R-MAT

@@ -43,6 +43,7 @@ func DefaultFig7Config() Fig7Config {
 
 // Fig7Cell is one sweep cell result.
 type Fig7Cell struct {
+	// MaskDegree and InputDegree locate the cell in the density sweep.
 	MaskDegree, InputDegree int
 	// Best is the fastest scheme's name.
 	Best string

@@ -89,6 +89,7 @@ func errInnerDim[T any](a, b *sparse.CSR[T]) error {
 
 type dimError struct{ ar, ac, br, bc int }
 
+// Error implements the error interface.
 func (e *dimError) Error() string {
 	return "core: inner dimensions differ in SpGEMM"
 }

@@ -76,8 +76,8 @@ func pushKernelsC[T any, A pushAccC[T]](mask *sparse.Pattern, a, b *sparse.CSR[T
 // bindMSAC registers complemented MSA (§5.2). It also serves as the
 // MSAEpoch complement fallback — the epoch variant has no complement
 // form of its own.
-func bindMSAC[T any, S semiring.Semiring[T]](p *Plan[T, S], a, b *sparse.CSR[T]) kernels[T] {
-	exec, ncols := p.exec, b.Cols
+func bindMSAC[T any, S semiring.Semiring[T]](p *Plan[T, S], e *Executor[T, S], a, b *sparse.CSR[T]) kernels[T] {
+	exec, ncols := e, b.Cols
 	return pushKernelsC(p.mask, a, b, func(tid int) *accum.MSAC[T, S] {
 		return exec.worker(tid).MSAC(ncols)
 	})
@@ -85,8 +85,8 @@ func bindMSAC[T any, S semiring.Semiring[T]](p *Plan[T, S], a, b *sparse.CSR[T])
 
 // bindHashC registers the complemented hash scheme. Tables grow per
 // row to the row's population bound.
-func bindHashC[T any, S semiring.Semiring[T]](p *Plan[T, S], a, b *sparse.CSR[T]) kernels[T] {
-	exec, lf := p.exec, p.opt.HashLoadFactor
+func bindHashC[T any, S semiring.Semiring[T]](p *Plan[T, S], e *Executor[T, S], a, b *sparse.CSR[T]) kernels[T] {
+	exec, lf := e, p.opt.HashLoadFactor
 	return pushKernelsC(p.mask, a, b, func(tid int) *accum.HashC[T, S] {
 		return exec.worker(tid).HashC(lf)
 	})

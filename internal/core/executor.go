@@ -3,23 +3,45 @@ package core
 import (
 	"maskedspgemm/internal/accum"
 	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
 )
 
-// Executor owns the reusable execution state of masked products: one
+// Executor owns ALL mutable execution state of masked products: one
 // workspace of lazily-constructed accumulators per worker, the
-// one-phase tmp slabs, and (opt-in) pooled output buffers. Everything
-// is grow-only, so after a warm-up execution on the largest structure,
-// repeated executions allocate approximately nothing.
+// one-phase tmp slabs, the refreshed CSC values of B for pull-based
+// plans, the bound-kernel cache, and (opt-in) pooled output buffers.
+// Everything is grow-only, so after a warm-up execution on the largest
+// structure, repeated executions allocate approximately nothing.
 //
 // One Executor may back many Plans — the iterative applications
 // (k-truss pruning, betweenness levels) build a fresh Plan per
 // iteration because the operand structure changes, while the
-// accumulators and slabs carry over. An Executor is NOT safe for
-// concurrent use: executions sharing one must be sequential.
+// accumulators and slabs carry over. Conversely, one immutable Plan
+// may be executed on many Executors (ExecuteOn), which is how a
+// PlanCache serves concurrent requests. An Executor is NOT safe for
+// concurrent use: executions sharing one must be sequential, and a
+// pooled executor belongs to exactly one goroutine between checkout
+// and return (DESIGN.md §8).
 type Executor[T any, S semiring.Semiring[T]] struct {
 	sr      S
 	workers []*workspace[T, S]
 	scratch engineScratch[T]
+
+	// bt is the executor's CSC view of the current execution's B: plan
+	// structure, executor values. The pointee is updated in place by
+	// prepareCSC so bound kernels can keep reading exec.bt across
+	// executions without re-binding. btVal is the grow-only backing
+	// value buffer.
+	bt    *sparse.CSC[T]
+	btVal []T
+
+	// Bound kernels are cached per (plan, A, B) identity so steady-state
+	// executions allocate no closures.
+	lastPlan  *Plan[T, S]
+	lastA     *sparse.CSR[T]
+	lastB     *sparse.CSR[T]
+	bound     kernels[T]
+	haveBound bool
 }
 
 // NewExecutor returns an empty executor over the given semiring.
@@ -39,6 +61,70 @@ func (e *Executor[T, S]) ensureWorkers(threads int) {
 // before the parallel region starts.
 func (e *Executor[T, S]) worker(tid int) *workspace[T, S] {
 	return e.workers[tid]
+}
+
+// prepareCSC brings the executor's CSC view of B up to date for one
+// execution of p. For the SS:DOT baseline the transpose is rebuilt
+// wholesale every call — its defining overhead (§8.4); otherwise the
+// plan's cached CSC structure is combined with the executor's pooled
+// value buffer and the values are refreshed through the recorded
+// permutation. The refresh cannot be skipped on pointer identity: the
+// Execute contract lets callers mutate B's values in place between
+// executions, so identity proves nothing about value freshness, and
+// the O(nnz) copy is within every pull scheme's numeric work anyway.
+func (e *Executor[T, S]) prepareCSC(p *Plan[T, S], b *sparse.CSR[T]) {
+	if !p.needsCSC() {
+		return
+	}
+	if p.info.TransposePerExecute {
+		if e.bt == nil {
+			e.bt = &sparse.CSC[T]{}
+		}
+		*e.bt = *sparse.ToCSC(b)
+		return
+	}
+	nnz := len(p.btIdx)
+	if cap(e.btVal) < nnz {
+		e.btVal = make([]T, nnz)
+	}
+	if e.bt == nil {
+		e.bt = &sparse.CSC[T]{}
+	}
+	*e.bt = sparse.CSC[T]{
+		Rows: p.bRows, Cols: p.bCols,
+		ColPtr: p.btPtr, RowIdx: p.btIdx, Val: e.btVal[:nnz],
+	}
+	for i, q := range p.btPerm {
+		e.bt.Val[i] = b.Val[q]
+	}
+}
+
+// kernelsFor returns p's row kernels bound to (a, b) on this executor,
+// reusing the previous binding when plan and operands are unchanged.
+// Rebinding is cheap (two closures); the cache only exists so
+// steady-state repeated executions allocate nothing.
+func (e *Executor[T, S]) kernelsFor(p *Plan[T, S], a, b *sparse.CSR[T]) kernels[T] {
+	if e.haveBound && e.lastPlan == p && e.lastA == a && e.lastB == b {
+		return e.bound
+	}
+	bind := p.reg.plain
+	if p.opt.Complement {
+		bind = p.reg.complement
+	}
+	e.bound = bind(p, e, a, b)
+	e.lastPlan, e.lastA, e.lastB = p, a, b
+	e.haveBound = true
+	return e.bound
+}
+
+// releaseBindings drops the executor's references to the last plan and
+// operands so a pooled idle executor does not pin cache-evicted plans
+// or caller matrices in memory. Accumulators and buffers — the state
+// worth pooling — are kept.
+func (e *Executor[T, S]) releaseBindings() {
+	e.lastPlan, e.lastA, e.lastB = nil, nil, nil
+	e.bound = kernels[T]{}
+	e.haveBound = false
 }
 
 // workspace is one worker's pooled accumulator set. Each accumulator

@@ -193,8 +193,8 @@ func heapRowSymbolicComplement(pq *accum.IterHeap, maskRow []int32, aCols []int3
 // bindHeap registers the heap scheme; the plan's resolved nInspect
 // distinguishes Heap (1) from HeapDot (∞), with Options.HeapNInspect
 // folded in for the ablation study.
-func bindHeap[T any, S semiring.Semiring[T]](p *Plan[T, S], a, b *sparse.CSR[T]) kernels[T] {
-	sr, exec, mask := p.sr, p.exec, p.mask
+func bindHeap[T any, S semiring.Semiring[T]](p *Plan[T, S], e *Executor[T, S], a, b *sparse.CSR[T]) kernels[T] {
+	sr, exec, mask := p.sr, e, p.mask
 	nInspect, maxARow := p.heapNInspect, p.maxARow
 	return kernels[T]{
 		numeric: func(tid, i int, outIdx []int32, outVal []T) int {
@@ -208,8 +208,8 @@ func bindHeap[T any, S semiring.Semiring[T]](p *Plan[T, S], a, b *sparse.CSR[T])
 
 // bindHeapComplement registers the complemented heap scheme (NInspect
 // fixed at 0, §5.5).
-func bindHeapComplement[T any, S semiring.Semiring[T]](p *Plan[T, S], a, b *sparse.CSR[T]) kernels[T] {
-	sr, exec, mask, maxARow := p.sr, p.exec, p.mask, p.maxARow
+func bindHeapComplement[T any, S semiring.Semiring[T]](p *Plan[T, S], e *Executor[T, S], a, b *sparse.CSR[T]) kernels[T] {
+	sr, exec, mask, maxARow := p.sr, e, p.mask, p.maxARow
 	return kernels[T]{
 		numeric: func(tid, i int, outIdx []int32, outVal []T) int {
 			return heapRowNumericComplement(sr, exec.worker(tid).Heap(maxARow), mask.Row(i), a.Row(i), a.RowVals(i), b, outIdx, outVal)

@@ -47,14 +47,14 @@ func (h *hybridChooser) pullWins(maskRow, aCols []int32) bool {
 // decisions and B's CSC view are precomputed by the plan (exactly the
 // per-(mask, A, B) analysis a plan exists to amortize); each worker
 // keeps one MSA in its pooled workspace for the push rows.
-func bindHybrid[T any, S semiring.Semiring[T]](p *Plan[T, S], a, b *sparse.CSR[T]) kernels[T] {
-	sr, exec, mask, pull, ncols := p.sr, p.exec, p.mask, p.pull, b.Cols
+func bindHybrid[T any, S semiring.Semiring[T]](p *Plan[T, S], e *Executor[T, S], a, b *sparse.CSR[T]) kernels[T] {
+	sr, exec, mask, pull, ncols := p.sr, e, p.mask, p.pull, b.Cols
 	return kernels[T]{
 		numeric: func(tid, i int, outIdx []int32, outVal []T) int {
 			maskRow := mask.Row(i)
 			aCols := a.Row(i)
 			if pull[i] {
-				return innerRowNumeric(sr, maskRow, aCols, a.RowVals(i), p.bt, outIdx, outVal)
+				return innerRowNumeric(sr, maskRow, aCols, a.RowVals(i), exec.bt, outIdx, outVal)
 			}
 			return pushRowNumeric[T](exec.worker(tid).MSA(ncols), maskRow, aCols, a.RowVals(i), b, outIdx, outVal)
 		},
@@ -62,7 +62,7 @@ func bindHybrid[T any, S semiring.Semiring[T]](p *Plan[T, S], a, b *sparse.CSR[T
 			maskRow := mask.Row(i)
 			aCols := a.Row(i)
 			if pull[i] {
-				return innerRowSymbolic(maskRow, aCols, p.bt.ColPtr, p.bt.RowIdx)
+				return innerRowSymbolic(maskRow, aCols, exec.bt.ColPtr, exec.bt.RowIdx)
 			}
 			return pushRowSymbolic[T](exec.worker(tid).MSA(ncols), maskRow, aCols, b)
 		},

@@ -153,24 +153,25 @@ func innerRowSymbolic(maskRow []int32, aCols []int32, btColPtr []int64, btRowIdx
 	return n
 }
 
-// bindInner registers the pull scheme. The CSC view of B comes from
-// the plan: cached across executions for AlgoInner, rebuilt per call
-// for the SS:DOT baseline (TransposePerExecute) — which is why the
-// kernels read p.bt at row time instead of capturing it.
-func bindInner[T any, S semiring.Semiring[T]](p *Plan[T, S], a, b *sparse.CSR[T]) kernels[T] {
+// bindInner registers the pull scheme. The CSC view of B lives on the
+// executor (structure from the plan, values refreshed per execution;
+// rebuilt wholesale per call for the SS:DOT baseline's
+// TransposePerExecute) — which is why the kernels read e.bt at row
+// time instead of capturing it.
+func bindInner[T any, S semiring.Semiring[T]](p *Plan[T, S], e *Executor[T, S], a, b *sparse.CSR[T]) kernels[T] {
 	sr, mask := p.sr, p.mask
 	numeric := func(_, i int, outIdx []int32, outVal []T) int {
-		return innerRowNumeric(sr, mask.Row(i), a.Row(i), a.RowVals(i), p.bt, outIdx, outVal)
+		return innerRowNumeric(sr, mask.Row(i), a.Row(i), a.RowVals(i), e.bt, outIdx, outVal)
 	}
 	if p.opt.InnerGallop {
 		numeric = func(_, i int, outIdx []int32, outVal []T) int {
-			return innerRowNumericGallop(sr, mask.Row(i), a.Row(i), a.RowVals(i), p.bt, outIdx, outVal)
+			return innerRowNumericGallop(sr, mask.Row(i), a.Row(i), a.RowVals(i), e.bt, outIdx, outVal)
 		}
 	}
 	return kernels[T]{
 		numeric: numeric,
 		symbolic: func(_, i int) int {
-			return innerRowSymbolic(mask.Row(i), a.Row(i), p.bt.ColPtr, p.bt.RowIdx)
+			return innerRowSymbolic(mask.Row(i), a.Row(i), e.bt.ColPtr, e.bt.RowIdx)
 		},
 	}
 }
@@ -220,14 +221,14 @@ func innerRowSymbolicComplement(cols int, maskRow []int32, aCols []int32, btColP
 
 // bindInnerComplement registers the pull scheme for complemented
 // masks.
-func bindInnerComplement[T any, S semiring.Semiring[T]](p *Plan[T, S], a, b *sparse.CSR[T]) kernels[T] {
+func bindInnerComplement[T any, S semiring.Semiring[T]](p *Plan[T, S], e *Executor[T, S], a, b *sparse.CSR[T]) kernels[T] {
 	sr, mask := p.sr, p.mask
 	return kernels[T]{
 		numeric: func(_, i int, outIdx []int32, outVal []T) int {
-			return innerRowNumericComplement(sr, mask.Cols, mask.Row(i), a.Row(i), a.RowVals(i), p.bt, outIdx, outVal)
+			return innerRowNumericComplement(sr, mask.Cols, mask.Row(i), a.Row(i), a.RowVals(i), e.bt, outIdx, outVal)
 		},
 		symbolic: func(_, i int) int {
-			return innerRowSymbolicComplement(mask.Cols, mask.Row(i), a.Row(i), p.bt.ColPtr, p.bt.RowIdx)
+			return innerRowSymbolicComplement(mask.Cols, mask.Row(i), a.Row(i), e.bt.ColPtr, e.bt.RowIdx)
 		},
 	}
 }

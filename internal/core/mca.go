@@ -61,8 +61,8 @@ func mcaRowSymbolic[T any, S semiring.Semiring[T]](acc *accum.MCA[T, S], maskRow
 // and B rows (guaranteed by the CSR invariant) and does not support
 // complemented masks — with a complemented mask there is no compressed
 // index space to map columns into (see its registry entry).
-func bindMCA[T any, S semiring.Semiring[T]](p *Plan[T, S], a, b *sparse.CSR[T]) kernels[T] {
-	exec, mask, maxRow := p.exec, p.mask, p.maxMaskRow
+func bindMCA[T any, S semiring.Semiring[T]](p *Plan[T, S], e *Executor[T, S], a, b *sparse.CSR[T]) kernels[T] {
+	exec, mask, maxRow := e, p.mask, p.maxMaskRow
 	return kernels[T]{
 		numeric: func(tid, i int, outIdx []int32, outVal []T) int {
 			return mcaRowNumeric(exec.worker(tid).MCA(maxRow), mask.Row(i), a.Row(i), a.RowVals(i), b, outIdx, outVal)

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"maskedspgemm/internal/parallel"
 	"maskedspgemm/internal/semiring"
@@ -12,8 +13,8 @@ import (
 // Plan captures everything about a masked product C = M ⊙ (A·B) that
 // depends only on the operands' *structure*: shape validation, the
 // scheme's capability check, one-phase slab offsets (the mask's own
-// layout for plain masks, the §5.2 bounds for complemented ones), B's
-// CSC transpose for the pull-based schemes, the Hybrid per-row
+// layout for plain masks, the §5.2 bounds for complemented ones), the
+// CSC structure of B for the pull-based schemes, the Hybrid per-row
 // pull/push decisions, accumulator sizing hints, and the flops
 // profile. Executing the plan then does only the numeric work.
 //
@@ -24,7 +25,13 @@ import (
 // that amortization: analyze once with NewPlan, execute many times
 // with Execute.
 //
-// A Plan (and the Executor behind it) is not safe for concurrent use.
+// A Plan is immutable after NewPlan and therefore safe to share across
+// goroutines — this is what lets a PlanCache hand one plan to many
+// concurrent requests. All mutable execution state (accumulators,
+// slabs, the refreshed CSC values of B, bound kernels) lives in the
+// Executor, which is NOT concurrency-safe: concurrent executions of a
+// shared plan must each use their own executor (ExecuteOn), typically
+// checked out of an ExecutorPool.
 type Plan[T any, S semiring.Semiring[T]] struct {
 	sr   S
 	opt  Options
@@ -37,12 +44,14 @@ type Plan[T any, S semiring.Semiring[T]] struct {
 	aNNZ, bNNZ   int64
 
 	// offsets is the one-phase slab layout (nil under TwoPhase or for
-	// direct schemes).
+	// direct schemes). For plain masks it aliases mask.RowPtr.
 	offsets []int64
-	// bt is B's cached CSC view for pull-based schemes; btPerm refreshes
-	// its values in O(nnz) on every Execute, since callers may mutate B's
-	// values in place between executions.
-	bt     *sparse.CSC[T]
+	// btPtr/btIdx/btPerm are the CSC *structure* of B for pull-based
+	// schemes. Values are not part of the plan: every ExecuteOn
+	// refreshes them through btPerm into an executor-owned buffer,
+	// since callers may mutate B's values in place between executions.
+	btPtr  []int64
+	btIdx  []int32
 	btPerm []int64
 	// pull is Hybrid's per-row §4.3 cost-model decision.
 	pull []bool
@@ -51,24 +60,37 @@ type Plan[T any, S semiring.Semiring[T]] struct {
 	// maxMaskRow / maxARow size the hash/MCA and heap accumulators.
 	maxMaskRow, maxARow int
 	// flops is the unmasked multiply–add count of A·B, the normalizer of
-	// the paper's GFLOPS rates; computed on first use.
+	// the paper's GFLOPS rates; computed on first use (flopsOnce makes
+	// the lazy computation safe on shared plans).
 	flops     int64
-	flopsDone bool
+	flopsOnce sync.Once
 
+	// exec is the plan's default executor, used by the single-owner
+	// Execute path. Detached plans (built for a PlanCache) have none and
+	// are executed via ExecuteOn.
 	exec *Executor[T, S]
 	reg  schemeKernels[T, S]
-
-	// Bound kernels are cached per (A, B) identity so steady-state
-	// Execute calls allocate no closures.
-	lastA, lastB *sparse.CSR[T]
-	bound        kernels[T]
-	haveBound    bool
 }
 
 // NewPlan validates and analyzes one masked product and returns a
 // reusable execution plan. exec supplies the pooled workspaces; nil
 // creates a private one. opt is normalized and frozen into the plan.
 func NewPlan[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options, exec *Executor[T, S]) (*Plan[T, S], error) {
+	p, err := newDetachedPlan(sr, mask, a, b, opt)
+	if err != nil {
+		return nil, err
+	}
+	if exec == nil {
+		exec = NewExecutor[T](sr)
+	}
+	exec.ensureWorkers(p.opt.Threads)
+	p.exec = exec
+	return p, nil
+}
+
+// newDetachedPlan builds the immutable analysis without binding an
+// executor — the form a PlanCache stores and shares across goroutines.
+func newDetachedPlan[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options) (*Plan[T, S], error) {
 	if err := validate(mask, a, b); err != nil {
 		return nil, err
 	}
@@ -80,15 +102,11 @@ func NewPlan[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, a, b *sp
 	if opt.Complement && !info.Complement {
 		return nil, errors.New(info.ComplementNote)
 	}
-	if exec == nil {
-		exec = NewExecutor[T](sr)
-	}
-	exec.ensureWorkers(opt.Threads)
 	p := &Plan[T, S]{
 		sr: sr, opt: opt, info: info, mask: mask,
 		aRows: a.Rows, aCols: a.Cols, bRows: b.Rows, bCols: b.Cols,
 		aNNZ: a.NNZ(), bNNZ: b.NNZ(),
-		exec: exec, reg: kernelsForAlgo[T, S](opt.Algorithm),
+		reg: kernelsForAlgo[T, S](opt.Algorithm),
 	}
 	if p.reg.direct == nil {
 		if opt.Phases == OnePhase {
@@ -99,7 +117,7 @@ func NewPlan[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, a, b *sp
 			}
 		}
 		if p.needsCSC() && !info.TransposePerExecute {
-			p.bt, p.btPerm = sparse.ToCSCPerm(b)
+			p.btPtr, p.btIdx, p.btPerm = sparse.ToCSCStructure(b)
 		}
 		switch opt.Algorithm {
 		case AlgoHash, AlgoMCA:
@@ -159,14 +177,30 @@ func (p *Plan[T, S]) planHybrid(a, b *sparse.CSR[T]) {
 func (p *Plan[T, S]) Options() Options { return p.opt }
 
 // FlopsEstimate returns the unmasked multiply–add count of the planned
-// product (cached after the first call). It needs the numeric A and B
-// only for their structure, so any Execute-compatible pair works.
+// product (cached after the first call; safe on shared plans). It
+// needs the numeric A and B only for their structure, so any
+// Execute-compatible pair works.
 func (p *Plan[T, S]) FlopsEstimate(a, b *sparse.CSR[T]) int64 {
-	if !p.flopsDone {
+	p.flopsOnce.Do(func() {
 		p.flops = Flops(a, b)
-		p.flopsDone = true
-	}
+	})
 	return p.flops
+}
+
+// footprintBytes estimates the retained memory of the plan's analysis
+// arrays, the unit a PlanCache's byte bound meters. The mask is
+// counted because cached plans own a private clone of it; one-phase
+// plain offsets alias the mask's RowPtr and are not double-counted.
+func (p *Plan[T, S]) footprintBytes() int64 {
+	const structOverhead = 256
+	bytes := int64(structOverhead)
+	bytes += int64(len(p.mask.RowPtr))*8 + int64(len(p.mask.ColIdx))*4
+	if len(p.offsets) > 0 && (len(p.mask.RowPtr) == 0 || &p.offsets[0] != &p.mask.RowPtr[0]) {
+		bytes += int64(len(p.offsets)) * 8
+	}
+	bytes += int64(len(p.btPtr))*8 + int64(len(p.btIdx))*4 + int64(len(p.btPerm))*8
+	bytes += int64(len(p.pull))
+	return bytes
 }
 
 // checkArgs verifies an Execute argument pair matches the planned
@@ -185,63 +219,47 @@ func (p *Plan[T, S]) checkArgs(a, b *sparse.CSR[T]) error {
 	return nil
 }
 
-// refreshCSC brings the cached CSC view of B up to date with the
-// values of the matrix being executed. For the SS:DOT baseline the
-// transpose is rebuilt wholesale every call — its defining overhead
-// (§8.4); otherwise the cached transpose is value-refreshed through
-// the recorded permutation on every call. The refresh cannot be
-// skipped on pointer identity: the Execute contract lets callers
-// mutate B's values in place between executions, so identity proves
-// nothing about value freshness, and the O(nnz) copy is within every
-// pull scheme's numeric work anyway.
-func (p *Plan[T, S]) refreshCSC(b *sparse.CSR[T]) {
-	if !p.needsCSC() {
-		return
+// Execute runs the planned product on (a, b) using the plan's default
+// executor — the single-owner path. Plans built for a PlanCache have
+// no default executor (they are shared, and an executor must not be);
+// execute those with ExecuteOn.
+func (p *Plan[T, S]) Execute(a, b *sparse.CSR[T]) (*sparse.CSR[T], error) {
+	if p.exec == nil {
+		return nil, errors.New("core: shared plan has no default executor; use ExecuteOn with an owned executor")
 	}
-	if p.info.TransposePerExecute {
-		p.bt = sparse.ToCSC(b)
-		return
-	}
-	for i, q := range p.btPerm {
-		p.bt.Val[i] = b.Val[q]
-	}
+	return p.ExecuteOn(p.exec, a, b)
 }
 
-// kernelsFor returns the scheme's row kernels bound to (a, b), reusing
-// the previous binding when the operands are the same matrices.
-func (p *Plan[T, S]) kernelsFor(a, b *sparse.CSR[T]) kernels[T] {
-	if p.haveBound && p.lastA == a && p.lastB == b {
-		return p.bound
-	}
-	bind := p.reg.plain
-	if p.opt.Complement {
-		bind = p.reg.complement
-	}
-	p.bound = bind(p, a, b)
-	p.lastA, p.lastB = a, b
-	p.haveBound = true
-	return p.bound
-}
-
-// Execute runs the planned product on (a, b), which must have the
-// structure the plan was built from (values may differ — that is the
-// point of reuse). Output rows are sorted.
+// ExecuteOn runs the planned product on (a, b) drawing all mutable
+// execution state from exec. (a, b) must have the structure the plan
+// was built from (values may differ — that is the point of reuse).
+// Output rows are sorted.
+//
+// The plan itself is read-only here, so any number of goroutines may
+// ExecuteOn one shared plan concurrently, provided each uses its own
+// executor that it owns exclusively for the duration of the call (the
+// ExecutorPool checkout contract, DESIGN.md §8).
 //
 // With Options.ReuseOutput set, the returned matrix is backed by
-// executor-owned buffers and stays valid only until the next Execute
-// on any plan sharing this executor; Clone it to retain. Without it
-// (the default) the output is freshly allocated and only the internal
+// executor-owned buffers and stays valid only until the next execution
+// on the same executor — for pooled executors that means until the
+// executor is returned; Clone the result to retain it. Without it (the
+// default) the output is freshly allocated and only the internal
 // scratch is pooled.
-func (p *Plan[T, S]) Execute(a, b *sparse.CSR[T]) (*sparse.CSR[T], error) {
+func (p *Plan[T, S]) ExecuteOn(exec *Executor[T, S], a, b *sparse.CSR[T]) (*sparse.CSR[T], error) {
+	if exec == nil {
+		return nil, errors.New("core: ExecuteOn requires an executor")
+	}
 	if err := p.checkArgs(a, b); err != nil {
 		return nil, err
 	}
 	if p.reg.direct != nil {
 		return p.reg.direct(p, a, b)
 	}
-	p.refreshCSC(b)
-	k := p.kernelsFor(a, b)
-	es := &p.exec.scratch
+	exec.ensureWorkers(p.opt.Threads)
+	exec.prepareCSC(p, b)
+	k := exec.kernelsFor(p, a, b)
+	es := &exec.scratch
 	es.reuseOut = p.opt.ReuseOutput
 	if p.opt.Phases == TwoPhase {
 		return twoPhase(p.mask.Rows, p.mask.Cols, p.opt.Threads, p.opt.Grain, k.symbolic, k.numeric, es), nil

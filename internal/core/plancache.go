@@ -1,0 +1,215 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+)
+
+// PlanCache is a concurrency-safe LRU cache of execution plans keyed
+// by operand *structure*. A server answering many queries against a
+// fixed graph — or an iterative algorithm whose mask structure
+// recurs — repeats exactly the per-structure analysis NewPlan does
+// (validation, slab layout, CSC transposition, hybrid cost modeling);
+// the cache turns those repeats into a fingerprint pass plus a map
+// lookup, which BenchmarkPlanCache shows is allocation-free and an
+// order of magnitude cheaper than re-planning.
+//
+// Keys combine the structural fingerprints of mask, A, and B
+// (sparse.Pattern.Fingerprint — values never enter, so matrices whose
+// numbers change in place keep hitting) with the full normalized
+// Options, since every option can affect analysis or execution.
+// Fingerprints are recomputed on every lookup: the cache never trusts
+// pointer identity, so mutating a matrix's structure in place simply
+// misses and plans afresh. Cached plans own a private clone of the
+// mask, making entries immune to callers mutating the original mask
+// after insertion. Two different structures colliding on all three
+// 64-bit fingerprints would alias an entry; the probability is ~2⁻⁶⁴
+// per pair and is accepted (DESIGN.md §8).
+//
+// Plans returned by GetOrPlan are immutable and shared: any number of
+// goroutines may hold and ExecuteOn one concurrently, each with its
+// own executor. They have no default executor, so Plan.Execute errors;
+// pair the cache with an ExecutorPool.
+type PlanCache[T any, S semiring.Semiring[T]] struct {
+	sr         S
+	maxEntries int
+	maxBytes   int64
+
+	mu      sync.Mutex
+	lru     *list.List // front = most recently used; values are *planEntry[T, S]
+	table   map[planKey]*list.Element
+	bytes   int64
+	hits    uint64
+	misses  uint64
+	evicted uint64
+}
+
+// planKey identifies one cached analysis: the three operand structure
+// fingerprints plus the normalized Options (Options is a comparable
+// all-scalar struct, so the key works as a map key without
+// allocation).
+type planKey struct {
+	maskFP, aFP, bFP uint64
+	opt              Options
+}
+
+type planEntry[T any, S semiring.Semiring[T]] struct {
+	key   planKey
+	plan  *Plan[T, S]
+	bytes int64
+}
+
+// DefaultPlanCacheEntries is the entry bound used when NewPlanCache is
+// given maxEntries <= 0.
+const DefaultPlanCacheEntries = 128
+
+// NewPlanCache returns an empty cache over the given semiring holding
+// at most maxEntries plans (<= 0 means DefaultPlanCacheEntries) and at
+// most maxBytes of estimated analysis memory (<= 0 means unbounded).
+// Both bounds evict least-recently-used entries.
+func NewPlanCache[T any, S semiring.Semiring[T]](sr S, maxEntries int, maxBytes int64) *PlanCache[T, S] {
+	if maxEntries <= 0 {
+		maxEntries = DefaultPlanCacheEntries
+	}
+	return &PlanCache[T, S]{
+		sr:         sr,
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		lru:        list.New(),
+		table:      make(map[planKey]*list.Element),
+	}
+}
+
+// keyFor fingerprints the operands, hashing each distinct Pattern
+// object once (mask = A = B is the common case in the graph
+// workloads: C = L ⊙ (L·L)).
+func (c *PlanCache[T, S]) keyFor(mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options) planKey {
+	k := planKey{opt: opt}
+	k.maskFP = mask.Fingerprint()
+	switch {
+	case &a.Pattern == mask:
+		k.aFP = k.maskFP
+	default:
+		k.aFP = a.Pattern.Fingerprint()
+	}
+	switch {
+	case &b.Pattern == mask:
+		k.bFP = k.maskFP
+	case &b.Pattern == &a.Pattern:
+		k.bFP = k.aFP
+	default:
+		k.bFP = b.Pattern.Fingerprint()
+	}
+	return k
+}
+
+// GetOrPlan returns the cached plan for the operands' structure and
+// options, building and inserting it on a miss. The returned plan is
+// shared and immutable: execute it with ExecuteOn and an executor the
+// caller owns. Lookups from concurrent goroutines are safe; concurrent
+// misses on the same structure may plan twice, with one result cached
+// (last insert wins the map slot, both plans stay valid).
+func (c *PlanCache[T, S]) GetOrPlan(mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options) (*Plan[T, S], error) {
+	opt.normalize()
+	key := c.keyFor(mask, a, b, opt)
+
+	c.mu.Lock()
+	if el, ok := c.table[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		plan := el.Value.(*planEntry[T, S]).plan
+		c.mu.Unlock()
+		return plan, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Plan outside the lock: analysis is the expensive part and must
+	// not serialize concurrent lookups of other structures. The mask is
+	// cloned so the cached plan survives callers later mutating the
+	// original in place (such a mutation changes the fingerprint, so
+	// the stale entry can never be returned for the mutated matrix —
+	// but it must stay correct for genuine re-occurrences of the old
+	// structure).
+	plan, err := newDetachedPlan(c.sr, mask.Clone(), a, b, opt)
+	if err != nil {
+		return nil, err
+	}
+	entry := &planEntry[T, S]{key: key, plan: plan, bytes: plan.footprintBytes()}
+
+	c.mu.Lock()
+	if el, ok := c.table[key]; ok {
+		// Raced with another miss; keep the incumbent so both callers
+		// converge on one shared plan.
+		c.lru.MoveToFront(el)
+		plan = el.Value.(*planEntry[T, S]).plan
+		c.mu.Unlock()
+		return plan, nil
+	}
+	c.table[key] = c.lru.PushFront(entry)
+	c.bytes += entry.bytes
+	c.evictLocked()
+	c.mu.Unlock()
+	return plan, nil
+}
+
+// evictLocked drops least-recently-used entries until both bounds
+// hold. Always keeps the most recent entry, so a single plan larger
+// than maxBytes still caches (and evicts everything else).
+func (c *PlanCache[T, S]) evictLocked() {
+	for c.lru.Len() > 1 && (c.lru.Len() > c.maxEntries || (c.maxBytes > 0 && c.bytes > c.maxBytes)) {
+		el := c.lru.Back()
+		entry := el.Value.(*planEntry[T, S])
+		c.lru.Remove(el)
+		delete(c.table, entry.key)
+		c.bytes -= entry.bytes
+		c.evicted++
+	}
+}
+
+// Len returns the number of cached plans.
+func (c *PlanCache[T, S]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Clear empties the cache, keeping the counters. Plans already handed
+// out stay valid — clearing only drops the cache's references.
+func (c *PlanCache[T, S]) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Init()
+	clear(c.table)
+	c.bytes = 0
+}
+
+// PlanCacheStats is a point-in-time snapshot of cache effectiveness.
+type PlanCacheStats struct {
+	// Hits counts lookups answered from the cache.
+	Hits uint64
+	// Misses counts lookups that had to plan.
+	Misses uint64
+	// Evictions counts entries dropped by the entry or byte bound.
+	Evictions uint64
+	// Entries is the current number of cached plans.
+	Entries int
+	// Bytes is the estimated retained analysis memory of all entries.
+	Bytes int64
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *PlanCache[T, S]) Stats() PlanCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PlanCacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evicted,
+		Entries:   c.lru.Len(),
+		Bytes:     c.bytes,
+	}
+}

@@ -59,16 +59,16 @@ func pushKernels[T any, A pushAcc[T]](mask *sparse.Pattern, a, b *sparse.CSR[T],
 }
 
 // bindMSA registers the MSA scheme (§5.2).
-func bindMSA[T any, S semiring.Semiring[T]](p *Plan[T, S], a, b *sparse.CSR[T]) kernels[T] {
-	exec, ncols := p.exec, b.Cols
+func bindMSA[T any, S semiring.Semiring[T]](p *Plan[T, S], e *Executor[T, S], a, b *sparse.CSR[T]) kernels[T] {
+	exec, ncols := e, b.Cols
 	return pushKernels(p.mask, a, b, func(tid int) *accum.MSA[T, S] {
 		return exec.worker(tid).MSA(ncols)
 	})
 }
 
 // bindMSAEpoch registers the epoch-reset MSA ablation variant.
-func bindMSAEpoch[T any, S semiring.Semiring[T]](p *Plan[T, S], a, b *sparse.CSR[T]) kernels[T] {
-	exec, ncols := p.exec, b.Cols
+func bindMSAEpoch[T any, S semiring.Semiring[T]](p *Plan[T, S], e *Executor[T, S], a, b *sparse.CSR[T]) kernels[T] {
+	exec, ncols := e, b.Cols
 	return pushKernels(p.mask, a, b, func(tid int) *accum.MSAEpoch[T, S] {
 		return exec.worker(tid).MSAEpoch(ncols)
 	})
@@ -76,8 +76,8 @@ func bindMSAEpoch[T any, S semiring.Semiring[T]](p *Plan[T, S], a, b *sparse.CSR
 
 // bindHash registers the hash scheme (§5.3). Tables are sized per
 // worker by the densest mask row, precomputed at plan time.
-func bindHash[T any, S semiring.Semiring[T]](p *Plan[T, S], a, b *sparse.CSR[T]) kernels[T] {
-	exec, maxRow, lf := p.exec, p.maxMaskRow, p.opt.HashLoadFactor
+func bindHash[T any, S semiring.Semiring[T]](p *Plan[T, S], e *Executor[T, S], a, b *sparse.CSR[T]) kernels[T] {
+	exec, maxRow, lf := e, p.maxMaskRow, p.opt.HashLoadFactor
 	return pushKernels(p.mask, a, b, func(tid int) *accum.Hash[T, S] {
 		return exec.worker(tid).Hash(maxRow, lf)
 	})

@@ -119,11 +119,12 @@ type kernels[T any] struct {
 	symbolic rowSymbolicFn
 }
 
-// kernelBinder closes a scheme's row kernels over one (plan, A, B)
-// binding. Binders read precomputed analysis (CSC transpose, hybrid
-// row decisions, heap NInspect) from the plan and draw accumulator
-// scratch from the plan's executor.
-type kernelBinder[T any, S semiring.Semiring[T]] func(p *Plan[T, S], a, b *sparse.CSR[T]) kernels[T]
+// kernelBinder closes a scheme's row kernels over one (plan, executor,
+// A, B) binding. Binders read precomputed analysis (CSC structure,
+// hybrid row decisions, heap NInspect) from the immutable plan and
+// draw all mutable scratch — accumulators, the refreshed CSC values of
+// B — from the executor, so one plan can be bound on many executors.
+type kernelBinder[T any, S semiring.Semiring[T]] func(p *Plan[T, S], e *Executor[T, S], a, b *sparse.CSR[T]) kernels[T]
 
 // schemeKernels is the generic half of a registry entry: how to build
 // the scheme's kernels for plain and complemented masks, or — for

@@ -133,6 +133,54 @@ func TestKTrussKnownGraphs(t *testing.T) {
 	}
 }
 
+// TestKTrussWorkloadPlanReuse pins the serving fix: a persistent
+// workload reuses cached plans whenever a mask structure recurs.
+// Re-running the same k must replay every iteration's plan from
+// cache; running a different k must at least reuse the full-graph
+// first-iteration plan. Results must be identical to one-shot runs.
+func TestKTrussWorkloadPlanReuse(t *testing.T) {
+	g := gen.RMATSymmetric(gen.RMATConfig{Scale: 8, EdgeFactor: 8, Seed: 31})
+	opt := core.Options{Algorithm: core.AlgoMSA}
+	w, err := PrepareKTruss(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := w.Run(5, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.PlansReused != 0 {
+		t.Fatalf("cold run reused %d plans, want 0", first.PlansReused)
+	}
+	again, err := w.Run(5, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.PlansReused != again.Iterations {
+		t.Fatalf("repeat run reused %d/%d plans, want all", again.PlansReused, again.Iterations)
+	}
+	if !sparse.PatternEqual(&first.Truss.Pattern, &again.Truss.Pattern) {
+		t.Fatal("repeat run changed the truss")
+	}
+	other, err := w.Run(4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.PlansReused < 1 {
+		t.Fatal("different k should reuse at least the full-graph plan")
+	}
+	oneShot, err := KTruss(g, 4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.PatternEqual(&oneShot.Truss.Pattern, &other.Truss.Pattern) {
+		t.Fatal("workload run differs from one-shot run")
+	}
+	if st := w.CacheStats(); st.Hits == 0 || st.Entries == 0 {
+		t.Fatalf("implausible cache stats %+v", st)
+	}
+}
+
 func TestPrepareTriangleCountRejectsRectangular(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -10,10 +10,14 @@ import (
 // Entries may be unsorted and may contain duplicates until Compact is
 // called; ToCSR handles both.
 type COO[T any] struct {
+	// Rows and Cols are the matrix dimensions.
 	Rows, Cols int
-	RowIdx     []int32
-	ColIdx     []int32
-	Val        []T
+	// RowIdx holds each entry's row index, parallel to ColIdx and Val.
+	RowIdx []int32
+	// ColIdx holds each entry's column index.
+	ColIdx []int32
+	// Val holds each entry's value.
+	Val []T
 }
 
 // NewCOO returns an empty triple list with the given shape and capacity

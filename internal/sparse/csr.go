@@ -24,9 +24,13 @@ import (
 // the paper's Masked SpGEMM uses only the positions of the mask, never
 // its values (§2).
 type Pattern struct {
+	// Rows and Cols are the matrix dimensions.
 	Rows, Cols int
-	RowPtr     []int64
-	ColIdx     []int32
+	// RowPtr has Rows+1 monotone entries; row i occupies
+	// ColIdx[RowPtr[i]:RowPtr[i+1]].
+	RowPtr []int64
+	// ColIdx holds sorted, duplicate-free column indices per row.
+	ColIdx []int32
 }
 
 // NNZ returns the number of stored entries.
@@ -128,6 +132,7 @@ func (p *Pattern) Has(i int, j int32) bool {
 // row format. Pattern invariants apply; Val runs parallel to ColIdx.
 type CSR[T any] struct {
 	Pattern
+	// Val holds the stored values, parallel to Pattern.ColIdx.
 	Val []T
 }
 
@@ -188,10 +193,15 @@ func (a *CSR[T]) At(i int, j int32) (T, bool) {
 // used by the pull-based Inner algorithm, which walks columns of B
 // (§4.1: "A stored in CSR and B in CSC").
 type CSC[T any] struct {
+	// Rows and Cols are the matrix dimensions.
 	Rows, Cols int
-	ColPtr     []int64
-	RowIdx     []int32
-	Val        []T
+	// ColPtr has Cols+1 monotone entries; column j occupies
+	// RowIdx[ColPtr[j]:ColPtr[j+1]].
+	ColPtr []int64
+	// RowIdx holds sorted, duplicate-free row indices per column.
+	RowIdx []int32
+	// Val holds the stored values, parallel to RowIdx.
+	Val []T
 }
 
 // NNZ returns the number of stored entries.

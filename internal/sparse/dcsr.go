@@ -9,6 +9,7 @@ import "fmt"
 // trade once nnz ≪ rows, which happens to the shrinking graphs of
 // iterative algorithms like k-truss.
 type DCSR[T any] struct {
+	// Rows and Cols are the logical matrix dimensions.
 	Rows, Cols int
 	// RowID[r] is the original index of the r-th non-empty row,
 	// strictly increasing.
@@ -17,7 +18,8 @@ type DCSR[T any] struct {
 	RowPtr []int64
 	// ColIdx and Val are as in CSR.
 	ColIdx []int32
-	Val    []T
+	// Val holds the stored values, parallel to ColIdx.
+	Val []T
 }
 
 // NNZ returns the stored-entry count.

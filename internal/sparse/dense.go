@@ -6,8 +6,10 @@ package sparse
 
 // Dense is a row-major dense matrix used only as a test oracle.
 type Dense[T any] struct {
+	// Rows and Cols are the matrix dimensions.
 	Rows, Cols int
-	Data       []T // len Rows*Cols, row-major
+	// Data holds the entries, len Rows*Cols, row-major.
+	Data []T
 }
 
 // NewDense allocates a zeroed rows×cols dense matrix.

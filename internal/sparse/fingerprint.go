@@ -1,0 +1,137 @@
+package sparse
+
+// Structure fingerprints. A fingerprint is a 64-bit hash of everything
+// that defines a pattern's *structure* — dimensions, row pointers, and
+// column indices — and of nothing else: values never enter, so a matrix
+// whose numbers change in place keeps its fingerprint, while inserting,
+// removing, or moving a single stored entry changes it (with collision
+// probability ~2⁻⁶⁴). Plan caches key on fingerprints because a plan
+// depends only on operand structure (DESIGN.md §8).
+//
+// The hash is a word-at-a-time mixer in four independent lanes, so the
+// per-word multiply chains overlap and a fingerprint costs one linear
+// pass at near memory bandwidth — orders of magnitude cheaper than the
+// analysis (CSC transposes, per-row cost models) whose re-execution it
+// avoids. Fingerprints are deterministic within and across processes;
+// they are a cache key, not a cryptographic digest.
+
+// Multiplication/mixing constants borrowed from splitmix64/xxhash;
+// any odd constants with good avalanche behaviour would do.
+const (
+	fpSeed uint64 = 0x9e3779b97f4a7c15
+	fpMul1 uint64 = 0xff51afd7ed558ccd
+	fpMul2 uint64 = 0xc4ceb9fe1a85ec53
+	fpInc  uint64 = 0x165667b19e3779f9
+)
+
+// fpLanes is four running hash lanes plus the number of words absorbed.
+type fpLanes struct {
+	h0, h1, h2, h3 uint64
+	n              uint64
+}
+
+func newFPLanes() fpLanes {
+	return fpLanes{
+		h0: fpSeed,
+		h1: fpSeed ^ fpMul1,
+		h2: fpSeed ^ fpMul2,
+		h3: fpSeed ^ fpInc,
+	}
+}
+
+// word folds one 64-bit word into lane (n mod 4).
+func (l *fpLanes) word(x uint64) {
+	x *= fpMul1
+	x ^= x >> 29
+	x *= fpMul2
+	switch l.n & 3 {
+	case 0:
+		l.h0 = (l.h0 ^ x) * fpMul1
+	case 1:
+		l.h1 = (l.h1 ^ x) * fpMul1
+	case 2:
+		l.h2 = (l.h2 ^ x) * fpMul1
+	default:
+		l.h3 = (l.h3 ^ x) * fpMul1
+	}
+	l.n++
+}
+
+// int64s absorbs a slice of 64-bit words, four per iteration so the
+// lane multiplies are independent (the slice-advance form compiles to
+// a bounds-check-free loop).
+func (l *fpLanes) int64s(s []int64) {
+	h0, h1, h2, h3 := l.h0, l.h1, l.h2, l.h3
+	l.n += uint64(len(s) &^ 3)
+	for len(s) >= 4 {
+		x0 := uint64(s[0]) * fpMul1
+		x1 := uint64(s[1]) * fpMul1
+		x2 := uint64(s[2]) * fpMul1
+		x3 := uint64(s[3]) * fpMul1
+		h0 = (h0 ^ (x0 ^ (x0 >> 29))) * fpMul2
+		h1 = (h1 ^ (x1 ^ (x1 >> 29))) * fpMul2
+		h2 = (h2 ^ (x2 ^ (x2 >> 29))) * fpMul2
+		h3 = (h3 ^ (x3 ^ (x3 >> 29))) * fpMul2
+		s = s[4:]
+	}
+	l.h0, l.h1, l.h2, l.h3 = h0, h1, h2, h3
+	for _, w := range s {
+		l.word(uint64(w))
+	}
+}
+
+// int32s absorbs a slice of 32-bit words, packed two per 64-bit word.
+// A trailing odd element is absorbed alone with an extra bump of the
+// absorbed-word counter, so suffixes [v] and [v, 0] — which pack to
+// the same final word — still reach distinct states.
+func (l *fpLanes) int32s(s []int32) {
+	h0, h1, h2, h3 := l.h0, l.h1, l.h2, l.h3
+	l.n += uint64((len(s) &^ 7) / 2)
+	for len(s) >= 8 {
+		x0 := (uint64(uint32(s[0])) | uint64(uint32(s[1]))<<32) * fpMul1
+		x1 := (uint64(uint32(s[2])) | uint64(uint32(s[3]))<<32) * fpMul1
+		x2 := (uint64(uint32(s[4])) | uint64(uint32(s[5]))<<32) * fpMul1
+		x3 := (uint64(uint32(s[6])) | uint64(uint32(s[7]))<<32) * fpMul1
+		h0 = (h0 ^ (x0 ^ (x0 >> 29))) * fpMul2
+		h1 = (h1 ^ (x1 ^ (x1 >> 29))) * fpMul2
+		h2 = (h2 ^ (x2 ^ (x2 >> 29))) * fpMul2
+		h3 = (h3 ^ (x3 ^ (x3 >> 29))) * fpMul2
+		s = s[8:]
+	}
+	l.h0, l.h1, l.h2, l.h3 = h0, h1, h2, h3
+	for len(s) >= 2 {
+		l.word(uint64(uint32(s[0])) | uint64(uint32(s[1]))<<32)
+		s = s[2:]
+	}
+	if len(s) > 0 {
+		l.word(uint64(uint32(s[0])))
+		l.n++
+	}
+}
+
+// sum finalizes the lanes into one 64-bit fingerprint.
+func (l *fpLanes) sum() uint64 {
+	h := l.h0
+	h = (h ^ l.h1) * fpMul1
+	h = (h ^ l.h2) * fpMul2
+	h = (h ^ l.h3) * fpMul1
+	h ^= l.n * fpInc
+	h ^= h >> 33
+	h *= fpMul2
+	h ^= h >> 29
+	return h
+}
+
+// Fingerprint returns the 64-bit structural hash of the pattern:
+// dimensions, row pointers, and column indices. Values play no part —
+// a CSR matrix and its PatternView fingerprint identically, and
+// mutating values in place does not change the fingerprint. The cost
+// is one linear pass over RowPtr and ColIdx.
+func (p *Pattern) Fingerprint() uint64 {
+	l := newFPLanes()
+	l.word(uint64(p.Rows))
+	l.word(uint64(p.Cols))
+	l.int64s(p.RowPtr)
+	l.int32s(p.ColIdx)
+	return l.sum()
+}

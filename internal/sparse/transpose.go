@@ -75,6 +75,36 @@ func ToCSCPerm[T any](a *CSR[T]) (*CSC[T], []int64) {
 	return cscScatter(a, perm), perm
 }
 
+// ToCSCStructure computes the CSC *structure* of a — column pointers,
+// row indices, and the scatter permutation — without materializing
+// values. Shareable execution plans cache exactly this: the structure
+// is immutable for the plan's lifetime, while values are refreshed
+// through perm into an executor-owned buffer on every execution
+// (Val[p] = a.Val[perm[p]]).
+func ToCSCStructure[T any](a *CSR[T]) (colPtr []int64, rowIdx []int32, perm []int64) {
+	nnz := a.NNZ()
+	colPtr = make([]int64, a.Cols+1)
+	rowIdx = make([]int32, nnz)
+	perm = make([]int64, nnz)
+	for _, j := range a.ColIdx {
+		colPtr[j+1]++
+	}
+	for j := 0; j < a.Cols; j++ {
+		colPtr[j+1] += colPtr[j]
+	}
+	next := append([]int64(nil), colPtr...)
+	for i := 0; i < a.Rows; i++ {
+		lo := a.RowPtr[i]
+		for k, j := range a.Row(i) {
+			p := next[j]
+			rowIdx[p] = int32(i)
+			perm[p] = lo + int64(k)
+			next[j]++
+		}
+	}
+	return colPtr, rowIdx, perm
+}
+
 // cscScatter is the counting-sort CSR→CSC conversion behind ToCSC and
 // ToCSCPerm; a non-nil perm (length nnz) additionally records the
 // scatter permutation.

@@ -18,14 +18,18 @@ import (
 
 // MatrixStats summarizes one sparse matrix's structure.
 type MatrixStats struct {
+	// Rows and Cols are the matrix dimensions.
 	Rows, Cols int
-	NNZ        int64
+	// NNZ is the stored entry count.
+	NNZ int64
 	// Density is nnz / (rows·cols).
 	Density float64
-	// MinDegree/MaxDegree/MeanDegree/MedianDegree describe row sizes.
+	// MinDegree and MaxDegree bound the row sizes.
 	MinDegree, MaxDegree int
-	MeanDegree           float64
-	MedianDegree         int
+	// MeanDegree is the average row size.
+	MeanDegree float64
+	// MedianDegree is the median row size.
+	MedianDegree int
 	// DegreeP99 is the 99th-percentile row size; the skew indicator.
 	DegreeP99 int
 	// EmptyRows counts rows with no entries (hypersparsity signal).

@@ -1,0 +1,133 @@
+package maskedspgemm
+
+import (
+	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/semiring"
+)
+
+// arith is the facade's fixed semiring: float64 ⟨+,×⟩.
+type arith = semiring.PlusTimes[float64]
+
+// Session is the serving facade for server-style workloads: many
+// masked products, issued concurrently, against recurring structures
+// (the paper's motivating scenario — §8's applications re-multiply
+// over a fixed graph, and a query server does the same across
+// requests). A Session wires together the two pieces that make that
+// cheap:
+//
+//   - a structure-keyed plan cache, so a product whose mask/A/B
+//     structure has been seen before skips all per-structure analysis
+//     (validation, slab layout, CSC transposition, hybrid cost
+//     modeling) — repeat-structure planning is allocation-free and an
+//     order of magnitude cheaper than planning anew;
+//   - a bounded executor pool, so the per-worker accumulators and
+//     scratch buffers — deliberately not concurrency-safe — are checked
+//     out per request and reused across requests, keeping steady-state
+//     execution allocation near zero while capping retained memory.
+//
+// All Session methods are safe for concurrent use by multiple
+// goroutines. Construct one Session per served dataset (or per
+// process) and share it.
+//
+// For single-goroutine iterative loops the lower-level NewPlan /
+// Executor API remains the sharper tool; see DESIGN.md §8 for how the
+// pieces relate.
+type Session struct {
+	cache *core.PlanCache[float64, arith]
+	pool  *core.ExecutorPool[float64, arith]
+}
+
+// SessionOption configures NewSession.
+type SessionOption func(*sessionConfig)
+
+// sessionConfig collects the tunables behind SessionOption.
+type sessionConfig struct {
+	cacheEntries int
+	cacheBytes   int64
+	maxIdle      int
+}
+
+// WithPlanCacheEntries bounds the number of cached plans (default
+// core's DefaultPlanCacheEntries, 128). Least-recently-used plans are
+// evicted beyond the bound.
+func WithPlanCacheEntries(n int) SessionOption {
+	return func(c *sessionConfig) { c.cacheEntries = n }
+}
+
+// WithPlanCacheBytes bounds the estimated analysis memory retained by
+// the plan cache (default unbounded). Least-recently-used plans are
+// evicted beyond the bound.
+func WithPlanCacheBytes(n int64) SessionOption {
+	return func(c *sessionConfig) { c.cacheBytes = n }
+}
+
+// WithMaxIdleExecutors bounds how many idle executors the session
+// retains between requests (default GOMAXPROCS). Each idle executor
+// holds accumulators sized by the largest product it has executed, so
+// this bound caps the session's retained scratch memory.
+func WithMaxIdleExecutors(n int) SessionOption {
+	return func(c *sessionConfig) { c.maxIdle = n }
+}
+
+// NewSession returns an empty session: nothing is cached or pooled
+// until the first Multiply.
+func NewSession(opts ...SessionOption) *Session {
+	var cfg sessionConfig
+	for _, f := range opts {
+		f(&cfg)
+	}
+	sr := arith{}
+	return &Session{
+		cache: core.NewPlanCache[float64](sr, cfg.cacheEntries, cfg.cacheBytes),
+		pool:  core.NewExecutorPool[float64](sr, cfg.maxIdle),
+	}
+}
+
+// Multiply computes C = M ⊙ (A·B) like the package-level Multiply, but
+// through the session's plan cache and executor pool: a product whose
+// operand structure (and options) recur pays only the numeric work.
+// Safe for concurrent use.
+//
+// WithReuseOutput is ignored here — the result must outlive the pooled
+// executor that produced it, so outputs are always freshly allocated.
+func (s *Session) Multiply(mask *Pattern, a, b *Matrix, opts ...Option) (*Matrix, error) {
+	o := buildOptions(opts)
+	o.ReuseOutput = false
+	plan, err := s.cache.GetOrPlan(mask, a, b, o)
+	if err != nil {
+		return nil, err
+	}
+	exec := s.pool.Get()
+	defer s.pool.Put(exec)
+	return plan.ExecuteOn(exec, a, b)
+}
+
+// Warm plans (or confirms a cached plan for) the given structure
+// without executing, so a server can pre-populate its cache at startup
+// and keep first-request latency flat.
+func (s *Session) Warm(mask *Pattern, a, b *Matrix, opts ...Option) error {
+	o := buildOptions(opts)
+	o.ReuseOutput = false
+	_, err := s.cache.GetOrPlan(mask, a, b, o)
+	return err
+}
+
+// CacheStats re-exports the plan cache counters (see SessionStats).
+type CacheStats = core.PlanCacheStats
+
+// PoolStats re-exports the executor pool counters (see SessionStats).
+type PoolStats = core.ExecutorPoolStats
+
+// SessionStats is a point-in-time snapshot of a session's cache and
+// pool behaviour, for dashboards and capacity tuning.
+type SessionStats struct {
+	// Cache reports plan-cache hits, misses, evictions, and footprint.
+	Cache CacheStats
+	// Pool reports executor creations, reuses, discards, and idle count.
+	Pool PoolStats
+}
+
+// Stats returns a snapshot of the session's counters.
+func (s *Session) Stats() SessionStats {
+	return SessionStats{Cache: s.cache.Stats(), Pool: s.pool.Stats()}
+}

@@ -1,0 +1,199 @@
+package maskedspgemm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"maskedspgemm/internal/sparse"
+)
+
+// sessionGraphs builds a few small recurring structures, the shape of
+// traffic a session exists to serve.
+func sessionGraphs() []*Matrix {
+	return []*Matrix{
+		ErdosRenyi(96, 8, 1),
+		ErdosRenyi(128, 6, 2),
+		RMAT(7, 8, 3),
+	}
+}
+
+// TestSessionMatchesMultiply checks the serving path is just a cached
+// route to the same numbers: Session.Multiply must equal Multiply for
+// every algorithm, on first and repeat requests.
+func TestSessionMatchesMultiply(t *testing.T) {
+	s := NewSession()
+	eq := func(x, y float64) bool { return x == y }
+	for _, g := range sessionGraphs() {
+		for _, algo := range []Algorithm{MSA, Hash, Inner, Hybrid} {
+			want, err := Multiply(g.PatternView(), g, g, WithAlgorithm(algo))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for rep := 0; rep < 2; rep++ {
+				got, err := s.Multiply(g.PatternView(), g, g, WithAlgorithm(algo))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sparse.EqualFunc(want, got, eq) {
+					t.Fatalf("algo %v rep %d: session result differs from Multiply", algo, rep)
+				}
+			}
+		}
+	}
+	st := s.Stats()
+	if st.Cache.Hits == 0 || st.Cache.Misses == 0 {
+		t.Fatalf("stats = %+v: repeats should hit, first requests should miss", st.Cache)
+	}
+}
+
+// TestSessionConcurrent hammers one session from many goroutines with
+// a mix of recurring structures and algorithms, verifying every
+// result. This is the serving-layer race test: shared immutable plans,
+// concurrent cache lookups, pooled executors. Run under -race in CI.
+func TestSessionConcurrent(t *testing.T) {
+	graphs := sessionGraphs()
+	algos := []Algorithm{MSA, Hash, Inner, Hybrid}
+	type query struct {
+		g    *Matrix
+		algo Algorithm
+	}
+	var queries []query
+	wants := make([]*Matrix, 0, len(graphs)*len(algos))
+	for _, g := range graphs {
+		for _, algo := range algos {
+			want, err := Multiply(g.PatternView(), g, g, WithAlgorithm(algo))
+			if err != nil {
+				t.Fatal(err)
+			}
+			queries = append(queries, query{g, algo})
+			wants = append(wants, want)
+		}
+	}
+	s := NewSession(WithMaxIdleExecutors(4))
+	const goroutines = 8
+	const rounds = 12
+	eq := func(x, y float64) bool { return x == y }
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				qi := (worker + r*3) % len(queries)
+				q := queries[qi]
+				got, err := s.Multiply(q.g.PatternView(), q.g, q.g, WithAlgorithm(q.algo))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !sparse.EqualFunc(wants[qi], got, eq) {
+					errs <- fmt.Errorf("worker %d round %d: wrong result for query %d", worker, r, qi)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if total := st.Cache.Hits + st.Cache.Misses; total != goroutines*rounds {
+		t.Fatalf("cache saw %d lookups, want %d", total, goroutines*rounds)
+	}
+	if st.Pool.Idle > 4 {
+		t.Fatalf("pool retained %d idle executors, bound is 4", st.Pool.Idle)
+	}
+}
+
+// TestSessionWarm checks pre-planning populates the cache so the first
+// real request hits.
+func TestSessionWarm(t *testing.T) {
+	g := ErdosRenyi(64, 6, 9)
+	s := NewSession()
+	if err := s.Warm(g.PatternView(), g, g, WithAlgorithm(Inner)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Multiply(g.PatternView(), g, g, WithAlgorithm(Inner)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Cache.Hits != 1 || st.Cache.Misses != 1 {
+		t.Fatalf("stats = %+v, want warm miss then request hit", st.Cache)
+	}
+}
+
+// TestSessionIgnoresReuseOutput pins the ownership rule that makes
+// Session results safe to retain: even when the caller asks for pooled
+// output, the serving path must hand back an independent matrix (the
+// executor that produced it is returned to the pool immediately).
+func TestSessionIgnoresReuseOutput(t *testing.T) {
+	g := ErdosRenyi(64, 6, 10)
+	s := NewSession(WithMaxIdleExecutors(1))
+	r1, err := s.Multiply(g.PatternView(), g, g, WithReuseOutput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := r1.Clone()
+	// A second request through the same (reused) executor must not
+	// overwrite the first result's buffers.
+	if _, err := s.Multiply(g.PatternView(), g, g, WithReuseOutput()); err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.EqualFunc(keep, r1, func(x, y float64) bool { return x == y }) {
+		t.Fatal("session result was clobbered by a later request")
+	}
+}
+
+// TestSessionEvictionBounds checks the session honors its cache
+// bounds under structure churn.
+func TestSessionEvictionBounds(t *testing.T) {
+	s := NewSession(WithPlanCacheEntries(2))
+	for seed := uint64(0); seed < 5; seed++ {
+		g := ErdosRenyi(48, 5, 20+seed)
+		if _, err := s.Multiply(g.PatternView(), g, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Cache.Entries > 2 {
+		t.Fatalf("cache holds %d entries, bound is 2", st.Cache.Entries)
+	}
+	if st.Cache.Evictions == 0 {
+		t.Fatal("expected evictions under churn")
+	}
+}
+
+// BenchmarkSessionMultiply compares serving a recurring structure
+// through a Session against the one-shot Multiply path — the
+// facade-level view of what plan caching plus executor pooling buys.
+func BenchmarkSessionMultiply(b *testing.B) {
+	g := RMAT(11, 8, 5)
+	mask := g.PatternView()
+	for _, algo := range []Algorithm{MSA, Inner} {
+		b.Run(fmt.Sprintf("%v/oneshot", algo), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Multiply(mask, g, g, WithAlgorithm(algo)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%v/session", algo), func(b *testing.B) {
+			s := NewSession()
+			if err := s.Warm(mask, g, g, WithAlgorithm(algo)); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Multiply(mask, g, g, WithAlgorithm(algo)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

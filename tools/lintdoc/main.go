@@ -1,0 +1,148 @@
+// Command lintdoc fails when an exported identifier lacks a godoc
+// comment. It is the CI tripwire behind the documentation rule: every
+// exported const, var, type, function, method, and struct field in the
+// checked packages must carry a doc comment (grouped declarations may
+// document the group).
+//
+// Usage:
+//
+//	go run ./tools/lintdoc [-tests] DIR ...
+//
+// Each DIR is checked as one package directory (not recursively).
+// Exit status 1 and one "file:line: identifier" diagnostic per missing
+// comment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	includeTests := flag.Bool("tests", false, "also check _test.go files")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: lintdoc [-tests] DIR ...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range flag.Args() {
+		miss, err := checkDir(dir, *includeTests)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lintdoc:", err)
+			os.Exit(2)
+		}
+		for _, m := range miss {
+			fmt.Println(m)
+		}
+		bad += len(miss)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "lintdoc: %d undocumented exported identifier(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one package directory and returns a diagnostic per
+// undocumented exported identifier.
+func checkDir(dir string, includeTests bool) ([]string, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var miss []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		miss = append(miss, checkFile(fset, f)...)
+	}
+	return miss, nil
+}
+
+// checkFile walks one file's top-level declarations.
+func checkFile(fset *token.FileSet, f *ast.File) []string {
+	var miss []string
+	report := func(pos token.Pos, what, name string) {
+		miss = append(miss, fmt.Sprintf("%s: undocumented exported %s %s", fset.Position(pos), what, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && d.Doc == nil {
+				what := "function"
+				if d.Recv != nil {
+					what = "method"
+				}
+				report(d.Pos(), what, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			groupDoc := d.Doc != nil
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && s.Doc == nil && s.Comment == nil && !groupDoc {
+						report(s.Pos(), "type", s.Name.Name)
+					}
+					if s.Name.IsExported() {
+						miss = append(miss, checkFields(fset, s)...)
+					}
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						if n.IsExported() && s.Doc == nil && s.Comment == nil && !groupDoc {
+							report(n.Pos(), declKind(d.Tok), n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return miss
+}
+
+// declKind names a value declaration for diagnostics.
+func declKind(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}
+
+// checkFields reports undocumented exported fields of an exported
+// struct type (embedded fields are exempt — they are documented at
+// their own declaration).
+func checkFields(fset *token.FileSet, s *ast.TypeSpec) []string {
+	st, ok := s.Type.(*ast.StructType)
+	if !ok || st.Fields == nil {
+		return nil
+	}
+	var miss []string
+	for _, field := range st.Fields.List {
+		if field.Doc != nil || field.Comment != nil {
+			continue
+		}
+		for _, n := range field.Names {
+			if n.IsExported() {
+				miss = append(miss, fmt.Sprintf("%s: undocumented exported field %s.%s",
+					fset.Position(n.Pos()), s.Name.Name, n.Name))
+			}
+		}
+	}
+	return miss
+}
