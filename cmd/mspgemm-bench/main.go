@@ -1,10 +1,13 @@
 // Command mspgemm-bench regenerates the paper's evaluation artifacts
-// (Figures 7–16) on synthetic workloads. Each figure is a subcommand;
-// "all" runs everything at the default (CI-scale) sizes.
+// (Figures 7–16) on synthetic workloads, plus the scheduler-skew
+// experiment of DESIGN.md §9. Each figure is a subcommand; "all" runs
+// everything at the default (CI-scale) sizes; "sched" runs the
+// scheduling sweep and writes BENCH_sched.json for the perf
+// trajectory.
 //
 // Usage:
 //
-//	mspgemm-bench [flags] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|all
+//	mspgemm-bench [flags] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|sched|all
 //
 // Flags:
 //
@@ -14,6 +17,7 @@
 //	-batch N       betweenness-centrality batch size (default 64; paper 512)
 //	-dim N         Fig-7 matrix dimension exponent (default 12, i.e. 2^12)
 //	-ktruss N      truss order k (default 5)
+//	-sched-out F   where "sched" writes its JSON (default BENCH_sched.json)
 //	-selftest      cross-check all schemes before benchmarking
 package main
 
@@ -35,11 +39,12 @@ func main() {
 		batch    = flag.Int("batch", 64, "BC source batch size")
 		dimExp   = flag.Int("dim", 12, "Fig-7 dimension exponent (2^dim)")
 		ktrussK  = flag.Int("ktruss", 5, "k-truss order")
+		schedOut = flag.String("sched-out", "BENCH_sched.json", "output path for the sched subcommand's JSON")
 		selftest = flag.Bool("selftest", false, "run the cross-scheme self-test first")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mspgemm-bench [flags] fig7|...|fig16|all")
+		fmt.Fprintln(os.Stderr, "usage: mspgemm-bench [flags] fig7|...|fig16|sched|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -57,6 +62,7 @@ func main() {
 		batch:    *batch,
 		dimExp:   *dimExp,
 		ktrussK:  *ktrussK,
+		schedOut: *schedOut,
 	}
 	figure := flag.Arg(0)
 	var err error
@@ -78,6 +84,7 @@ func main() {
 
 type runner struct {
 	threads, reps, scaleMax, batch, dimExp, ktrussK int
+	schedOut                                        string
 }
 
 // scales returns the R-MAT sweep 8..scaleMax (paper: 8..20).
@@ -207,6 +214,30 @@ func (r runner) run(figure string) error {
 			return err
 		}
 		bench.WriteProfile(w, "Figure 16: Betweenness Centrality — ours vs SS:SAXPY*", p)
+	case "sched":
+		cfg := bench.DefaultSchedSkewConfig()
+		if r.scaleMax < cfg.Scale {
+			cfg.Scale = r.scaleMax
+		}
+		cfg.Reps = r.reps
+		cfg.Threads = r.threadsSweep()
+		pts, err := bench.RunSchedSkew(cfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteSchedSkew(w, cfg, pts)
+		f, err := os.Create(r.schedOut)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteSchedJSON(f, cfg, pts); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", r.schedOut)
 	default:
 		return fmt.Errorf("unknown figure %q", figure)
 	}

@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+
+	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/gen"
+	"maskedspgemm/internal/graph"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+)
+
+// The scheduler-skew experiment (DESIGN.md §9): the same masked
+// product timed under every scheduling strategy, on a workload built
+// to break fixed-grain scheduling (an R-MAT graph relabeled so its
+// hub rows sit adjacent at the tail — a few late 64-row blocks hold a
+// huge share of the flops) and on a uniform Erdős-Rényi control where
+// nothing should change. cmd/mspgemm-bench's "sched" subcommand emits
+// the results as BENCH_sched.json for the performance trajectory.
+
+// SchedSkewConfig configures RunSchedSkew.
+type SchedSkewConfig struct {
+	// Scale is the R-MAT scale of the skewed workload (2^Scale rows);
+	// the uniform control matches its dimension.
+	Scale int
+	// EdgeFactor is edges per vertex for both workloads.
+	EdgeFactor int
+	// Threads lists the worker counts to sweep.
+	Threads []int
+	// Reps is timing repetitions per point (best-of, see TimeBest).
+	Reps int
+	// Seed drives both generators.
+	Seed uint64
+}
+
+// DefaultSchedSkewConfig returns the CI-scale configuration.
+func DefaultSchedSkewConfig() SchedSkewConfig {
+	return SchedSkewConfig{Scale: 12, EdgeFactor: 16, Threads: []int{1, 2, 4, 8}, Reps: 3, Seed: 42}
+}
+
+// SchedSkewPoint is one (workload, schedule, threads) measurement.
+type SchedSkewPoint struct {
+	// Workload names the input class ("rmat-hubs" or "er-uniform").
+	Workload string `json:"workload"`
+	// Schedule names the strategy ("FixedGrain", "CostPartition",
+	// "WorkSteal").
+	Schedule string `json:"schedule"`
+	// Threads is the worker count.
+	Threads int `json:"threads"`
+	// Seconds is the best-of-reps execution time.
+	Seconds float64 `json:"seconds"`
+	// SpeedupVsFixed is the fixed-grain time at the same workload and
+	// thread count divided by this point's time (> 1 means faster than
+	// fixed grain).
+	SpeedupVsFixed float64 `json:"speedup_vs_fixed"`
+	// Imbalance is the busiest worker's busy time over the mean, from
+	// an untimed telemetry run of the same plan.
+	Imbalance float64 `json:"imbalance"`
+	// BlocksStolen counts steal events in the telemetry run (WorkSteal
+	// only).
+	BlocksStolen int `json:"blocks_stolen"`
+	// CostSkew is the plan's measured max/mean row-cost ratio.
+	CostSkew float64 `json:"cost_skew"`
+}
+
+// schedModes are the concrete strategies the experiment sweeps.
+var schedModes = []core.Schedule{core.SchedFixedGrain, core.SchedCostPartition, core.SchedWorkSteal}
+
+// SkewedGraph builds the adversarial input: a symmetric R-MAT graph
+// relabeled by non-decreasing degree, so the hub rows an R-MAT degree
+// distribution concentrates the flops in sit adjacent at the tail.
+// That is the worst case for fixed-grain dynamic claiming: the heavy
+// blocks are discovered last, when no other work remains to balance
+// them against (the classic LPT argument — discovered first, they
+// would be scheduled near-optimally by accident). A cost-partitioned
+// schedule splits the hub cluster across workers regardless of where
+// the labeling puts it.
+func SkewedGraph(scale, edgeFactor int, seed uint64) *sparse.CSR[float64] {
+	g := gen.RMATSymmetric(gen.RMATConfig{Scale: scale, EdgeFactor: edgeFactor, Seed: seed})
+	perm := graph.DegreeSortPerm(g) // perm[v] = new id, hubs first
+	n := int32(g.Rows)
+	for v := range perm {
+		perm[v] = n - 1 - perm[v] // reverse: hubs last
+	}
+	return sparse.PermuteSym(g, perm)
+}
+
+// RunSchedSkew times the masked product M=A, C = A ⊙ (A·A) (MSA-1P)
+// under every scheduling strategy on the skewed and uniform workloads,
+// sweeping the configured thread counts.
+func RunSchedSkew(cfg SchedSkewConfig) ([]SchedSkewPoint, error) {
+	sr := semiring.PlusTimes[float64]{}
+	type workload struct {
+		name string
+		g    *sparse.CSR[float64]
+	}
+	n := 1 << cfg.Scale
+	workloads := []workload{
+		{"rmat-hubs", SkewedGraph(cfg.Scale, cfg.EdgeFactor, cfg.Seed)},
+		{"er-uniform", gen.Symmetrize(gen.ErdosRenyi(n, cfg.EdgeFactor, cfg.Seed+1))},
+	}
+	var pts []SchedSkewPoint
+	for _, wl := range workloads {
+		mask := wl.g.PatternView()
+		for _, threads := range cfg.Threads {
+			var fixedSec float64
+			for _, mode := range schedModes {
+				opt := core.Options{
+					Algorithm: core.AlgoMSA, Threads: threads,
+					Schedule: mode, ReuseOutput: true,
+				}
+				plan, err := core.NewPlan(sr, mask, wl.g, wl.g, opt, nil)
+				if err != nil {
+					return nil, err
+				}
+				d, err := TimeBest(cfg.Reps, func() error {
+					_, err := plan.Execute(wl.g, wl.g)
+					return err
+				})
+				if err != nil {
+					return nil, err
+				}
+				// Telemetry from a separate, untimed plan so clock reads
+				// never pollute the timing — block counts differ per mode,
+				// which would bias the comparison.
+				opt.CollectSchedStats = true
+				statsPlan, err := core.NewPlan(sr, mask, wl.g, wl.g, opt, nil)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := statsPlan.Execute(wl.g, wl.g); err != nil {
+					return nil, err
+				}
+				st := statsPlan.SchedStats()
+				pt := SchedSkewPoint{
+					Workload: wl.name, Schedule: mode.String(), Threads: threads,
+					Seconds: d.Seconds(), Imbalance: st.Imbalance(),
+					BlocksStolen: st.Stolen(), CostSkew: plan.CostSkew(),
+				}
+				if mode == core.SchedFixedGrain {
+					fixedSec = pt.Seconds
+				}
+				if fixedSec > 0 && pt.Seconds > 0 {
+					pt.SpeedupVsFixed = fixedSec / pt.Seconds
+				}
+				pts = append(pts, pt)
+			}
+		}
+	}
+	return pts, nil
+}
+
+// WriteSchedSkew renders the experiment as an aligned table.
+func WriteSchedSkew(w io.Writer, cfg SchedSkewConfig, pts []SchedSkewPoint) {
+	fmt.Fprintf(w, "Scheduler skew experiment — masked A ⊙ (A·A), MSA-1P, scale %d, ef %d\n", cfg.Scale, cfg.EdgeFactor)
+	fmt.Fprintf(w, "%-12s %-14s %8s %12s %10s %10s %8s\n",
+		"workload", "schedule", "threads", "seconds", "vs-fixed", "imbalance", "stolen")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-12s %-14s %8d %12.6f %9.2fx %10.2f %8d\n",
+			p.Workload, p.Schedule, p.Threads, p.Seconds, p.SpeedupVsFixed, p.Imbalance, p.BlocksStolen)
+	}
+}
+
+// schedJSONDoc is the BENCH_sched.json envelope.
+type schedJSONDoc struct {
+	// Config echoes the experiment configuration.
+	Config SchedSkewConfig `json:"config"`
+	// GOMAXPROCS records the host parallelism the numbers were taken at.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Points holds the measurements.
+	Points []SchedSkewPoint `json:"points"`
+}
+
+// WriteSchedJSON emits the experiment as the BENCH_sched.json document
+// consumed by the perf trajectory.
+func WriteSchedJSON(w io.Writer, cfg SchedSkewConfig, pts []SchedSkewPoint) error {
+	doc := schedJSONDoc{Config: cfg, GOMAXPROCS: runtime.GOMAXPROCS(0), Points: pts}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

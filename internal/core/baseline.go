@@ -63,11 +63,14 @@ func SpGEMM[T any, S semiring.Semiring[T]](sr S, a, b *sparse.CSR[T], opt Option
 	numeric := func(tid, i int, outIdx []int32, outVal []T) int {
 		return unmaskedRowNumeric(slots.get(tid), a.Row(i), a.RowVals(i), b, outIdx, outVal)
 	}
+	// No plan-time cost profile here, so Auto/CostPartition degrade to
+	// their profile-free substitutes.
+	sch := unprofiledSched(opt)
 	if opt.Phases == TwoPhase {
 		symbolic := func(tid, i int) int {
 			return unmaskedRowSymbolic(slots.get(tid), a.Row(i), b)
 		}
-		return twoPhase(a.Rows, b.Cols, opt.Threads, opt.Grain, symbolic, numeric, nil), nil
+		return twoPhase(a.Rows, b.Cols, sch, symbolic, numeric, nil), nil
 	}
 	// One-phase slab: per-row flops bound.
 	offsets := make([]int64, a.Rows+1)
@@ -80,7 +83,7 @@ func SpGEMM[T any, S semiring.Semiring[T]](sr S, a, b *sparse.CSR[T], opt Option
 		offsets[i] = total
 		total += c
 	}
-	return onePhase(a.Rows, b.Cols, offsets, opt.Threads, opt.Grain, numeric, nil), nil
+	return onePhase(a.Rows, b.Cols, offsets, sch, numeric, nil), nil
 }
 
 func errInnerDim[T any](a, b *sparse.CSR[T]) error {

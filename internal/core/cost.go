@@ -1,0 +1,206 @@
+package core
+
+import (
+	"maskedspgemm/internal/parallel"
+	"maskedspgemm/internal/sparse"
+)
+
+// Cost-guided scheduling (DESIGN.md §9). The paper parallelizes
+// strictly across rows with dynamic scheduling to absorb skew (§2.2,
+// §3), but a fixed row grain is blind to row cost: one R-MAT hub row
+// serializes its whole 64-row block while trivial rows each pay a
+// scheduling step for almost no work. The Plan layer already walks
+// exactly the structures that determine per-row cost — A's rows and
+// B's row pointers (complementBounds, planHybrid) — so the plan
+// computes a masked-flops-flavored cost per output row, resolves the
+// scheduling strategy from the measured skew, and lays out equal-cost
+// partition boundaries that cached plans then ship to every execution
+// for free. This is the flops-balanced scheduling of the
+// Buluç–Gilbert SpGEMM lineage applied to the masked engine.
+
+const (
+	// costPartsPerWorker is the scheduling-slack factor: the plan lays
+	// out up to threads×this partitions so that dynamic claiming can
+	// still correct for cost-model error within a partitioned pass.
+	costPartsPerWorker = 4
+	// autoSkewFactor is the SchedAuto switch point: cost partitions are
+	// chosen when the most expensive row exceeds this multiple of the
+	// mean row cost. Below it, fixed-grain blocks already balance well
+	// and their lower bookkeeping wins.
+	autoSkewFactor = 8
+)
+
+// rowSched is the resolved descriptor the engine drivers schedule row
+// passes with: a mode that is never SchedAuto, the partition bounds
+// when cost-partitioned, and an optional telemetry target.
+type rowSched struct {
+	threads, grain int
+	mode           Schedule
+	bounds         []int
+	stats          *parallel.SchedStats
+}
+
+// run executes fn over [0, n) under the descriptor's strategy.
+func (s rowSched) run(n int, fn func(lo, hi, tid int)) {
+	switch s.mode {
+	case SchedCostPartition:
+		parallel.ForEachPartition(s.bounds, s.threads, s.stats, fn)
+	case SchedWorkSteal:
+		parallel.ForEachChunked(n, s.threads, s.grain, s.stats, fn)
+	default:
+		parallel.ForEachBlockStats(n, s.threads, s.grain, s.stats, fn)
+	}
+}
+
+// unprofiledSched resolves a schedule for row passes that have no
+// plan-time cost profile (plain SpGEMM, the saxpy baseline's unmasked
+// half): Auto degrades to fixed grain and CostPartition to work
+// stealing, its profile-free substitute.
+func unprofiledSched(opt Options) rowSched {
+	mode := opt.Schedule
+	switch mode {
+	case SchedAuto:
+		mode = SchedFixedGrain
+	case SchedCostPartition:
+		mode = SchedWorkSteal
+	}
+	return rowSched{threads: opt.Threads, grain: opt.Grain, mode: mode}
+}
+
+// planSchedule measures the plan's per-row cost profile, resolves the
+// SchedAuto policy from its skew, and — when cost partitioning is
+// chosen — lays out the equal-cost partition boundaries stored in the
+// immutable plan. Runs once per structure; cached plans replay the
+// result on every hit.
+func (p *Plan[T, S]) planSchedule(a, b *sparse.CSR[T]) {
+	switch p.opt.Schedule {
+	case SchedFixedGrain, SchedWorkSteal:
+		// Explicitly cost-blind: skip the profile entirely.
+		p.sched = p.opt.Schedule
+		return
+	}
+	rows := p.mask.Rows
+	if rows == 0 || p.opt.Threads == 1 {
+		// Serial execution (Threads is normalized, so 1 means truly
+		// one worker): every strategy degenerates to the same in-order
+		// sweep, so measuring a cost profile would be pure planning
+		// overhead. Resolves to FixedGrain even under an explicit
+		// SchedCostPartition request.
+		p.sched = SchedFixedGrain
+		return
+	}
+	cost := p.rowCosts(a, b)
+	var total, max int64
+	for _, c := range cost {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total > 0 {
+		p.costSkew = float64(max) * float64(rows) / float64(total)
+	}
+	if p.opt.Schedule == SchedAuto && (total == 0 || p.costSkew < autoSkewFactor) {
+		p.sched = SchedFixedGrain
+		return
+	}
+	p.sched = SchedCostPartition
+	p.partBounds = costPartitions(cost, total, p.opt.Threads*costPartsPerWorker)
+}
+
+// rowCosts estimates every output row's execution cost in multiply-add
+// flavored units, following the operative scheme's work model:
+//
+//   - push rows (MSA/Hash/MCA/Heap families): the Gustavson flops
+//     Σ_{k ∈ A_i*} nnz(B_k*) plus the mask walk, with the output term
+//     capped by the §5.2 complement bound when the mask is
+//     complemented — the same quantities complementBounds walks.
+//   - pull rows (Inner, SS:DOT, Hybrid's pull side): one merge-dot per
+//     admitted mask entry, nnz(m_i)·(nnz(A_i*) + d̄_B), the §4.3 cost
+//     model planHybrid already applies.
+//
+// Absolute scale does not matter — only proportions do, since the
+// partitioner divides rows by cumulative share.
+func (p *Plan[T, S]) rowCosts(a, b *sparse.CSR[T]) []int64 {
+	rows := p.mask.Rows
+	cost := make([]int64, rows)
+	pullAll := p.opt.Algorithm == AlgoInner || p.opt.Algorithm == AlgoDotTranspose
+	var avgBCol float64
+	if b.Cols > 0 {
+		avgBCol = float64(b.NNZ()) / float64(b.Cols)
+	}
+	complement := p.opt.Complement
+	cols := int64(p.mask.Cols)
+	parallel.ForEachBlock(rows, p.opt.Threads, p.opt.Grain, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			m := int64(p.mask.RowNNZ(i))
+			aRow := a.Row(i)
+			if pullAll || (p.pull != nil && p.pull[i]) {
+				adm := m
+				if complement {
+					adm = cols - m
+				}
+				cost[i] = 1 + adm*(int64(len(aRow))+int64(avgBCol))
+				continue
+			}
+			var gen int64
+			for _, k := range aRow {
+				gen += b.RowPtr[k+1] - b.RowPtr[k]
+			}
+			out := m
+			if complement {
+				out = cols - m
+				if gen < out {
+					out = gen // the §5.2 bound caps the gather
+				}
+			}
+			cost[i] = 1 + m + gen + out
+		}
+	})
+	return cost
+}
+
+// costPartitions cuts rows into at most nparts contiguous partitions of
+// near-equal cumulative cost: partition j ends at the first row where
+// the running cost passes j/nparts of the total. A single row costlier
+// than the ideal share gets a partition to itself (row formation is
+// never split — §3); targets it overshoots are skipped rather than
+// emitted as empty partitions. The returned bounds slice (first 0,
+// last len(cost)) is what ForEachPartition consumes.
+func costPartitions(cost []int64, total int64, nparts int) []int {
+	rows := len(cost)
+	if nparts > rows {
+		nparts = rows
+	}
+	if nparts < 1 {
+		nparts = 1
+	}
+	bounds := make([]int, 1, nparts+1)
+	var run int64
+	j := 1
+	for i := 0; i < rows && j < nparts; i++ {
+		run += cost[i]
+		if float64(run) >= float64(total)*float64(j)/float64(nparts) {
+			bounds = append(bounds, i+1)
+			j++
+			for j < nparts && float64(run) >= float64(total)*float64(j)/float64(nparts) {
+				j++
+			}
+		}
+	}
+	if bounds[len(bounds)-1] != rows {
+		bounds = append(bounds, rows)
+	}
+	return bounds
+}
+
+// ResolvedSchedule reports the plan's scheduling strategy after the
+// SchedAuto policy ran — which of the concrete modes executions of
+// this plan use.
+func (p *Plan[T, S]) ResolvedSchedule() Schedule { return p.sched }
+
+// CostSkew returns the plan's measured row-cost skew (max row cost
+// over mean row cost), the quantity the SchedAuto policy thresholds.
+// Zero when scheduling analysis was skipped (explicit cost-blind
+// schedules, direct schemes, empty masks).
+func (p *Plan[T, S]) CostSkew() float64 { return p.costSkew }

@@ -28,25 +28,27 @@ type rowSymbolicFn func(tid, i int) int
 
 // onePhase runs the numeric kernel once per row into a slab laid out by
 // offsets (len rows+1, offsets[i+1]-offsets[i] ≥ row i's worst case),
-// then compacts. es supplies pooled scratch; nil allocates fresh.
-func onePhase[T any](rows, cols int, offsets []int64, threads, grain int, numeric rowNumericFn[T], es *engineScratch[T]) *sparse.CSR[T] {
+// then compacts. Row passes are scheduled by sch (fixed-grain,
+// cost-partitioned, or work-stealing — DESIGN.md §9). es supplies
+// pooled scratch; nil allocates fresh.
+func onePhase[T any](rows, cols int, offsets []int64, sch rowSched, numeric rowNumericFn[T], es *engineScratch[T]) *sparse.CSR[T] {
 	slab := offsets[rows]
 	tmpIdx, tmpVal := es.slab(slab)
 	counts := es.rowPtrBuf(rows + 1)
-	parallel.ForEachBlock(rows, threads, grain, func(lo, hi, tid int) {
+	sch.run(rows, func(lo, hi, tid int) {
 		for i := lo; i < hi; i++ {
 			base, end := offsets[i], offsets[i+1]
 			counts[i] = int64(numeric(tid, i, tmpIdx[base:end], tmpVal[base:end]))
 		}
 	})
-	return compact(rows, cols, offsets, counts, tmpIdx, tmpVal, threads, grain, es)
+	return compact(rows, cols, offsets, counts, tmpIdx, tmpVal, sch, es)
 }
 
 // compact gathers per-row segments (counts[i] entries starting at
 // offsets[i]) into a tight CSR result.
-func compact[T any](rows, cols int, offsets, counts []int64, tmpIdx []int32, tmpVal []T, threads, grain int, es *engineScratch[T]) *sparse.CSR[T] {
+func compact[T any](rows, cols int, offsets, counts []int64, tmpIdx []int32, tmpVal []T, sch rowSched, es *engineScratch[T]) *sparse.CSR[T] {
 	rowPtr := counts // reuse: becomes the exclusive prefix sum
-	parallel.PrefixSumParallel(rowPtr[:rows+1], threads)
+	parallel.PrefixSumParallel(rowPtr[:rows+1], sch.threads)
 	colIdx, val := es.outBufs(rowPtr[rows])
 	out := &sparse.CSR[T]{
 		Pattern: sparse.Pattern{
@@ -57,7 +59,7 @@ func compact[T any](rows, cols int, offsets, counts []int64, tmpIdx []int32, tmp
 		},
 		Val: val,
 	}
-	parallel.ForEachBlock(rows, threads, grain, func(lo, hi, _ int) {
+	sch.run(rows, func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
 			n := rowPtr[i+1] - rowPtr[i]
 			src := offsets[i]
@@ -70,16 +72,17 @@ func compact[T any](rows, cols int, offsets, counts []int64, tmpIdx []int32, tmp
 
 // twoPhase runs the symbolic kernel to size every row, prefix-sums, and
 // lets the numeric kernel write directly into the exact-size result.
-// es supplies pooled output buffers; nil allocates fresh.
-func twoPhase[T any](rows, cols int, threads, grain int, symbolic rowSymbolicFn, numeric rowNumericFn[T], es *engineScratch[T]) *sparse.CSR[T] {
+// Both passes are scheduled by sch. es supplies pooled output buffers;
+// nil allocates fresh.
+func twoPhase[T any](rows, cols int, sch rowSched, symbolic rowSymbolicFn, numeric rowNumericFn[T], es *engineScratch[T]) *sparse.CSR[T] {
 	rowPtr := es.rowPtrBuf(rows + 1)
-	parallel.ForEachBlock(rows, threads, grain, func(lo, hi, tid int) {
+	sch.run(rows, func(lo, hi, tid int) {
 		for i := lo; i < hi; i++ {
 			rowPtr[i] = int64(symbolic(tid, i))
 		}
 	})
 	rowPtr[rows] = 0
-	parallel.PrefixSumParallel(rowPtr, threads)
+	parallel.PrefixSumParallel(rowPtr, sch.threads)
 	colIdx, val := es.outBufs(rowPtr[rows])
 	out := &sparse.CSR[T]{
 		Pattern: sparse.Pattern{
@@ -90,7 +93,7 @@ func twoPhase[T any](rows, cols int, threads, grain int, symbolic rowSymbolicFn,
 		},
 		Val: val,
 	}
-	parallel.ForEachBlock(rows, threads, grain, func(lo, hi, tid int) {
+	sch.run(rows, func(lo, hi, tid int) {
 		for i := lo; i < hi; i++ {
 			numeric(tid, i, out.ColIdx[rowPtr[i]:rowPtr[i+1]], out.Val[rowPtr[i]:rowPtr[i+1]])
 		}

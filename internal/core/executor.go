@@ -2,6 +2,7 @@ package core
 
 import (
 	"maskedspgemm/internal/accum"
+	"maskedspgemm/internal/parallel"
 	"maskedspgemm/internal/semiring"
 	"maskedspgemm/internal/sparse"
 )
@@ -42,6 +43,19 @@ type Executor[T any, S semiring.Semiring[T]] struct {
 	lastB     *sparse.CSR[T]
 	bound     kernels[T]
 	haveBound bool
+
+	// schedStats is the telemetry target of executions run with
+	// Options.CollectSchedStats; reset at the start of each such
+	// execution, accumulated across its row passes.
+	schedStats parallel.SchedStats
+}
+
+// SchedStats returns a copy of the per-worker scheduler telemetry
+// (busy time, blocks claimed/stolen) recorded by the most recent
+// execution on this executor that ran with Options.CollectSchedStats.
+// Executions without the option leave the previous record in place.
+func (e *Executor[T, S]) SchedStats() parallel.SchedStats {
+	return e.schedStats.Clone()
 }
 
 // NewExecutor returns an empty executor over the given semiring.

@@ -97,6 +97,46 @@ func (p Phases) String() string {
 	return "1P"
 }
 
+// Schedule selects how the engine's parallel row passes divide work
+// among workers (DESIGN.md §9). The default, SchedAuto, lets the plan
+// choose from its measured per-row cost profile.
+type Schedule uint8
+
+const (
+	// SchedAuto resolves per plan from the measured row-cost skew:
+	// cost-partitioned scheduling when a few rows dominate the flops
+	// profile (max row cost ≫ mean), fixed-grain blocks otherwise.
+	// Paths without a cost profile (plain SpGEMM, direct baselines)
+	// degrade to fixed grain.
+	SchedAuto Schedule = iota
+	// SchedFixedGrain claims fixed-size row blocks (Options.Grain) from
+	// a shared atomic counter — the original §3 dynamic scheduler,
+	// blind to row cost.
+	SchedFixedGrain
+	// SchedCostPartition drives workers over variable-width row
+	// partitions of near-equal estimated cost, laid out at plan time
+	// from the masked-flops profile; the partitions ship with cached
+	// plans for free.
+	SchedCostPartition
+	// SchedWorkSteal gives each worker a contiguous deque of rows and
+	// lets idle workers steal the back half of a loaded victim's
+	// remaining range — absorbs skew without needing a cost profile.
+	SchedWorkSteal
+)
+
+// String names the strategy ("Auto", "FixedGrain", ...).
+func (s Schedule) String() string {
+	switch s {
+	case SchedFixedGrain:
+		return "FixedGrain"
+	case SchedCostPartition:
+		return "CostPartition"
+	case SchedWorkSteal:
+		return "WorkSteal"
+	}
+	return "Auto"
+}
+
 // Options configures a masked multiplication.
 type Options struct {
 	// Algorithm picks the scheme; default AlgoMSA.
@@ -109,8 +149,18 @@ type Options struct {
 	// Threads is the worker count; < 1 means GOMAXPROCS.
 	Threads int
 	// Grain is the scheduler row-block size; < 1 means
-	// parallel.DefaultGrain.
+	// parallel.DefaultGrain. Used by SchedFixedGrain and SchedWorkSteal;
+	// SchedCostPartition derives its variable-width blocks from the
+	// plan's cost profile instead.
 	Grain int
+	// Schedule picks the row-scheduling strategy; the default SchedAuto
+	// chooses per plan from the measured row-cost skew (DESIGN.md §9).
+	Schedule Schedule
+	// CollectSchedStats records per-worker scheduler telemetry (busy
+	// time, blocks claimed/stolen) on every execution, readable via
+	// Executor.SchedStats. Costs two clock reads per scheduled block;
+	// off by default.
+	CollectSchedStats bool
 	// HashLoadFactor overrides the hash accumulator load factor; ≤ 0
 	// means the paper's 0.25.
 	HashLoadFactor float64

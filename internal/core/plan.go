@@ -55,6 +55,13 @@ type Plan[T any, S semiring.Semiring[T]] struct {
 	btPerm []int64
 	// pull is Hybrid's per-row §4.3 cost-model decision.
 	pull []bool
+	// sched is the resolved scheduling strategy (never SchedAuto) and
+	// partBounds the equal-cost partition boundaries it uses under
+	// SchedCostPartition; costSkew is the measured max/mean row-cost
+	// ratio that drove the SchedAuto policy (DESIGN.md §9).
+	sched      Schedule
+	partBounds []int
+	costSkew   float64
 	// heapNInspect is the resolved NInspect for the heap schemes.
 	heapNInspect int
 	// maxMaskRow / maxARow size the hash/MCA and heap accumulators.
@@ -128,6 +135,9 @@ func newDetachedPlan[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, 
 		case AlgoHybrid:
 			p.planHybrid(a, b)
 		}
+		// Scheduling comes last: the hybrid pull decisions feed the
+		// per-row cost model.
+		p.planSchedule(a, b)
 	}
 	return p, nil
 }
@@ -200,6 +210,7 @@ func (p *Plan[T, S]) footprintBytes() int64 {
 	}
 	bytes += int64(len(p.btPtr))*8 + int64(len(p.btIdx))*4 + int64(len(p.btPerm))*8
 	bytes += int64(len(p.pull))
+	bytes += int64(len(p.partBounds)) * 8
 	return bytes
 }
 
@@ -253,6 +264,12 @@ func (p *Plan[T, S]) ExecuteOn(exec *Executor[T, S], a, b *sparse.CSR[T]) (*spar
 	if err := p.checkArgs(a, b); err != nil {
 		return nil, err
 	}
+	if p.opt.CollectSchedStats {
+		// Reset before the direct-scheme branch too: an execution that
+		// collects no telemetry (direct schemes have no row passes) must
+		// read as empty, not replay the previous execution's record.
+		exec.schedStats.Reset(p.opt.Threads)
+	}
 	if p.reg.direct != nil {
 		return p.reg.direct(p, a, b)
 	}
@@ -261,8 +278,23 @@ func (p *Plan[T, S]) ExecuteOn(exec *Executor[T, S], a, b *sparse.CSR[T]) (*spar
 	k := exec.kernelsFor(p, a, b)
 	es := &exec.scratch
 	es.reuseOut = p.opt.ReuseOutput
-	if p.opt.Phases == TwoPhase {
-		return twoPhase(p.mask.Rows, p.mask.Cols, p.opt.Threads, p.opt.Grain, k.symbolic, k.numeric, es), nil
+	sch := rowSched{threads: p.opt.Threads, grain: p.opt.Grain, mode: p.sched, bounds: p.partBounds}
+	if p.opt.CollectSchedStats {
+		sch.stats = &exec.schedStats
 	}
-	return onePhase(p.mask.Rows, p.mask.Cols, p.offsets, p.opt.Threads, p.opt.Grain, k.numeric, es), nil
+	if p.opt.Phases == TwoPhase {
+		return twoPhase(p.mask.Rows, p.mask.Cols, sch, k.symbolic, k.numeric, es), nil
+	}
+	return onePhase(p.mask.Rows, p.mask.Cols, p.offsets, sch, k.numeric, es), nil
+}
+
+// SchedStats returns the default executor's scheduler telemetry from
+// the most recent execution run with Options.CollectSchedStats (see
+// Executor.SchedStats). Zero for detached (cache-built) plans, which
+// have no default executor.
+func (p *Plan[T, S]) SchedStats() parallel.SchedStats {
+	if p.exec == nil {
+		return parallel.SchedStats{}
+	}
+	return p.exec.SchedStats()
 }

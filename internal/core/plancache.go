@@ -2,11 +2,18 @@ package core
 
 import (
 	"container/list"
+	"errors"
 	"sync"
 
 	"maskedspgemm/internal/semiring"
 	"maskedspgemm/internal/sparse"
 )
+
+// errPlanningPanicked is delivered to singleflight waiters whose
+// planner goroutine panicked: the panic propagates on the planner's
+// own stack, waiters get this error, and the key is unregistered so a
+// retry plans afresh.
+var errPlanningPanicked = errors.New("core: concurrent plan analysis panicked; retry")
 
 // PlanCache is a concurrency-safe LRU cache of execution plans keyed
 // by operand *structure*. A server answering many queries against a
@@ -38,13 +45,25 @@ type PlanCache[T any, S semiring.Semiring[T]] struct {
 	maxEntries int
 	maxBytes   int64
 
-	mu      sync.Mutex
-	lru     *list.List // front = most recently used; values are *planEntry[T, S]
-	table   map[planKey]*list.Element
-	bytes   int64
-	hits    uint64
-	misses  uint64
-	evicted uint64
+	mu        sync.Mutex
+	lru       *list.List // front = most recently used; values are *planEntry[T, S]
+	table     map[planKey]*list.Element
+	inflight  map[planKey]*planCall[T, S]
+	bytes     int64
+	hits      uint64
+	misses    uint64
+	coalesced uint64
+	evicted   uint64
+}
+
+// planCall is one in-flight planning operation coalescing concurrent
+// misses on the same key (singleflight): the first misser plans, later
+// missers block on done and share the result. plan/err are written
+// before done closes, so waiters read them race-free.
+type planCall[T any, S semiring.Semiring[T]] struct {
+	done chan struct{}
+	plan *Plan[T, S]
+	err  error
 }
 
 // planKey identifies one cached analysis: the three operand structure
@@ -80,6 +99,7 @@ func NewPlanCache[T any, S semiring.Semiring[T]](sr S, maxEntries int, maxBytes 
 		maxBytes:   maxBytes,
 		lru:        list.New(),
 		table:      make(map[planKey]*list.Element),
+		inflight:   make(map[planKey]*planCall[T, S]),
 	}
 }
 
@@ -110,8 +130,12 @@ func (c *PlanCache[T, S]) keyFor(mask *sparse.Pattern, a, b *sparse.CSR[T], opt 
 // options, building and inserting it on a miss. The returned plan is
 // shared and immutable: execute it with ExecuteOn and an executor the
 // caller owns. Lookups from concurrent goroutines are safe; concurrent
-// misses on the same structure may plan twice, with one result cached
-// (last insert wins the map slot, both plans stay valid).
+// misses on the same structure coalesce onto a single planner
+// (singleflight) — the first misser runs the analysis, later missers
+// block until it finishes and share the result, so a cold-start burst
+// of identical requests plans exactly once (CoalescedMisses counts the
+// waiters). A failed planning is not cached: every waiter receives the
+// error and the next lookup plans afresh.
 func (c *PlanCache[T, S]) GetOrPlan(mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options) (*Plan[T, S], error) {
 	opt.normalize()
 	key := c.keyFor(mask, a, b, opt)
@@ -125,7 +149,33 @@ func (c *PlanCache[T, S]) GetOrPlan(mask *sparse.Pattern, a, b *sparse.CSR[T], o
 		return plan, nil
 	}
 	c.misses++
+	if call, ok := c.inflight[key]; ok {
+		// Someone is already planning this structure: wait for them
+		// instead of duplicating the analysis.
+		c.coalesced++
+		c.mu.Unlock()
+		<-call.done
+		return call.plan, call.err
+	}
+	call := &planCall[T, S]{done: make(chan struct{})}
+	c.inflight[key] = call
 	c.mu.Unlock()
+
+	// If planning panics (malformed operand structures), the key must
+	// not stay wedged: unregister it and release every waiter with an
+	// error before the panic continues unwinding. settled is set on the
+	// normal return paths below, which perform their own cleanup.
+	settled := false
+	defer func() {
+		if settled {
+			return
+		}
+		c.mu.Lock()
+		delete(c.inflight, key)
+		c.mu.Unlock()
+		call.err = errPlanningPanicked
+		close(call.done)
+	}()
 
 	// Plan outside the lock: analysis is the expensive part and must
 	// not serialize concurrent lookups of other structures. The mask is
@@ -136,23 +186,34 @@ func (c *PlanCache[T, S]) GetOrPlan(mask *sparse.Pattern, a, b *sparse.CSR[T], o
 	// structure).
 	plan, err := newDetachedPlan(c.sr, mask.Clone(), a, b, opt)
 	if err != nil {
+		settled = true
+		c.mu.Lock()
+		delete(c.inflight, key)
+		c.mu.Unlock()
+		call.err = err
+		close(call.done)
 		return nil, err
 	}
 	entry := &planEntry[T, S]{key: key, plan: plan, bytes: plan.footprintBytes()}
 
+	settled = true
 	c.mu.Lock()
+	delete(c.inflight, key)
 	if el, ok := c.table[key]; ok {
-		// Raced with another miss; keep the incumbent so both callers
-		// converge on one shared plan.
+		// An entry appeared while we planned (possible only around a
+		// concurrent Clear); keep the incumbent so callers converge on
+		// one shared plan.
 		c.lru.MoveToFront(el)
 		plan = el.Value.(*planEntry[T, S]).plan
 		c.mu.Unlock()
-		return plan, nil
+	} else {
+		c.table[key] = c.lru.PushFront(entry)
+		c.bytes += entry.bytes
+		c.evictLocked()
+		c.mu.Unlock()
 	}
-	c.table[key] = c.lru.PushFront(entry)
-	c.bytes += entry.bytes
-	c.evictLocked()
-	c.mu.Unlock()
+	call.plan = plan
+	close(call.done)
 	return plan, nil
 }
 
@@ -191,8 +252,13 @@ func (c *PlanCache[T, S]) Clear() {
 type PlanCacheStats struct {
 	// Hits counts lookups answered from the cache.
 	Hits uint64
-	// Misses counts lookups that had to plan.
+	// Misses counts lookups not answered from the cache, including
+	// those that coalesced onto another goroutine's in-flight planning.
 	Misses uint64
+	// CoalescedMisses counts misses that waited on an in-flight planner
+	// instead of planning themselves (singleflight): of a burst of N
+	// concurrent first requests for one structure, N−1 coalesce.
+	CoalescedMisses uint64
 	// Evictions counts entries dropped by the entry or byte bound.
 	Evictions uint64
 	// Entries is the current number of cached plans.
@@ -206,10 +272,11 @@ func (c *PlanCache[T, S]) Stats() PlanCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return PlanCacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evicted,
-		Entries:   c.lru.Len(),
-		Bytes:     c.bytes,
+		Hits:            c.hits,
+		Misses:          c.misses,
+		CoalescedMisses: c.coalesced,
+		Evictions:       c.evicted,
+		Entries:         c.lru.Len(),
+		Bytes:           c.bytes,
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"maskedspgemm/internal/gen"
 	"maskedspgemm/internal/semiring"
@@ -403,5 +404,130 @@ func BenchmarkPlanCache(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// TestPlanCacheSingleflight pins the miss-coalescing contract: a burst
+// of N concurrent first requests for one structure runs the analysis
+// exactly once — one true planner, N−1 coalesced waiters — and every
+// caller receives the same shared plan.
+func TestPlanCacheSingleflight(t *testing.T) {
+	mask, a, b := buildCase(caseSpec{"", 96, 96, 96, 6, 6, 8, 23})
+	cache := NewPlanCache(ptSR, 0, 0)
+	opt := Options{Algorithm: AlgoInner}
+
+	const goroutines = 16
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(goroutines)
+	plans := make([]*Plan[float64, semiring.PlusTimes[float64]], goroutines)
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer done.Done()
+			start.Wait()
+			plans[g], errs[g] = cache.GetOrPlan(mask, a, b, opt)
+		}(g)
+	}
+	start.Done()
+	done.Wait()
+
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if plans[g] != plans[0] {
+			t.Fatalf("goroutine %d received a different plan", g)
+		}
+	}
+	st := cache.Stats()
+	if st.Hits+st.Misses != goroutines {
+		t.Fatalf("lookups = %d, want %d", st.Hits+st.Misses, goroutines)
+	}
+	// Exactly one goroutine planned; every other miss coalesced onto it
+	// (latecomers may hit instead, which is equally plan-free).
+	if st.Misses < 1 || st.CoalescedMisses != st.Misses-1 {
+		t.Fatalf("misses = %d coalesced = %d, want coalesced = misses−1", st.Misses, st.CoalescedMisses)
+	}
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", st.Entries)
+	}
+}
+
+// TestPlanCacheSingleflightError checks failed plannings propagate to
+// every coalesced waiter and are not cached.
+func TestPlanCacheSingleflightError(t *testing.T) {
+	mask, a, _ := buildCase(caseSpec{"", 40, 40, 40, 4, 4, 4, 29})
+	bad := gen.Random(41, 40, 4, 30) // wrong inner dimension
+	cache := NewPlanCache(ptSR, 0, 0)
+
+	const goroutines = 8
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(goroutines)
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer done.Done()
+			start.Wait()
+			_, errs[g] = cache.GetOrPlan(mask, a, bad, Options{})
+		}(g)
+	}
+	start.Done()
+	done.Wait()
+	for g, err := range errs {
+		if err == nil {
+			t.Fatalf("goroutine %d: expected dimension error", g)
+		}
+	}
+	if st := cache.Stats(); st.Entries != 0 {
+		t.Fatalf("failed planning cached: %d entries", st.Entries)
+	}
+	// The key must not be stuck in-flight: a later valid-shape lookup
+	// with the same options still works.
+	if _, err := cache.GetOrPlan(mask, a, a, Options{}); err != nil {
+		t.Fatalf("cache stuck after failed planning: %v", err)
+	}
+}
+
+// TestPlanCacheSingleflightPanic pins the panic path: a planner that
+// panics on malformed operand structure must propagate the panic to
+// its own caller but unregister the in-flight key, so later lookups
+// re-plan (and re-panic) instead of blocking forever on a wedged key.
+func TestPlanCacheSingleflightPanic(t *testing.T) {
+	// Structurally malformed A: a column index far past B's rows makes
+	// the plan-time cost walk index out of range. Shapes are valid, so
+	// validation passes and the panic happens mid-analysis. Rows stay
+	// under the grain so the analysis runs on the calling goroutine.
+	const n = 40
+	badA := &sparse.CSR[float64]{
+		Pattern: sparse.Pattern{Rows: n, Cols: n, RowPtr: make([]int64, n+1), ColIdx: []int32{90}},
+		Val:     []float64{1},
+	}
+	for i := 1; i <= n; i++ {
+		badA.RowPtr[i] = 1
+	}
+	_, _, b := buildCase(caseSpec{"", n, n, n, 4, 4, 4, 31})
+	mask := gen.Random(n, n, 4, 32).PatternView()
+	cache := NewPlanCache(ptSR, 0, 0)
+	opt := Options{Algorithm: AlgoMSA, Threads: 2}
+
+	panicked := func() (p bool) {
+		defer func() { p = recover() != nil }()
+		_, _ = cache.GetOrPlan(mask, badA, b, opt)
+		return
+	}
+	if !panicked() {
+		t.Fatal("malformed structure did not panic (test premise broken)")
+	}
+	done := make(chan bool, 1)
+	go func() { done <- panicked() }()
+	select {
+	case again := <-done:
+		if !again {
+			t.Fatal("second lookup neither panicked nor planned")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("key wedged: second lookup blocked on a dead in-flight call")
 	}
 }

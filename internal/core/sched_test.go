@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"maskedspgemm/internal/gen"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+)
+
+// skewedCase builds a masked product with a planted hub cluster: the
+// first hubRows rows of A are dense (cost ~cols each) while the rest
+// carry a couple of entries — the adversarial shape for a fixed row
+// grain, which lumps all the hubs into one block.
+func skewedCase(rows, cols, hubRows int) (*sparse.Pattern, *sparse.CSR[float64], *sparse.CSR[float64]) {
+	rowsSpec := map[int]map[int]float64{}
+	for i := 0; i < rows; i++ {
+		r := map[int]float64{}
+		if i < hubRows {
+			for j := 0; j < cols; j += 2 {
+				r[j] = 1
+			}
+		} else {
+			r[(i*7)%cols] = 1
+			r[(i*13+5)%cols] = 1
+		}
+		rowsSpec[i] = r
+	}
+	a, err := sparse.FromRows(rows, cols, rowsSpec)
+	if err != nil {
+		panic(err)
+	}
+	return a.PatternView(), a, a
+}
+
+// TestScheduleAutoResolution pins the SchedAuto policy: a planted hub
+// cluster resolves to cost partitions, a uniform product stays on
+// fixed grain, and explicit choices are always honored.
+func TestScheduleAutoResolution(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+
+	mask, a, b := skewedCase(512, 512, 4)
+	p, err := NewPlan(sr, mask, a, b, Options{Algorithm: AlgoMSA, Threads: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ResolvedSchedule(); got != SchedCostPartition {
+		t.Errorf("skewed auto: resolved %v (skew %.1f), want CostPartition", got, p.CostSkew())
+	}
+	if p.CostSkew() < autoSkewFactor {
+		t.Errorf("skewed case measured skew %.2f, expected ≥ %d", p.CostSkew(), autoSkewFactor)
+	}
+	// Partition bounds must tile [0, rows] monotonically.
+	bounds := p.partBounds
+	if len(bounds) < 2 || bounds[0] != 0 || bounds[len(bounds)-1] != mask.Rows {
+		t.Fatalf("bounds do not tile rows: %v", bounds)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] < bounds[i-1] {
+			t.Fatalf("bounds not monotone: %v", bounds)
+		}
+	}
+	if len(bounds)-1 > 4*costPartsPerWorker {
+		t.Errorf("%d partitions exceed threads×slack = %d", len(bounds)-1, 4*costPartsPerWorker)
+	}
+
+	um, ua, ub := buildCase(caseSpec{"", 512, 512, 512, 8, 8, 8, 5})
+	p, err = NewPlan(sr, um, ua, ub, Options{Algorithm: AlgoMSA, Threads: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ResolvedSchedule(); got != SchedFixedGrain {
+		t.Errorf("uniform auto: resolved %v (skew %.1f), want FixedGrain", got, p.CostSkew())
+	}
+
+	for _, mode := range []Schedule{SchedFixedGrain, SchedCostPartition, SchedWorkSteal} {
+		p, err := NewPlan(sr, mask, a, b, Options{Algorithm: AlgoMSA, Threads: 4, Schedule: mode}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.ResolvedSchedule() != mode {
+			t.Errorf("explicit %v: resolved %v", mode, p.ResolvedSchedule())
+		}
+	}
+}
+
+// TestSchedulePartitionBalance checks the equal-cost property: under
+// the planted hub cluster no partition holds more than a modest
+// multiple of the ideal cost share (a fixed 64-row grain would put all
+// four hubs — nearly all the flops — into one block).
+func TestSchedulePartitionBalance(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	mask, a, b := skewedCase(512, 512, 4)
+	p, err := NewPlan(sr, mask, a, b, Options{Algorithm: AlgoMSA, Threads: 4, Schedule: SchedCostPartition}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := p.rowCosts(a, b)
+	var total int64
+	for _, c := range cost {
+		total += c
+	}
+	nparts := len(p.partBounds) - 1
+	ideal := float64(total) / float64(nparts)
+	var maxRow int64
+	for _, c := range cost {
+		if c > maxRow {
+			maxRow = c
+		}
+	}
+	for j := 0; j < nparts; j++ {
+		var part int64
+		for i := p.partBounds[j]; i < p.partBounds[j+1]; i++ {
+			part += cost[i]
+		}
+		// A partition may exceed the ideal share by at most one row
+		// (rows are never split).
+		if float64(part) > ideal+float64(maxRow) {
+			t.Errorf("partition %d cost %d exceeds ideal %.0f + max row %d", j, part, ideal, maxRow)
+		}
+	}
+}
+
+// TestScheduleParity asserts every scheduling strategy computes the
+// same product: the scheduler only changes who computes which row.
+func TestScheduleParity(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	mask, a, b := skewedCase(300, 300, 3)
+	want := oracle(mask, a, b, false)
+	for _, algo := range []Algorithm{AlgoMSA, AlgoHash, AlgoInner, AlgoHybrid} {
+		for _, ph := range []Phases{OnePhase, TwoPhase} {
+			for _, mode := range []Schedule{SchedAuto, SchedFixedGrain, SchedCostPartition, SchedWorkSteal} {
+				for _, threads := range []int{1, 3} {
+					opt := Options{Algorithm: algo, Phases: ph, Schedule: mode, Threads: threads}
+					name := fmt.Sprintf("%s/%v/t%d", opt.SchemeName(), mode, threads)
+					got, err := MaskedSpGEMM(sr, mask, a, b, opt)
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					if d := sparse.Diff(want, got, sparse.FloatEq(1e-12)); d != "" {
+						t.Fatalf("%s: %s", name, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScheduleParityComplement runs the complemented path through the
+// cost-partitioned and work-stealing schedulers.
+func TestScheduleParityComplement(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	mask, a, b := buildCase(caseSpec{"", 120, 100, 110, 5, 5, 12, 17})
+	want := oracle(mask, a, b, true)
+	for _, mode := range []Schedule{SchedCostPartition, SchedWorkSteal} {
+		got, err := MaskedSpGEMM(sr, mask, a, b, Options{Algorithm: AlgoMSA, Complement: true, Schedule: mode, Threads: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if d := sparse.Diff(want, got, sparse.FloatEq(1e-12)); d != "" {
+			t.Fatalf("%v: %s", mode, d)
+		}
+	}
+}
+
+// TestSchedStatsCollected checks the telemetry path end to end:
+// CollectSchedStats populates the executor's stats with the blocks the
+// engine actually scheduled, and the option off leaves them untouched.
+func TestSchedStatsCollected(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	mask, a, b := skewedCase(256, 256, 2)
+	p, err := NewPlan(sr, mask, a, b, Options{Algorithm: AlgoMSA, Threads: 2, CollectSchedStats: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Execute(a, b); err != nil {
+		t.Fatal(err)
+	}
+	st := p.SchedStats()
+	if st.Claimed() == 0 {
+		t.Fatal("no blocks recorded with CollectSchedStats set")
+	}
+	if len(st.Workers) != 2 {
+		t.Fatalf("stats sized for %d workers, want 2", len(st.Workers))
+	}
+
+	// Two-phase doubles the row passes; the count must accumulate
+	// within one execution but reset across executions.
+	first := st.Claimed()
+	if _, err := p.Execute(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.SchedStats().Claimed(); got != first {
+		t.Errorf("stats leaked across executions: %d then %d", first, got)
+	}
+
+	off, err := NewPlan(sr, mask, a, b, Options{Algorithm: AlgoMSA, Threads: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := off.Execute(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if got := off.SchedStats().Claimed(); got != 0 {
+		t.Errorf("stats recorded without the option: %d blocks", got)
+	}
+}
+
+// TestScheduleString covers the Schedule names used in bench output.
+func TestScheduleString(t *testing.T) {
+	for want, s := range map[string]Schedule{
+		"Auto": SchedAuto, "FixedGrain": SchedFixedGrain,
+		"CostPartition": SchedCostPartition, "WorkSteal": SchedWorkSteal,
+	} {
+		if s.String() != want {
+			t.Errorf("%v.String() = %q, want %q", uint8(s), s.String(), want)
+		}
+	}
+}
+
+// TestFlopsAllocFree pins the satellite rework: the flop counters no
+// longer allocate a per-row slice. Below the serial cutoff they run a
+// straight loop — zero allocations; above it the only allocations are
+// the scheduler's per-call constants, independent of rows.
+func TestFlopsAllocFree(t *testing.T) {
+	a := gen.Random(256, 256, 4, 3)
+	b := gen.Random(256, 256, 4, 4)
+	mask := gen.Random(256, 256, 4, 5).PatternView()
+	if got := testing.AllocsPerRun(20, func() { Flops(a, b) }); got != 0 {
+		t.Errorf("Flops allocates %v objects per call, want 0", got)
+	}
+	if got := testing.AllocsPerRun(20, func() { MaskedFlops(mask, a, b, false) }); got != 0 {
+		t.Errorf("MaskedFlops allocates %v objects per call, want 0", got)
+	}
+
+	// Parallel path: O(threads) bookkeeping, never O(rows).
+	big := gen.Random(20000, 2000, 8, 6)
+	bigB := gen.Random(2000, 2000, 8, 7)
+	if got := testing.AllocsPerRun(5, func() { Flops(big, bigB) }); got > 64 {
+		t.Errorf("parallel Flops allocates %v objects per call, want O(threads) (< 64)", got)
+	}
+
+	// Parity with the definition.
+	var want int64
+	for i := 0; i < big.Rows; i++ {
+		for _, k := range big.Row(i) {
+			want += bigB.RowPtr[k+1] - bigB.RowPtr[k]
+		}
+	}
+	if got := Flops(big, bigB); got != want {
+		t.Errorf("Flops = %d, want %d", got, want)
+	}
+}
+
+// TestSchedStatsDirectSchemeResets pins the review fix: a direct
+// scheme (no row passes) executed with CollectSchedStats must reset
+// the executor's record, not replay the previous execution's numbers.
+func TestSchedStatsDirectSchemeResets(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	mask, a, b := skewedCase(128, 128, 2)
+	exec := NewExecutor[float64](sr)
+	msa, err := NewPlan(sr, mask, a, b, Options{Algorithm: AlgoMSA, Threads: 2, CollectSchedStats: true}, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := msa.Execute(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if exec.SchedStats().Claimed() == 0 {
+		t.Fatal("row-kernel execution recorded nothing")
+	}
+	direct, err := NewPlan(sr, mask, a, b, Options{Algorithm: AlgoSaxpyThenMask, Threads: 2, CollectSchedStats: true}, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := direct.Execute(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if got := exec.SchedStats().Claimed(); got != 0 {
+		t.Errorf("direct scheme replayed stale stats: %d blocks", got)
+	}
+}
+
+// TestMaskedFlopsDenseBParity pins the cutoff fix: a small-nnz(A)
+// product against dense B rows takes the parallel path, and both paths
+// agree with the definition.
+func TestMaskedFlopsDenseBParity(t *testing.T) {
+	a := gen.Random(64, 64, 2, 41)      // tiny nnz(A)
+	b := gen.Random(64, 2000, 1200, 42) // dense B rows
+	mask := gen.Random(64, 2000, 600, 43).PatternView()
+	if maskedFlopsSerialOK(mask, a, b) {
+		t.Fatal("dense-B workload should not be classified serial")
+	}
+	got := MaskedFlops(mask, a, b, false)
+	want := maskedFlopsRange(mask, a, b, false, 0, a.Rows)
+	if got != want {
+		t.Fatalf("MaskedFlops = %d, want %d", got, want)
+	}
+}

@@ -12,8 +12,6 @@ package parallel
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
 )
 
 // DefaultGrain is the default number of rows claimed per scheduling
@@ -35,45 +33,11 @@ func Threads(requested int) int {
 // goroutines. fn receives the block bounds and the worker id in
 // [0, threads), which kernels use to index per-thread scratch state.
 // With threads == 1 everything runs on the calling goroutine, making
-// single-threaded profiles clean and deterministic.
+// single-threaded profiles clean and deterministic. For telemetry use
+// ForEachBlockStats; for skew-absorbing alternatives see
+// ForEachPartition and ForEachChunked (sched.go).
 func ForEachBlock(n, threads, grain int, fn func(lo, hi, tid int)) {
-	threads = Threads(threads)
-	if grain < 1 {
-		grain = DefaultGrain
-	}
-	if n <= 0 {
-		return
-	}
-	if threads == 1 || n <= grain {
-		for lo := 0; lo < n; lo += grain {
-			hi := lo + grain
-			if hi > n {
-				hi = n
-			}
-			fn(lo, hi, 0)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(threads)
-	for t := 0; t < threads; t++ {
-		go func(tid int) {
-			defer wg.Done()
-			for {
-				lo := int(next.Add(int64(grain))) - grain
-				if lo >= n {
-					return
-				}
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				fn(lo, hi, tid)
-			}
-		}(t)
-	}
-	wg.Wait()
+	ForEachBlockStats(n, threads, grain, nil, fn)
 }
 
 // ForEachRow runs fn once per index in [0, n) with dynamic block
@@ -100,18 +64,33 @@ func PrefixSum(counts []int64) int64 {
 	return sum
 }
 
+// prefixCutoff is the slice length below which PrefixSumParallel runs
+// the serial scan: the two extra passes and goroutine handoffs only pay
+// off past tens of thousands of elements.
+const prefixCutoff = 1 << 15
+
+// prefixMinBlock floors the per-worker block size of the parallel
+// prefix sum. Just above the cutoff, dividing n into threads*4 blocks
+// would produce blocks so small that scheduling overhead dominates the
+// adds; a floored block size derives the block count from n instead,
+// using fewer blocks (and workers) on barely-parallel sizes.
+const prefixMinBlock = 1 << 12
+
 // PrefixSumParallel computes the same exclusive prefix sum with a
 // two-pass block algorithm when the slice is large enough to benefit.
 // Falls back to the serial scan below the cutoff.
 func PrefixSumParallel(counts []int64, threads int) int64 {
-	const cutoff = 1 << 15
 	threads = Threads(threads)
 	n := len(counts)
-	if threads == 1 || n < cutoff {
+	if threads == 1 || n < prefixCutoff {
 		return PrefixSum(counts)
 	}
 	nblk := threads * 4
 	blk := (n + nblk - 1) / nblk
+	if blk < prefixMinBlock {
+		blk = prefixMinBlock
+	}
+	nblk = (n + blk - 1) / blk
 	sums := make([]int64, nblk)
 	ForEachRow(nblk, threads, 1, func(b, _ int) {
 		lo, hi := b*blk, (b+1)*blk

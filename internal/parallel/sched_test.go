@@ -1,0 +1,284 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// coverOnce drives a scheduling function over n indices and fails the
+// test unless every index was visited exactly once and every reported
+// tid was in range. Run under -race in CI, this is also the data-race
+// check on the claim/steal paths.
+func coverOnce(t *testing.T, n, threads int, run func(fn func(lo, hi, tid int))) {
+	t.Helper()
+	hits := make([]int32, n)
+	run(func(lo, hi, tid int) {
+		if tid < 0 || tid >= Threads(threads) {
+			t.Errorf("tid %d out of range [0,%d)", tid, Threads(threads))
+		}
+		if lo > hi || lo < 0 || hi > n {
+			t.Errorf("bad block [%d,%d) for n=%d", lo, hi, n)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times (n=%d threads=%d)", i, h, n, threads)
+		}
+	}
+}
+
+func TestForEachChunkedCoversAll(t *testing.T) {
+	f := func(nRaw uint16, threadsRaw, grainRaw uint8) bool {
+		n := int(nRaw % 3000)
+		threads := int(threadsRaw%8) + 1
+		grain := int(grainRaw%100) + 1
+		hits := make([]int32, n)
+		ForEachChunked(n, threads, grain, nil, func(lo, hi, tid int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for _, h := range hits {
+			if h != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestForEachChunkedAdversarial covers the degenerate shapes: empty,
+// fewer items than workers, a single mega-item, and item counts that do
+// not divide the worker count.
+func TestForEachChunkedAdversarial(t *testing.T) {
+	called := false
+	ForEachChunked(0, 4, 16, nil, func(lo, hi, tid int) { called = true })
+	ForEachChunked(-3, 4, 16, nil, func(lo, hi, tid int) { called = true })
+	if called {
+		t.Error("fn called for empty range")
+	}
+	for _, tc := range []struct{ n, threads, grain int }{
+		{1, 8, 64},  // single mega-row: exactly one block
+		{3, 8, 1},   // n < threads: some workers start empty and must steal or retire
+		{7, 4, 2},   // uneven split
+		{100, 3, 7}, // non-dividing grain
+		{65, 2, 64}, // one block per worker plus a remainder
+	} {
+		coverOnce(t, tc.n, tc.threads, func(fn func(lo, hi, tid int)) {
+			ForEachChunked(tc.n, tc.threads, tc.grain, nil, fn)
+		})
+	}
+}
+
+func TestForEachPartitionCoversAll(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		bounds  []int
+		threads int
+	}{
+		{"empty-bounds", []int{}, 4},
+		{"single-empty", []int{0, 0}, 4},
+		{"one-part", []int{0, 10}, 4},
+		{"uniform", []int{0, 5, 10, 15, 20}, 3},
+		{"skewed", []int{0, 1, 2, 50, 51, 100}, 4},
+		{"with-empty-parts", []int{0, 0, 3, 3, 3, 9, 9}, 2},
+		{"more-parts-than-threads", []int{0, 2, 4, 6, 8, 10, 12, 14, 16}, 2},
+		{"fewer-items-than-threads", []int{0, 1, 2, 3}, 8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			n := 0
+			if len(tc.bounds) > 0 {
+				n = tc.bounds[len(tc.bounds)-1]
+			}
+			coverOnce(t, n, tc.threads, func(fn func(lo, hi, tid int)) {
+				ForEachPartition(tc.bounds, tc.threads, nil, fn)
+			})
+		})
+	}
+}
+
+// TestForEachPartitionSkipsEmpty pins that zero-width partitions never
+// reach the callback (kernels index scratch by block and must not see
+// lo == hi).
+func TestForEachPartitionSkipsEmpty(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		ForEachPartition([]int{0, 0, 0, 5, 5}, threads, nil, func(lo, hi, tid int) {
+			if lo >= hi {
+				t.Errorf("empty partition [%d,%d) reached fn", lo, hi)
+			}
+		})
+	}
+}
+
+// TestSchedStatsAccounting checks the telemetry invariants: claimed
+// blocks add up to the work handed out, steals only appear on the
+// chunked scheduler, and busy time is recorded.
+func TestSchedStatsAccounting(t *testing.T) {
+	work := func(lo, hi, tid int) {
+		// Enough work for Busy to register on coarse clocks.
+		s := 0
+		for i := lo; i < hi; i++ {
+			for k := 0; k < 2000; k++ {
+				s += k ^ i
+			}
+		}
+		_ = s
+	}
+
+	var st SchedStats
+	st.Reset(4)
+	ForEachBlockStats(256, 4, 16, &st, work)
+	if got, want := st.Claimed(), 16; got != want {
+		t.Errorf("block: claimed = %d, want %d", got, want)
+	}
+	if st.Stolen() != 0 {
+		t.Errorf("block: stolen = %d, want 0", st.Stolen())
+	}
+	if st.Busy() <= 0 {
+		t.Error("block: no busy time recorded")
+	}
+
+	st.Reset(4)
+	ForEachPartition([]int{0, 64, 128, 192, 256}, 4, &st, work)
+	if got, want := st.Claimed(), 4; got != want {
+		t.Errorf("partition: claimed = %d, want %d", got, want)
+	}
+
+	// Chunked blocks can exceed n/grain: the even initial split and
+	// half-range steals cut ranges at non-grain boundaries.
+	st.Reset(2)
+	ForEachChunked(256, 2, 16, &st, work)
+	if got := st.Claimed(); got < 16 || got > 16+8 {
+		t.Errorf("chunked: claimed = %d, want ~16", got)
+	}
+
+	// Accumulation across passes without Reset (a two-phase execution).
+	before := st.Claimed()
+	ForEachChunked(256, 2, 16, &st, work)
+	if st.Claimed() < before+16 {
+		t.Errorf("stats did not accumulate: %d after second pass, want ≥ %d", st.Claimed(), before+16)
+	}
+}
+
+// TestForEachChunkedStealsUnderSkew plants all the cost in the lowest
+// indices (one worker's initial deque) — the mechanism the fallback
+// scheduler exists for. Steal timing depends on the host's real
+// parallelism, so coverage is asserted strictly while the steal count
+// is only reported.
+func TestForEachChunkedStealsUnderSkew(t *testing.T) {
+	const n = 1 << 10
+	var st SchedStats
+	st.Reset(4)
+	var total atomic.Int64
+	ForEachChunked(n, 4, 8, &st, func(lo, hi, tid int) {
+		for i := lo; i < hi; i++ {
+			cost := 1
+			if i < n/4 {
+				cost = 400 // the first worker's quarter is 400× heavier
+			}
+			s := 0
+			for k := 0; k < cost*100; k++ {
+				s += k
+			}
+			total.Add(int64(s & 1))
+		}
+	})
+	if got, min := st.Claimed(), n/8; got < min {
+		t.Fatalf("claimed = %d, want ≥ %d", got, min)
+	}
+	t.Logf("steals under planted skew: %d, imbalance %.2f", st.Stolen(), st.Imbalance())
+}
+
+func TestSchedStatsImbalance(t *testing.T) {
+	var st SchedStats
+	if st.Imbalance() != 0 {
+		t.Error("empty stats should report 0 imbalance")
+	}
+	// All four workers participated; one did all the work.
+	st.Workers = []WorkerStats{
+		{Busy: 4 * time.Millisecond, Claimed: 4},
+		{Busy: 0, Claimed: 1}, {Busy: 0, Claimed: 1}, {Busy: 0, Claimed: 1},
+	}
+	if got := st.Imbalance(); got != 4 {
+		t.Errorf("one-of-four imbalance = %v, want 4", got)
+	}
+	st.Workers = []WorkerStats{{Busy: time.Millisecond, Claimed: 2}, {Busy: time.Millisecond, Claimed: 2}}
+	if got := st.Imbalance(); got != 1 {
+		t.Errorf("balanced imbalance = %v, want 1", got)
+	}
+	// Serial fallback: only tid 0 ever received blocks. That is a
+	// deliberate narrow pass, not imbalance.
+	st.Workers = []WorkerStats{{Busy: 4 * time.Millisecond, Claimed: 4}, {}, {}, {}}
+	if got := st.Imbalance(); got != 1 {
+		t.Errorf("serial-fallback imbalance = %v, want 1", got)
+	}
+}
+
+func TestSchedSummaryRecord(t *testing.T) {
+	var sum SchedSummary
+	var st SchedStats
+	st.Workers = []WorkerStats{{Busy: 3 * time.Millisecond, Claimed: 5, Stolen: 2}, {Busy: time.Millisecond, Claimed: 3}}
+	sum.Record(st)
+	sum.Record(st)
+	if sum.Passes != 2 || sum.BlocksClaimed != 16 || sum.BlocksStolen != 4 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if sum.Busy != 8*time.Millisecond {
+		t.Errorf("busy = %v, want 8ms", sum.Busy)
+	}
+	if sum.WorstImbalance != 1.5 {
+		t.Errorf("worst imbalance = %v, want 1.5", sum.WorstImbalance)
+	}
+}
+
+// TestPrefixSumParallelBoundary exercises the serial/parallel cutoff at
+// length cutoff−1, cutoff, and cutoff+1 — the sizes where the old block
+// math produced blocks far smaller than a scheduling step is worth.
+func TestPrefixSumParallelBoundary(t *testing.T) {
+	for _, n := range []int{prefixCutoff - 1, prefixCutoff, prefixCutoff + 1} {
+		a := make([]int64, n)
+		b := make([]int64, n)
+		for i := range a {
+			v := int64((i*31 + 7) % 13)
+			a[i], b[i] = v, v
+		}
+		t1 := PrefixSum(a)
+		t2 := PrefixSumParallel(b, 8)
+		if t1 != t2 {
+			t.Fatalf("n=%d: total %d != %d", n, t2, t1)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("n=%d: prefix differs at %d", n, i)
+			}
+		}
+	}
+}
+
+// TestPrefixBlockMath pins the satellite fix: just above the cutoff the
+// block count must come from n/blk (few, large blocks), not from
+// threads*4 (many undersized blocks).
+func TestPrefixBlockMath(t *testing.T) {
+	n := prefixCutoff + 1
+	threads := 8
+	nblk := threads * 4
+	blk := (n + nblk - 1) / nblk
+	if blk < prefixMinBlock {
+		blk = prefixMinBlock
+	}
+	nblk = (n + blk - 1) / blk
+	if blk < prefixMinBlock {
+		t.Fatalf("block size %d below floor %d", blk, prefixMinBlock)
+	}
+	if nblk > (n+prefixMinBlock-1)/prefixMinBlock {
+		t.Fatalf("nblk %d exceeds what n=%d supports at floor %d", nblk, n, prefixMinBlock)
+	}
+}

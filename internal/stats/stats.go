@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/parallel"
 	"maskedspgemm/internal/sparse"
 )
 
@@ -113,6 +114,20 @@ func DegreeHistogram[T any](a *sparse.CSR[T]) []int64 {
 		bump(b)
 	}
 	return hist
+}
+
+// WriteSchedStats renders one execution's scheduler telemetry
+// (parallel.SchedStats, collected under Options.CollectSchedStats) as
+// an aligned per-worker table plus the aggregate imbalance factor —
+// the diagnostic view of the load-balance skew this package's degree
+// statistics predict.
+func WriteSchedStats(w io.Writer, st parallel.SchedStats) {
+	fmt.Fprintf(w, "  %-8s %12s %10s %8s\n", "worker", "busy", "claimed", "stolen")
+	for tid, ws := range st.Workers {
+		fmt.Fprintf(w, "  %-8d %12s %10d %8d\n", tid, ws.Busy, ws.Claimed, ws.Stolen)
+	}
+	fmt.Fprintf(w, "  total busy %s over %d blocks (%d stolen), imbalance %.2f\n",
+		st.Busy(), st.Claimed(), st.Stolen(), st.Imbalance())
 }
 
 // MaskedWork summarizes Figure 1's argument for one masked product:

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"maskedspgemm/internal/gen"
+	"maskedspgemm/internal/parallel"
 	"maskedspgemm/internal/sparse"
 )
 
@@ -99,5 +101,20 @@ func TestAnalyzeMaskedWork(t *testing.T) {
 	}
 	if w.MaskCoverage != 1 {
 		t.Errorf("coverage = %v", w.MaskCoverage)
+	}
+}
+
+func TestWriteSchedStats(t *testing.T) {
+	st := parallel.SchedStats{Workers: []parallel.WorkerStats{
+		{Busy: 3 * time.Millisecond, Claimed: 10, Stolen: 1},
+		{Busy: time.Millisecond, Claimed: 4},
+	}}
+	var buf bytes.Buffer
+	WriteSchedStats(&buf, st)
+	out := buf.String()
+	for _, want := range []string{"worker", "claimed", "14 blocks", "(1 stolen)", "imbalance 1.50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
 	}
 }

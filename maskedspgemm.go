@@ -28,6 +28,7 @@ import (
 	"maskedspgemm/internal/gen"
 	"maskedspgemm/internal/graph"
 	"maskedspgemm/internal/mtx"
+	"maskedspgemm/internal/parallel"
 	"maskedspgemm/internal/semiring"
 	"maskedspgemm/internal/sparse"
 )
@@ -91,6 +92,45 @@ func WithThreads(threads int) Option {
 	return func(o *core.Options) { o.Threads = threads }
 }
 
+// Schedule selects how parallel row passes divide work among workers;
+// see the Schedule* constants.
+type Schedule = core.Schedule
+
+const (
+	// ScheduleAuto (the default) picks the strategy per plan from the
+	// measured row-cost skew: cost partitions when a few rows dominate,
+	// fixed-grain blocks otherwise.
+	ScheduleAuto = core.SchedAuto
+	// ScheduleFixedGrain claims fixed-size row blocks from a shared
+	// counter — dynamic, but blind to row cost.
+	ScheduleFixedGrain = core.SchedFixedGrain
+	// ScheduleCostPartition drives workers over equal-cost row
+	// partitions laid out at plan time from the flops profile.
+	ScheduleCostPartition = core.SchedCostPartition
+	// ScheduleWorkSteal uses per-worker deques with range stealing —
+	// absorbs skew without a cost profile.
+	ScheduleWorkSteal = core.SchedWorkSteal
+)
+
+// WithSchedule picks the row-scheduling strategy (default
+// ScheduleAuto).
+func WithSchedule(s Schedule) Option {
+	return func(o *core.Options) { o.Schedule = s }
+}
+
+// SchedStats is per-execution scheduler telemetry: one entry per
+// worker with busy time and blocks claimed/stolen, plus aggregate
+// accessors (Busy, Claimed, Stolen, Imbalance).
+type SchedStats = parallel.SchedStats
+
+// WithSchedStats records per-worker scheduler telemetry on every
+// execution (two clock reads per scheduled row block), readable via
+// Plan.SchedStats or Executor.SchedStats — and aggregated into
+// Session.Stats for session traffic.
+func WithSchedStats() Option {
+	return func(o *core.Options) { o.CollectSchedStats = true }
+}
+
 // buildOptions folds Option values over the defaults.
 func buildOptions(opts []Option) core.Options {
 	var o core.Options
@@ -145,6 +185,12 @@ func (p *Plan) Execute(a, b *Matrix) (*Matrix, error) {
 	return p.p.Execute(a, b)
 }
 
+// SchedStats returns the scheduler telemetry of the plan's most recent
+// execution run under WithSchedStats.
+func (p *Plan) SchedStats() SchedStats {
+	return p.p.SchedStats()
+}
+
 // Executor owns the pooled per-worker workspaces (accumulators, slab
 // and output buffers) behind plan execution. Sharing one executor
 // across plans — as the k-truss and betweenness loops do internally —
@@ -158,6 +204,12 @@ type Executor struct {
 // semiring.
 func NewExecutor() *Executor {
 	return &Executor{e: core.NewExecutor[float64](semiring.PlusTimes[float64]{})}
+}
+
+// SchedStats returns the scheduler telemetry of the most recent
+// execution on this executor that ran under WithSchedStats.
+func (e *Executor) SchedStats() SchedStats {
+	return e.e.SchedStats()
 }
 
 // NewPlan is NewPlan drawing workspaces from this executor instead of

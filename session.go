@@ -1,7 +1,10 @@
 package maskedspgemm
 
 import (
+	"sync"
+
 	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/parallel"
 	"maskedspgemm/internal/semiring"
 )
 
@@ -35,6 +38,9 @@ type arith = semiring.PlusTimes[float64]
 type Session struct {
 	cache *core.PlanCache[float64, arith]
 	pool  *core.ExecutorPool[float64, arith]
+
+	schedMu sync.Mutex
+	sched   parallel.SchedSummary
 }
 
 // SessionOption configures NewSession.
@@ -99,7 +105,14 @@ func (s *Session) Multiply(mask *Pattern, a, b *Matrix, opts ...Option) (*Matrix
 	}
 	exec := s.pool.Get()
 	defer s.pool.Put(exec)
-	return plan.ExecuteOn(exec, a, b)
+	out, err := plan.ExecuteOn(exec, a, b)
+	if err == nil && o.CollectSchedStats {
+		st := exec.SchedStats()
+		s.schedMu.Lock()
+		s.sched.Record(st)
+		s.schedMu.Unlock()
+	}
+	return out, err
 }
 
 // Warm plans (or confirms a cached plan for) the given structure
@@ -118,16 +131,28 @@ type CacheStats = core.PlanCacheStats
 // PoolStats re-exports the executor pool counters (see SessionStats).
 type PoolStats = core.ExecutorPoolStats
 
-// SessionStats is a point-in-time snapshot of a session's cache and
-// pool behaviour, for dashboards and capacity tuning.
+// SchedSummary re-exports cumulative scheduler telemetry (see
+// SessionStats): recorded passes, total worker busy time, blocks
+// claimed and stolen, and the worst per-execution imbalance.
+type SchedSummary = parallel.SchedSummary
+
+// SessionStats is a point-in-time snapshot of a session's cache, pool,
+// and scheduler behaviour, for dashboards and capacity tuning.
 type SessionStats struct {
-	// Cache reports plan-cache hits, misses, evictions, and footprint.
+	// Cache reports plan-cache hits, misses (including coalesced
+	// misses), evictions, and footprint.
 	Cache CacheStats
 	// Pool reports executor creations, reuses, discards, and idle count.
 	Pool PoolStats
+	// Sched accumulates scheduler telemetry over every Multiply issued
+	// with WithSchedStats; zero when the option is never used.
+	Sched SchedSummary
 }
 
 // Stats returns a snapshot of the session's counters.
 func (s *Session) Stats() SessionStats {
-	return SessionStats{Cache: s.cache.Stats(), Pool: s.pool.Stats()}
+	s.schedMu.Lock()
+	sched := s.sched
+	s.schedMu.Unlock()
+	return SessionStats{Cache: s.cache.Stats(), Pool: s.pool.Stats(), Sched: sched}
 }

@@ -197,3 +197,61 @@ func BenchmarkSessionMultiply(b *testing.B) {
 		})
 	}
 }
+
+// TestSessionSchedStats checks the telemetry aggregation path: served
+// multiplies issued with WithSchedStats accumulate into
+// SessionStats.Sched, while plain multiplies record nothing.
+func TestSessionSchedStats(t *testing.T) {
+	s := NewSession()
+	g := ErdosRenyi(256, 8, 9)
+	mask := g.PatternView()
+
+	if _, err := s.Multiply(mask, g, g, WithThreads(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Sched; got.Passes != 0 {
+		t.Fatalf("plain multiply recorded sched stats: %+v", got)
+	}
+
+	const reqs = 3
+	for i := 0; i < reqs; i++ {
+		if _, err := s.Multiply(mask, g, g, WithThreads(2), WithSchedStats()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched := s.Stats().Sched
+	if sched.Passes != reqs {
+		t.Fatalf("passes = %d, want %d", sched.Passes, reqs)
+	}
+	if sched.BlocksClaimed == 0 {
+		t.Error("no blocks recorded")
+	}
+	if sched.WorstImbalance < 1 {
+		t.Errorf("worst imbalance %v, want ≥ 1 once work was recorded", sched.WorstImbalance)
+	}
+}
+
+// TestSessionScheduleOption pins that WithSchedule flows through the
+// session's cache key: different schedules are distinct plans but all
+// compute the same result.
+func TestSessionScheduleOption(t *testing.T) {
+	s := NewSession()
+	g := ErdosRenyi(200, 8, 10)
+	mask := g.PatternView()
+	want, err := s.Multiply(mask, g, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Schedule{ScheduleFixedGrain, ScheduleCostPartition, ScheduleWorkSteal} {
+		got, err := s.Multiply(mask, g, g, WithSchedule(mode), WithThreads(2))
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if !sparse.Equal(want, got) {
+			t.Fatalf("%v: result differs", mode)
+		}
+	}
+	if st := s.Stats().Cache; st.Entries < 4 {
+		t.Errorf("schedules should be distinct cache entries, got %d", st.Entries)
+	}
+}
