@@ -419,6 +419,49 @@ func BenchmarkHybrid(b *testing.B) {
 	}
 }
 
+// BenchmarkHybridMix — the per-row poly-algorithm (DESIGN.md §10)
+// against every single accumulator family. The acceptance targets: on
+// the banded mask-density sweep (1e-4 … 0.5 across row bands — no
+// single family wins every band) the mixed per-row binding must be
+// ≥ 10% faster than the best single family; on the uniform-density
+// controls, where one family is globally optimal, it must track that
+// family within 3% (the selector binds ~every row to it, so only
+// run-dispatch overhead remains). `mspgemm-bench hybridmix` runs the
+// same experiment with a best-of-reps harness and emits
+// BENCH_hybridmix.json.
+func BenchmarkHybridMix(b *testing.B) {
+	sr := semiring.PlusTimes[float64]{}
+	const scale, ef = 12, 32
+	n := 1 << scale
+	g := gen.Symmetrize(gen.ErdosRenyi(n, ef, 7))
+	workloads := []struct {
+		name string
+		mask *sparse.Pattern
+	}{
+		{"density-sweep", bench.BandedMask(n, bench.SweepDensities, 9)},
+		{"uniform-dense", gen.ErdosRenyiPattern(n, n/16, 10)},
+		{"uniform-sparse", gen.ErdosRenyiPattern(n, 2, 11)},
+	}
+	algos := []core.Algorithm{core.AlgoMSA, core.AlgoHash, core.AlgoMCA, core.AlgoHeap, core.AlgoInner, core.AlgoHybrid}
+	for _, wl := range workloads {
+		for _, algo := range algos {
+			opt := core.Options{Algorithm: algo, ReuseOutput: true}
+			plan, err := core.NewPlan(sr, wl.mask, g, g, opt, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(wl.name+"/"+algo.String(), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := plan.Execute(g, g); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkBFSDirection — push vs pull vs direction-optimized BFS
 // (§4's motivating application for masking).
 func BenchmarkBFSDirection(b *testing.B) {

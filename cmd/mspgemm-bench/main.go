@@ -1,24 +1,27 @@
 // Command mspgemm-bench regenerates the paper's evaluation artifacts
 // (Figures 7–16) on synthetic workloads, plus the scheduler-skew
-// experiment of DESIGN.md §9. Each figure is a subcommand; "all" runs
-// everything at the default (CI-scale) sizes; "sched" runs the
-// scheduling sweep and writes BENCH_sched.json for the perf
-// trajectory.
+// experiment of DESIGN.md §9 and the per-row poly-algorithm
+// experiment of DESIGN.md §10. Each figure is a subcommand; "all"
+// runs everything at the default (CI-scale) sizes; "sched" runs the
+// scheduling sweep (BENCH_sched.json) and "hybridmix" the
+// mask-density mixed-binding sweep (BENCH_hybridmix.json) for the
+// perf trajectory.
 //
 // Usage:
 //
-//	mspgemm-bench [flags] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|sched|all
+//	mspgemm-bench [flags] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|sched|hybridmix|all
 //
 // Flags:
 //
-//	-threads N     worker goroutines (default GOMAXPROCS)
-//	-reps N        timing repetitions per point (default 3)
-//	-scale-max N   cap on R-MAT/ER scales (default 13; paper used 20)
-//	-batch N       betweenness-centrality batch size (default 64; paper 512)
-//	-dim N         Fig-7 matrix dimension exponent (default 12, i.e. 2^12)
-//	-ktruss N      truss order k (default 5)
-//	-sched-out F   where "sched" writes its JSON (default BENCH_sched.json)
-//	-selftest      cross-check all schemes before benchmarking
+//	-threads N        worker goroutines (default GOMAXPROCS)
+//	-reps N           timing repetitions per point (default 3)
+//	-scale-max N      cap on R-MAT/ER scales (default 13; paper used 20)
+//	-batch N          betweenness-centrality batch size (default 64; paper 512)
+//	-dim N            Fig-7 matrix dimension exponent (default 12, i.e. 2^12)
+//	-ktruss N         truss order k (default 5)
+//	-sched-out F      where "sched" writes its JSON (default BENCH_sched.json)
+//	-hybridmix-out F  where "hybridmix" writes its JSON (default BENCH_hybridmix.json)
+//	-selftest         cross-check all schemes before benchmarking
 package main
 
 import (
@@ -40,11 +43,12 @@ func main() {
 		dimExp   = flag.Int("dim", 12, "Fig-7 dimension exponent (2^dim)")
 		ktrussK  = flag.Int("ktruss", 5, "k-truss order")
 		schedOut = flag.String("sched-out", "BENCH_sched.json", "output path for the sched subcommand's JSON")
+		mixOut   = flag.String("hybridmix-out", "BENCH_hybridmix.json", "output path for the hybridmix subcommand's JSON")
 		selftest = flag.Bool("selftest", false, "run the cross-scheme self-test first")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mspgemm-bench [flags] fig7|...|fig16|sched|all")
+		fmt.Fprintln(os.Stderr, "usage: mspgemm-bench [flags] fig7|...|fig16|sched|hybridmix|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -63,6 +67,7 @@ func main() {
 		dimExp:   *dimExp,
 		ktrussK:  *ktrussK,
 		schedOut: *schedOut,
+		mixOut:   *mixOut,
 	}
 	figure := flag.Arg(0)
 	var err error
@@ -84,7 +89,7 @@ func main() {
 
 type runner struct {
 	threads, reps, scaleMax, batch, dimExp, ktrussK int
-	schedOut                                        string
+	schedOut, mixOut                                string
 }
 
 // scales returns the R-MAT sweep 8..scaleMax (paper: 8..20).
@@ -238,6 +243,30 @@ func (r runner) run(figure string) error {
 			return err
 		}
 		fmt.Fprintf(w, "wrote %s\n", r.schedOut)
+	case "hybridmix":
+		cfg := bench.DefaultHybridMixConfig()
+		if r.scaleMax < cfg.Scale {
+			cfg.Scale = r.scaleMax
+		}
+		cfg.Reps = r.reps
+		cfg.Threads = r.threads
+		pts, err := bench.RunHybridMix(cfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteHybridMix(w, cfg, pts)
+		f, err := os.Create(r.mixOut)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteHybridMixJSON(f, cfg, pts); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", r.mixOut)
 	default:
 		return fmt.Errorf("unknown figure %q", figure)
 	}

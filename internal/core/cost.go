@@ -71,8 +71,10 @@ func unprofiledSched(opt Options) rowSched {
 // SchedAuto policy from its skew, and — when cost partitioning is
 // chosen — lays out the equal-cost partition boundaries stored in the
 // immutable plan. Runs once per structure; cached plans replay the
-// result on every hit.
-func (p *Plan[T, S]) planSchedule(a, b *sparse.CSR[T]) {
+// result on every hit. rowCost, when non-nil, is a precomputed
+// profile (the poly selector's per-row chosen costs); nil measures
+// one here.
+func (p *Plan[T, S]) planSchedule(a, b *sparse.CSR[T], rowCost []int64) {
 	switch p.opt.Schedule {
 	case SchedFixedGrain, SchedWorkSteal:
 		// Explicitly cost-blind: skip the profile entirely.
@@ -89,7 +91,10 @@ func (p *Plan[T, S]) planSchedule(a, b *sparse.CSR[T]) {
 		p.sched = SchedFixedGrain
 		return
 	}
-	cost := p.rowCosts(a, b)
+	cost := rowCost
+	if cost == nil {
+		cost = p.rowCosts(a, b)
+	}
 	var total, max int64
 	for _, c := range cost {
 		total += c
@@ -115,9 +120,12 @@ func (p *Plan[T, S]) planSchedule(a, b *sparse.CSR[T]) {
 //     Σ_{k ∈ A_i*} nnz(B_k*) plus the mask walk, with the output term
 //     capped by the §5.2 complement bound when the mask is
 //     complemented — the same quantities complementBounds walks.
-//   - pull rows (Inner, SS:DOT, Hybrid's pull side): one merge-dot per
-//     admitted mask entry, nnz(m_i)·(nnz(A_i*) + d̄_B), the §4.3 cost
-//     model planHybrid already applies.
+//   - pull rows (Inner, SS:DOT): one merge-dot per admitted mask
+//     entry, nnz(m_i)·(nnz(A_i*) + d̄_B), the §4.3 cost model.
+//
+// Poly plans (AlgoHybrid) never reach here — their selector's chosen
+// per-row costs are handed to planSchedule directly, so selection and
+// scheduling share one cost picture.
 //
 // Absolute scale does not matter — only proportions do, since the
 // partitioner divides rows by cumulative share.
@@ -135,7 +143,7 @@ func (p *Plan[T, S]) rowCosts(a, b *sparse.CSR[T]) []int64 {
 		for i := lo; i < hi; i++ {
 			m := int64(p.mask.RowNNZ(i))
 			aRow := a.Row(i)
-			if pullAll || (p.pull != nil && p.pull[i]) {
+			if pullAll {
 				adm := m
 				if complement {
 					adm = cols - m

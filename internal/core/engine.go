@@ -26,19 +26,70 @@ type rowNumericFn[T any] func(tid, i int, outIdx []int32, outVal []T) int
 // rowSymbolicFn counts output row i without computing values.
 type rowSymbolicFn func(tid, i int) int
 
+// findRun returns the index of the run containing row i: the first
+// run whose exclusive end exceeds i (binary search; runEnds is
+// strictly increasing and covers every row).
+func findRun(runEnds []int32, i int) int {
+	lo, hi := 0, len(runEnds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(runEnds[mid]) <= i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// numericSegment returns the end of the longest prefix of [lo, hi)
+// whose rows share one numeric kernel, together with that kernel.
+// Uniform plans return the whole range; poly plans split at the run
+// boundaries of the plan's per-row family binding, so dispatch is
+// amortized per run ∩ block, never per row.
+func (k *kernels[T]) numericSegment(lo, hi int) (int, rowNumericFn[T]) {
+	if k.runEnds == nil {
+		return hi, k.numeric
+	}
+	r := findRun(k.runEnds, lo)
+	end := int(k.runEnds[r])
+	if end > hi {
+		end = hi
+	}
+	return end, k.numFam[k.runFam[r]]
+}
+
+// symbolicSegment is numericSegment for the symbolic pass.
+func (k *kernels[T]) symbolicSegment(lo, hi int) (int, rowSymbolicFn) {
+	if k.runEnds == nil {
+		return hi, k.symbolic
+	}
+	r := findRun(k.runEnds, lo)
+	end := int(k.runEnds[r])
+	if end > hi {
+		end = hi
+	}
+	return end, k.symFam[k.runFam[r]]
+}
+
 // onePhase runs the numeric kernel once per row into a slab laid out by
 // offsets (len rows+1, offsets[i+1]-offsets[i] ≥ row i's worst case),
 // then compacts. Row passes are scheduled by sch (fixed-grain,
-// cost-partitioned, or work-stealing — DESIGN.md §9). es supplies
-// pooled scratch; nil allocates fresh.
-func onePhase[T any](rows, cols int, offsets []int64, sch rowSched, numeric rowNumericFn[T], es *engineScratch[T]) *sparse.CSR[T] {
+// cost-partitioned, or work-stealing — DESIGN.md §9) and follow the
+// kernel binding's run boundaries. es supplies pooled scratch; nil
+// allocates fresh.
+func onePhase[T any](rows, cols int, offsets []int64, sch rowSched, k kernels[T], es *engineScratch[T]) *sparse.CSR[T] {
 	slab := offsets[rows]
 	tmpIdx, tmpVal := es.slab(slab)
 	counts := es.rowPtrBuf(rows + 1)
 	sch.run(rows, func(lo, hi, tid int) {
-		for i := lo; i < hi; i++ {
-			base, end := offsets[i], offsets[i+1]
-			counts[i] = int64(numeric(tid, i, tmpIdx[base:end], tmpVal[base:end]))
+		for lo < hi {
+			seg, numeric := k.numericSegment(lo, hi)
+			for i := lo; i < seg; i++ {
+				base, end := offsets[i], offsets[i+1]
+				counts[i] = int64(numeric(tid, i, tmpIdx[base:end], tmpVal[base:end]))
+			}
+			lo = seg
 		}
 	})
 	return compact(rows, cols, offsets, counts, tmpIdx, tmpVal, sch, es)
@@ -72,13 +123,17 @@ func compact[T any](rows, cols int, offsets, counts []int64, tmpIdx []int32, tmp
 
 // twoPhase runs the symbolic kernel to size every row, prefix-sums, and
 // lets the numeric kernel write directly into the exact-size result.
-// Both passes are scheduled by sch. es supplies pooled output buffers;
-// nil allocates fresh.
-func twoPhase[T any](rows, cols int, sch rowSched, symbolic rowSymbolicFn, numeric rowNumericFn[T], es *engineScratch[T]) *sparse.CSR[T] {
+// Both passes are scheduled by sch and follow the kernel binding's run
+// boundaries. es supplies pooled output buffers; nil allocates fresh.
+func twoPhase[T any](rows, cols int, sch rowSched, k kernels[T], es *engineScratch[T]) *sparse.CSR[T] {
 	rowPtr := es.rowPtrBuf(rows + 1)
 	sch.run(rows, func(lo, hi, tid int) {
-		for i := lo; i < hi; i++ {
-			rowPtr[i] = int64(symbolic(tid, i))
+		for lo < hi {
+			seg, symbolic := k.symbolicSegment(lo, hi)
+			for i := lo; i < seg; i++ {
+				rowPtr[i] = int64(symbolic(tid, i))
+			}
+			lo = seg
 		}
 	})
 	rowPtr[rows] = 0
@@ -94,8 +149,12 @@ func twoPhase[T any](rows, cols int, sch rowSched, symbolic rowSymbolicFn, numer
 		Val: val,
 	}
 	sch.run(rows, func(lo, hi, tid int) {
-		for i := lo; i < hi; i++ {
-			numeric(tid, i, out.ColIdx[rowPtr[i]:rowPtr[i+1]], out.Val[rowPtr[i]:rowPtr[i+1]])
+		for lo < hi {
+			seg, numeric := k.numericSegment(lo, hi)
+			for i := lo; i < seg; i++ {
+				numeric(tid, i, out.ColIdx[rowPtr[i]:rowPtr[i+1]], out.Val[rowPtr[i]:rowPtr[i+1]])
+			}
+			lo = seg
 		}
 	})
 	return out

@@ -24,7 +24,7 @@ func TestOnePhaseEngine(t *testing.T) {
 		}
 		return i + 1
 	}
-	out := onePhase(4, 8, offsets, rowSched{threads: 2, grain: 1, mode: SchedFixedGrain}, numeric, nil)
+	out := onePhase(4, 8, offsets, rowSched{threads: 2, grain: 1, mode: SchedFixedGrain}, kernels[float64]{numeric: numeric}, nil)
 	if err := out.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestOnePhasePartialRows(t *testing.T) {
 		outVal[0] = float64(i)
 		return 1
 	}
-	out := onePhase(3, 8, offsets, rowSched{threads: 1, grain: 1, mode: SchedFixedGrain}, numeric, nil)
+	out := onePhase(3, 8, offsets, rowSched{threads: 1, grain: 1, mode: SchedFixedGrain}, kernels[float64]{numeric: numeric}, nil)
 	if out.NNZ() != 2 || out.RowNNZ(1) != 0 {
 		t.Fatalf("compaction wrong: nnz=%d row1=%d", out.NNZ(), out.RowNNZ(1))
 	}
@@ -73,7 +73,7 @@ func TestTwoPhaseEngine(t *testing.T) {
 		}
 		return n
 	}
-	out := twoPhase(7, 5, rowSched{threads: 2, grain: 2, mode: SchedFixedGrain}, symbolic, numeric, nil)
+	out := twoPhase(7, 5, rowSched{threads: 2, grain: 2, mode: SchedFixedGrain}, kernels[float64]{numeric: numeric, symbolic: symbolic}, nil)
 	if err := out.Validate(); err != nil {
 		t.Fatal(err)
 	}

@@ -1,86 +1,514 @@
 package core
 
 import (
+	"fmt"
+	"math"
+
+	"maskedspgemm/internal/parallel"
 	"maskedspgemm/internal/semiring"
 	"maskedspgemm/internal/sparse"
 )
 
-// The hybrid algorithm the paper sketches as future work (§9:
-// "hybrid algorithms that can use different accumulators in the same
-// Masked SpGEMM depending on the density of the mask and parts of
-// matrices being processed"). Every row independently picks pull
-// (inner products) or push (MSA) using the §4.3 cost model:
-//
-//   pull cost  ≈ nnz(m_i) · (nnz(A_i*) + d̄_B)   one merge-dot per
-//                                                 admitted mask entry
-//   push cost  ≈ nnz(m_i) + Σ_k nnz(B_k*)        Gustavson flops
-//                                                 (+ gather)
-//
-// where d̄_B is B's average column size. When the mask row is much
-// sparser than the row's flops, pull wins (§4.3's asymptotic
-// argument); when the inputs are sparse relative to the mask, push
-// wins. The crossover is per row, which is exactly what a single
-// global algorithm choice cannot express — R-MAT's skewed rows mix
-// both regimes in one matrix.
+// Per-row poly-algorithm execution — the hybrid §9 sketches ("hybrid
+// algorithms that can use different accumulators in the same Masked
+// SpGEMM depending on the density of the mask and parts of matrices
+// being processed"), generalized from the original pull-vs-push
+// choice to the full accumulator menu. During plan analysis every
+// output row is scored under the registry's per-family cost models
+// (SchemeInfo.RowCost) on the same structural inputs the scheduler's
+// masked-flops profile uses, and bound to the cheapest admissible
+// family. The decisions are stored in the immutable plan as *runs* —
+// maximal stretches of consecutive rows sharing one binding — so the
+// engine drivers dispatch once per run, not once per row, and cached
+// plans replay their mixed bindings for free (DESIGN.md §10).
 
-// hybridChooser precomputes what the per-row decision needs.
-type hybridChooser struct {
-	avgBCol float64
-	bRowPtr []int64
+// Family identifies one accumulator family the per-row selector can
+// bind (DESIGN.md §10). FamPull is the pull-based inner-product
+// algorithm; the others are the push families of §5.
+type Family uint8
+
+const (
+	// FamMSA is the masked sparse accumulator family (§5.2) — the
+	// universal fallback: admissible for every mask mode.
+	FamMSA Family = iota
+	// FamHash is the open-addressing hash family (§5.3).
+	FamHash
+	// FamMCA is the mask-compressed accumulator family (§5.4). MCA has
+	// no complemented form, so it is inadmissible for complemented
+	// rows — enforced at selection time, never by a kernel crash.
+	FamMCA
+	// FamHeap is the multi-way merge family (§5.5), NInspect resolved
+	// exactly as for AlgoHeap.
+	FamHeap
+	// FamPull is the pull-based inner-product algorithm (§4.1); rows
+	// bound to it read B through the plan's CSC structure.
+	FamPull
+	// NumFamilies is the number of bindable families — the length of
+	// per-family tables such as HybridFamilyRows' result.
+	NumFamilies
+)
+
+// String names the family as in DESIGN.md §10's admissibility table.
+func (f Family) String() string {
+	switch f {
+	case FamMSA:
+		return "MSA"
+	case FamHash:
+		return "Hash"
+	case FamMCA:
+		return "MCA"
+	case FamHeap:
+		return "Heap"
+	case FamPull:
+		return "Pull"
+	}
+	return "Family(?)"
 }
 
-// pullWins applies the cost model to row i.
-func (h *hybridChooser) pullWins(maskRow, aCols []int32) bool {
-	if len(maskRow) == 0 || len(aCols) == 0 {
-		return false // trivial either way; push path avoids the CSC touch
+// FamilySet is a bitmask of accumulator families, used by
+// Options.HybridFamilies to restrict the per-row selector.
+type FamilySet uint8
+
+// famAll admits every family.
+const famAll FamilySet = 1<<NumFamilies - 1
+
+// Families builds a FamilySet from individual families. Out-of-range
+// values panic: a typo'd family silently vanishing from the set would
+// otherwise degrade to the MSA-only fallback with no signal.
+func Families(fams ...Family) FamilySet {
+	var s FamilySet
+	for _, f := range fams {
+		if f >= NumFamilies {
+			panic(fmt.Sprintf("core: Families: invalid family %d", f))
+		}
+		s = s.with(f)
 	}
-	var pushFlops int64
-	for _, k := range aCols {
-		pushFlops += h.bRowPtr[k+1] - h.bRowPtr[k]
-	}
-	pullCost := float64(len(maskRow)) * (float64(len(aCols)) + h.avgBCol)
-	pushCost := float64(len(maskRow)) + float64(pushFlops)
-	return pullCost < pushCost
+	return s
 }
 
-// bindHybrid registers the per-row hybrid scheme. The cost-model
-// decisions and B's CSC view are precomputed by the plan (exactly the
-// per-(mask, A, B) analysis a plan exists to amortize); each worker
-// keeps one MSA in its pooled workspace for the push rows.
-func bindHybrid[T any, S semiring.Semiring[T]](p *Plan[T, S], e *Executor[T, S], a, b *sparse.CSR[T]) kernels[T] {
-	sr, exec, mask, pull, ncols := p.sr, e, p.mask, p.pull, b.Cols
-	return kernels[T]{
-		numeric: func(tid, i int, outIdx []int32, outVal []T) int {
-			maskRow := mask.Row(i)
-			aCols := a.Row(i)
-			if pull[i] {
-				return innerRowNumeric(sr, maskRow, aCols, a.RowVals(i), exec.bt, outIdx, outVal)
-			}
-			return pushRowNumeric[T](exec.worker(tid).MSA(ncols), maskRow, aCols, a.RowVals(i), b, outIdx, outVal)
-		},
-		symbolic: func(tid, i int) int {
-			maskRow := mask.Row(i)
-			aCols := a.Row(i)
-			if pull[i] {
-				return innerRowSymbolic(maskRow, aCols, exec.bt.ColPtr, exec.bt.RowIdx)
-			}
-			return pushRowSymbolic[T](exec.worker(tid).MSA(ncols), maskRow, aCols, b)
-		},
-	}
+// Has reports whether f is in the set.
+func (s FamilySet) Has(f Family) bool { return s&(1<<f) != 0 }
+
+// with returns s with f added.
+func (s FamilySet) with(f Family) FamilySet { return s | 1<<f }
+
+// famAlgo maps each family to the registry scheme that carries its
+// cost model and display name.
+var famAlgo = [NumFamilies]Algorithm{AlgoMSA, AlgoHash, AlgoMCA, AlgoHeap, AlgoInner}
+
+// famAny marks a row with no work under any family (empty mask row,
+// empty A row, or no admitted positions): the run encoder folds such
+// rows into the surrounding run instead of fragmenting dispatch.
+const famAny = uint8(255)
+
+// RowCostContext carries the per-row structural quantities every
+// family cost model reads. Flops is the row's Gustavson term of the
+// masked-flops vector (DESIGN.md §9) — the shared input of selection
+// and scheduling. Absolute cost scale cancels in selection; only the
+// crossovers between families matter.
+type RowCostContext struct {
+	// MaskNNZ is nnz(m_i).
+	MaskNNZ int
+	// ARowNNZ is nnz(A_i*).
+	ARowNNZ int
+	// Flops is Σ_{k∈A_i*} nnz(B_k*), the row's push-generation work.
+	Flops int64
+	// AvgBCol is B's mean column population d̄_B, the §4.3 dot-cost
+	// term.
+	AvgBCol float64
+	// Cols is the output width n.
+	Cols int
+	// Complement marks a complemented mask, which flips the admitted
+	// set to the mask row's complement.
+	Complement bool
+	// HeapNInspect is the resolved mask-inspection depth the heap
+	// kernels would run with (resolveHeapNInspect) — the heap model
+	// must price what would actually execute, including the
+	// Options.HeapNInspect override.
+	HeapNInspect int
 }
 
-// HybridRowStats reports how the hybrid cost model would split a
-// workload's rows, for diagnostics and the ablation bench.
-func HybridRowStats[T any](mask *sparse.Pattern, a, b *sparse.CSR[T]) (pullRows, pushRows int) {
-	chooser := &hybridChooser{bRowPtr: b.RowPtr}
+// admitted returns the number of admitted mask positions.
+func (c RowCostContext) admitted() float64 {
+	if c.Complement {
+		return float64(c.Cols - c.MaskNNZ)
+	}
+	return float64(c.MaskNNZ)
+}
+
+// outBound returns the §5.2-style bound on the output row population:
+// min(admitted, flops).
+func (c RowCostContext) outBound() float64 {
+	if f := float64(c.Flops); f < c.admitted() {
+		return f
+	}
+	return c.admitted()
+}
+
+// Cost-model constants (DESIGN.md §10). Units are one multiply-add on
+// cache-resident data.
+const (
+	// hashOpFactor prices a hash-table probe against an MSA
+	// direct-address insert.
+	hashOpFactor = 2.0
+	// msaCacheCols is the output width beyond which MSA's dense
+	// width-n arrays outgrow cache, so sparse rows pay a cold line per
+	// scattered touch.
+	msaCacheCols = 1 << 16
+	// msaColdMax caps the cold-line factor.
+	msaColdMax = 3.0
+	// heapPushCost prices one heap push/pop round trip against a
+	// direct insert.
+	heapPushCost = 2.5
+	// heapWalk prices the inspect-skip walk per streamed B candidate —
+	// a pointer bump and compare, cheaper than any accumulator touch.
+	heapWalk = 0.6
+	// heapMaskNear scales the probability that a streamed candidate
+	// finds a mask element at or past its column during the NInspect=1
+	// inspection and therefore takes a full heap round trip instead of
+	// a cheap skip: ≈ min(1, heapMaskNear·m/n). Calibrated on the
+	// hybridmix sweep — at 8·m/n the model reproduces the measured
+	// order-of-magnitude gap between Heap on dense masks (every
+	// candidate round-trips) and tiny masks (iterators die at insert).
+	heapMaskNear = 8.0
+)
+
+// msaRowCost models MSA (§5.2): mask-row walks for Begin and Gather
+// plus one direct-address insert per flop. The touches scatter over
+// width-n arrays, so once the row is sparse (touch spacing beyond a
+// cache line) and the arrays outgrow cache, each touch pays a cold
+// line — the regime where Hash overtakes MSA.
+func msaRowCost(c RowCostContext) float64 {
+	m, f := float64(c.MaskNNZ), float64(c.Flops)
+	touch := 1.0
+	if spacing := float64(c.Cols) / (m + 1); spacing > 8 {
+		touch += math.Min(msaColdMax, float64(c.Cols)/msaCacheCols)
+	}
+	if c.Complement {
+		// MSAC tracks inserted keys and sorts them at gather.
+		out := c.outBound()
+		return 1 + (m+f)*touch + 0.5*out*math.Log2(out+2)
+	}
+	return 1 + (2*m+f+c.outBound())*touch
+}
+
+// hashRowCost models Hash (§5.3): the same row shape as MSA but every
+// operation is a probe into a table compressed to O(nnz(m_i)) — hot
+// lines at a constant per-op premium, insensitive to n.
+func hashRowCost(c RowCostContext) float64 {
+	m, f := float64(c.MaskNNZ), float64(c.Flops)
+	if c.Complement {
+		out := c.outBound()
+		return 1 + hashOpFactor*(m+f) + 0.5*out*math.Log2(out+2)
+	}
+	return 1 + hashOpFactor*(2*m+f) + c.outBound()
+}
+
+// mcaRowCost models MCA (§5.4): each selected B row is two-pointer
+// merged against the mask row (F + a·m steps) into arrays compressed
+// to nnz(m_i). Never called for complemented rows — MCA is
+// inadmissible there (famAdmissible).
+func mcaRowCost(c RowCostContext) float64 {
+	m, a, f := float64(c.MaskNNZ), float64(c.ARowNNZ), float64(c.Flops)
+	return 1 + f + 0.5*a*m + m + c.outBound()
+}
+
+// heapRowCost models Heap (§5.5, NInspect=1): a·log a heap setup plus
+// one of two fates per streamed B candidate — a cheap inspect-skip
+// (the candidate's column is below the mask cursor, or the iterator
+// dies) or a full heap round trip (a mask element sits at or past the
+// column, probability ≈ min(1, heapMaskNear·m/n)). No accumulator is
+// ever touched, which is why Heap wins exactly when A rows are short
+// and the mask is tiny: the stream is all skips and the heap stays
+// a-small.
+func heapRowCost(c RowCostContext) float64 {
+	m, a, f := float64(c.MaskNNZ), float64(c.ARowNNZ), float64(c.Flops)
+	lg := math.Log2(a + 2)
+	if c.Complement || c.HeapNInspect == 0 {
+		// No inspection (complemented heaps always, plain heaps under
+		// the HeapInspectNone override): every candidate takes a full
+		// heap round trip.
+		return 1 + heapPushCost*(a+f)*lg + m
+	}
+	near := heapMaskNear * m / float64(c.Cols)
+	if near > 1 {
+		near = 1
+	}
+	return 1 + heapPushCost*a*lg + f*(heapWalk+heapPushCost*lg*near) + 0.5*m
+}
+
+// pullRowCost models the pull-based inner products (§4.1): one
+// merge-dot of cost a + d̄_B per admitted position — the §4.3 model.
+// Under a complemented mask that is Θ(n) dots, which is why pull
+// practically never wins there (§8.4) but stays admissible.
+func pullRowCost(c RowCostContext) float64 {
+	return 1 + c.admitted()*(float64(c.ARowNNZ)+c.AvgBCol)
+}
+
+// famAdmissible reports whether a family may be bound under the given
+// mask mode. The one hard rule: MCA has no complemented form
+// (DESIGN.md §4) — enforced here, at selection time.
+func famAdmissible(f Family, complement bool) bool {
+	return !(complement && f == FamMCA)
+}
+
+// polyCandidates resolves Options.HybridFamilies against
+// admissibility: zero means every admissible family; an explicit set
+// is filtered, and if nothing admissible remains the selector falls
+// back to MSA, the universal family.
+func polyCandidates(opt Options) []Family {
+	req := opt.HybridFamilies
+	if req == 0 {
+		req = famAll
+	}
+	var out []Family
+	for f := Family(0); f < NumFamilies; f++ {
+		if !req.Has(f) || !famAdmissible(f, opt.Complement) {
+			continue
+		}
+		if s, ok := LookupScheme(famAlgo[f]); ok && s.RowCost != nil {
+			out = append(out, f)
+		}
+	}
+	if len(out) == 0 {
+		out = []Family{FamMSA}
+	}
+	return out
+}
+
+// polyScan evaluates the candidate cost models on every row and
+// writes each row's cheapest admissible family into fam (famAny for
+// rows with no work under any family) and, when cost is non-nil, the
+// chosen cost — the scheduling profile planSchedule reuses. opt must
+// be normalized.
+func polyScan[T any](mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options, fam []uint8, cost []int64) {
+	fams := polyCandidates(opt)
+	models := make([]func(RowCostContext) float64, len(fams))
+	for i, f := range fams {
+		s, _ := LookupScheme(famAlgo[f])
+		models[i] = s.RowCost
+	}
+	var avgBCol float64
 	if b.Cols > 0 {
-		chooser.avgBCol = float64(b.NNZ()) / float64(b.Cols)
+		avgBCol = float64(b.NNZ()) / float64(b.Cols)
 	}
-	for i := 0; i < mask.Rows; i++ {
-		if chooser.pullWins(mask.Row(i), a.Row(i)) {
-			pullRows++
+	cols, complement := mask.Cols, opt.Complement
+	nInspect := resolveHeapNInspect(opt)
+	parallel.ForEachBlock(mask.Rows, opt.Threads, opt.Grain, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			maskRow := mask.Row(i)
+			aRow := a.Row(i)
+			var flops int64
+			for _, k := range aRow {
+				flops += b.RowPtr[k+1] - b.RowPtr[k]
+			}
+			admitted := len(maskRow)
+			if complement {
+				admitted = cols - len(maskRow)
+			}
+			if admitted == 0 || flops == 0 {
+				fam[i] = famAny
+				if cost != nil {
+					cost[i] = 1
+				}
+				continue
+			}
+			ctx := RowCostContext{
+				MaskNNZ: len(maskRow), ARowNNZ: len(aRow), Flops: flops,
+				AvgBCol: avgBCol, Cols: cols, Complement: complement,
+				HeapNInspect: nInspect,
+			}
+			best, bestCost := fams[0], models[0](ctx)
+			for j := 1; j < len(models); j++ {
+				if c := models[j](ctx); c < bestCost {
+					best, bestCost = fams[j], c
+				}
+			}
+			fam[i] = uint8(best)
+			if cost != nil {
+				cost[i] = 1 + int64(bestCost)
+			}
+		}
+	})
+}
+
+// resolveTrivial rewrites famAny rows in place so every row carries a
+// concrete family: a leading stretch of don't-cares joins the first
+// concrete family (MSA if the whole workload is trivial), later ones
+// join the run in progress. Trivial rows execute correctly under any
+// family, so folding them maximizes run length.
+func resolveTrivial(fam []uint8) {
+	cur := uint8(FamMSA)
+	for _, f := range fam {
+		if f != famAny {
+			cur = f
+			break
+		}
+	}
+	for i, f := range fam {
+		if f == famAny {
+			fam[i] = cur
 		} else {
-			pushRows++
+			cur = f
+		}
+	}
+}
+
+// planHybrid runs the per-row selector and stores the decisions in
+// the immutable plan as runs. With needCost it also returns the
+// per-row chosen costs, which planSchedule uses as its scheduling
+// profile — selection and scheduling read one shared cost picture;
+// plans whose schedule ignores the profile (serial, explicitly
+// cost-blind) skip the O(rows) vector entirely.
+func (p *Plan[T, S]) planHybrid(a, b *sparse.CSR[T], needCost bool) []int64 {
+	rowFam := make([]uint8, p.mask.Rows)
+	var cost []int64
+	if needCost {
+		cost = make([]int64, p.mask.Rows)
+	}
+	polyScan(p.mask, a, b, p.opt, rowFam, cost)
+	p.encodeRuns(rowFam)
+	return cost
+}
+
+// encodeRuns compresses the resolved per-row families into the plan's
+// run encoding: run r covers rows [runEnds[r-1], runEnds[r]) (with
+// runEnds[-1] = 0) and executes family runFam[r]. polyFams collects
+// the families bound by at least one run — exactly the accumulators
+// the executor will materialize.
+func (p *Plan[T, S]) encodeRuns(rowFam []uint8) {
+	resolveTrivial(rowFam)
+	rows := len(rowFam)
+	cur := uint8(FamMSA)
+	if rows > 0 {
+		cur = rowFam[0]
+	}
+	ends := make([]int32, 0, 8)
+	fams := make([]uint8, 0, 8)
+	for i := 1; i < rows; i++ {
+		if rowFam[i] != cur {
+			ends = append(ends, int32(i))
+			fams = append(fams, cur)
+			cur = rowFam[i]
+		}
+	}
+	ends = append(ends, int32(rows))
+	fams = append(fams, cur)
+	p.runEnds, p.runFam = ends, fams
+	var set FamilySet
+	for _, f := range fams {
+		set = set.with(Family(f))
+	}
+	p.polyFams = set
+}
+
+// bindPoly builds the poly plan's kernel tables: one kernel pair per
+// family the run encoding actually uses, each delegated to that
+// family's own scheme binder so poly rows execute exactly the
+// registered kernels. Families without a run get no kernels — and,
+// downstream, no accumulators: the per-worker workspaces construct
+// lazily on first row, so a single-family poly plan allocates exactly
+// what the plain scheme would.
+func bindPoly[T any, S semiring.Semiring[T]](p *Plan[T, S], e *Executor[T, S], a, b *sparse.CSR[T], complement bool) kernels[T] {
+	numFam := make([]rowNumericFn[T], NumFamilies)
+	symFam := make([]rowSymbolicFn, NumFamilies)
+	for f := Family(0); f < NumFamilies; f++ {
+		if !p.polyFams.Has(f) {
+			continue
+		}
+		fk := bindFamily(f, p, e, a, b, complement)
+		numFam[f], symFam[f] = fk.numeric, fk.symbolic
+	}
+	return kernels[T]{runEnds: p.runEnds, runFam: p.runFam, numFam: numFam, symFam: symFam}
+}
+
+// bindFamily maps a family to its scheme binder for the given mask
+// mode.
+func bindFamily[T any, S semiring.Semiring[T]](f Family, p *Plan[T, S], e *Executor[T, S], a, b *sparse.CSR[T], complement bool) kernels[T] {
+	switch f {
+	case FamMSA:
+		if complement {
+			return bindMSAC(p, e, a, b)
+		}
+		return bindMSA(p, e, a, b)
+	case FamHash:
+		if complement {
+			return bindHashC(p, e, a, b)
+		}
+		return bindHash(p, e, a, b)
+	case FamHeap:
+		if complement {
+			return bindHeapComplement(p, e, a, b)
+		}
+		return bindHeap(p, e, a, b)
+	case FamPull:
+		if complement {
+			return bindInnerComplement(p, e, a, b)
+		}
+		return bindInner(p, e, a, b)
+	case FamMCA:
+		if complement {
+			// famAdmissible keeps MCA out of complemented run
+			// encodings; reaching this is a selector bug.
+			panic("core: MCA bound under a complemented mask")
+		}
+		return bindMCA(p, e, a, b)
+	}
+	panic("core: unknown accumulator family")
+}
+
+// bindHybrid registers the poly scheme's plain-mask kernels.
+func bindHybrid[T any, S semiring.Semiring[T]](p *Plan[T, S], e *Executor[T, S], a, b *sparse.CSR[T]) kernels[T] {
+	return bindPoly(p, e, a, b, false)
+}
+
+// bindHybridComplement registers the complemented-mask kernels; MCA
+// never appears in the runs (selection-time admissibility).
+func bindHybridComplement[T any, S semiring.Semiring[T]](p *Plan[T, S], e *Executor[T, S], a, b *sparse.CSR[T]) kernels[T] {
+	return bindPoly(p, e, a, b, true)
+}
+
+// FamilyRows reports the per-family row counts of the plan's run
+// encoding — what this plan's executions actually dispatch, decoded
+// straight from the stored runs. All zeros for non-poly plans.
+func (p *Plan[T, S]) FamilyRows() [NumFamilies]int {
+	var out [NumFamilies]int
+	prev := int32(0)
+	for r, end := range p.runEnds {
+		out[p.runFam[r]] += int(end - prev)
+		prev = end
+	}
+	return out
+}
+
+// HybridFamilyRows reports how AlgoHybrid's per-row selector would
+// bind a workload's rows under the given options: one row count per
+// family, indexed by Family. Trivial rows are folded into their
+// surrounding run and counted under the family they execute as —
+// the counts sum to mask.Rows.
+func HybridFamilyRows[T any](mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options) [NumFamilies]int {
+	opt.Algorithm = AlgoHybrid
+	opt.normalize()
+	fam := make([]uint8, mask.Rows)
+	polyScan(mask, a, b, opt, fam, nil)
+	resolveTrivial(fam)
+	var out [NumFamilies]int
+	for _, f := range fam {
+		out[f]++
+	}
+	return out
+}
+
+// HybridRowStats reports the pull/push split of the per-row selector
+// (pull = rows bound to FamPull, push = everything else), for
+// diagnostics and the ablation bench.
+func HybridRowStats[T any](mask *sparse.Pattern, a, b *sparse.CSR[T]) (pullRows, pushRows int) {
+	counts := HybridFamilyRows(mask, a, b, Options{})
+	for f, c := range counts {
+		if Family(f) == FamPull {
+			pullRows += c
+		} else {
+			pushRows += c
 		}
 	}
 	return pullRows, pushRows

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"maskedspgemm/internal/gen"
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+)
+
+// polyDensities spans the §7 evaluation range of mask densities the
+// parity sweep exercises (1e-4 is floored to one entry per row at
+// small test dimensions).
+var polyDensities = []float64{1e-4, 1e-3, 1e-2, 0.1, 0.5}
+
+// polyTestPlan builds a hybrid plan directly (same package), so tests
+// can inspect the run encoding.
+func polyTestPlan(t *testing.T, mask *sparse.Pattern, a, b *sparse.CSR[float64], opt Options) *Plan[float64, semiring.PlusTimes[float64]] {
+	t.Helper()
+	opt.Algorithm = AlgoHybrid
+	p, err := NewPlan(semiring.PlusTimes[float64]{}, mask, a, b, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestHybridPolyParity cross-validates mixed-family execution against
+// the dense oracle across the mask-density sweep, plain and
+// complemented, one-phase and two-phase — the parity guarantee for
+// every family crossover the selector can take.
+func TestHybridPolyParity(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	const n = 120
+	a := gen.Random(n, n, 12, 301)
+	b := gen.Random(n, n, 12, 302)
+	for _, density := range polyDensities {
+		deg := int(density * n)
+		if deg < 1 {
+			deg = 1
+		}
+		mask := gen.Random(n, n, deg, 303+uint64(deg)).PatternView()
+		for _, complement := range []bool{false, true} {
+			want := oracle(mask, a, b, complement)
+			for _, ph := range []Phases{OnePhase, TwoPhase} {
+				name := fmt.Sprintf("density=%g/complement=%v/%v", density, complement, ph)
+				t.Run(name, func(t *testing.T) {
+					got, err := MaskedSpGEMM(sr, mask, a, b, Options{
+						Algorithm: AlgoHybrid, Phases: ph, Complement: complement, Threads: 3,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := got.Validate(); err != nil {
+						t.Fatalf("invalid output: %v", err)
+					}
+					if d := sparse.Diff(want, got, floatEq); d != "" {
+						t.Fatalf("mismatch vs oracle: %s", d)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestHybridMixedRunsParity forces a genuinely mixed run encoding (a
+// banded mask sweeping sparse to dense) and checks parity plus that
+// more than one family was actually bound — the per-run dispatch must
+// hand every row to its own family's kernels across run boundaries,
+// whatever the scheduler's block layout.
+func TestHybridMixedRunsParity(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	const n = 160
+	coo := sparse.NewCOO[float64](n, n, 0)
+	rng := gen.NewRNG(65)
+	for i := 0; i < n; i++ {
+		deg := 1 // sparse band: pull territory
+		if i >= n/2 {
+			deg = n / 3 // dense band: push territory
+		}
+		for d := 0; d < deg; d++ {
+			coo.Append(int32(i), int32(rng.Intn(n)), 1)
+		}
+	}
+	maskM, err := coo.ToCSR(func(x, y float64) float64 { return x })
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := maskM.PatternView()
+	a := gen.Random(n, n, 24, 66)
+	b := gen.Random(n, n, 24, 67)
+	p := polyTestPlan(t, mask, a, b, Options{})
+	if len(p.runFam) < 2 {
+		t.Fatalf("banded workload bound %d run(s) %v, want a mixed encoding", len(p.runFam), p.runFam)
+	}
+	want := oracle(mask, a, b, false)
+	for _, ph := range []Phases{OnePhase, TwoPhase} {
+		for _, threads := range []int{1, 4} {
+			for _, grain := range []int{1, 7, 1024} {
+				got, err := MaskedSpGEMM(sr, mask, a, b, Options{
+					Algorithm: AlgoHybrid, Phases: ph, Threads: threads, Grain: grain,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := sparse.Diff(want, got, floatEq); d != "" {
+					t.Fatalf("%v threads=%d grain=%d: %s", ph, threads, grain, d)
+				}
+			}
+		}
+	}
+}
+
+// TestHybridComplementNeverBindsMCA is the selection-time
+// admissibility guard: complemented plans must never carry an MCA
+// run — including when the caller explicitly restricts the selector
+// to MCA, which must fall back to MSA instead of crashing in a
+// kernel.
+func TestHybridComplementNeverBindsMCA(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	for _, c := range testCases() {
+		mask, a, b := buildCase(c)
+		p := polyTestPlan(t, mask, a, b, Options{Complement: true})
+		for _, f := range p.runFam {
+			if Family(f) == FamMCA {
+				t.Fatalf("%s: complemented plan bound MCA (runs %v)", c.name, p.runFam)
+			}
+		}
+		if p.polyFams.Has(FamMCA) {
+			t.Fatalf("%s: polyFams includes MCA under complement", c.name)
+		}
+	}
+	// Explicit MCA-only request under complement: admissibility empties
+	// the candidate set, which falls back to MSA and stays correct.
+	mask, a, b := buildCase(caseSpec{"", 64, 64, 64, 8, 8, 8, 310})
+	opt := Options{Complement: true, HybridFamilies: Families(FamMCA)}
+	p := polyTestPlan(t, mask, a, b, opt)
+	if got := p.polyFams; got != Families(FamMSA) {
+		t.Fatalf("MCA-only complement plan bound %v, want MSA fallback", got)
+	}
+	opt.Algorithm = AlgoHybrid
+	got, err := MaskedSpGEMM(sr, mask, a, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sparse.Diff(oracle(mask, a, b, true), got, floatEq); d != "" {
+		t.Fatalf("fallback execution: %s", d)
+	}
+	// And the same restriction on a plain mask genuinely binds MCA.
+	plain := polyTestPlan(t, mask, a, b, Options{HybridFamilies: Families(FamMCA)})
+	if got := plain.polyFams; got != Families(FamMCA) {
+		t.Fatalf("MCA-only plain plan bound %v, want MCA", got)
+	}
+}
+
+// TestHybridSingleFamilyAllocs is the executor-pooling guard: a poly
+// plan that binds one family must materialize only that family's
+// accumulator — zero extra allocations against the plain scheme's
+// pooling behavior — and must skip the CSC transpose when no row
+// bound pull.
+func TestHybridSingleFamilyAllocs(t *testing.T) {
+	mask, a, b := buildCase(caseSpec{"", 128, 128, 128, 8, 8, 8, 96})
+	for _, ph := range []Phases{OnePhase, TwoPhase} {
+		opt := Options{HybridFamilies: Families(FamMSA), Phases: ph, Threads: 1, ReuseOutput: true}
+		p := polyTestPlan(t, mask, a, b, opt)
+		if len(p.btPtr) != 0 {
+			t.Errorf("%v: MSA-only poly plan built a CSC transpose", ph)
+		}
+		if _, err := p.Execute(a, b); err != nil { // warm-up
+			t.Fatal(err)
+		}
+		w := p.exec.worker(0)
+		if w.msa == nil {
+			t.Errorf("%v: bound family's accumulator not materialized", ph)
+		}
+		if w.hash != nil || w.mca != nil || w.heap != nil || w.msaEpoch != nil || w.msac != nil || w.hashC != nil {
+			t.Errorf("%v: unbound families materialized accumulators", ph)
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			if _, err := p.Execute(a, b); err != nil {
+				t.Fatal(err)
+			}
+		})
+		// Same bound as TestPlanExecuteAllocs: the single-family poly
+		// path must not allocate beyond the plain scheme's steady
+		// state.
+		if allocs > 6 {
+			t.Errorf("%v: %.1f allocs per warm Execute, want ≤ 6", ph, allocs)
+		}
+	}
+}
+
+// TestHybridRunEncoding pins the run encoder: runs cover all rows in
+// order, don't-care rows fold into their neighbors, and findRun
+// agrees with the encoding.
+func TestHybridRunEncoding(t *testing.T) {
+	cases := []struct {
+		fam      []uint8
+		wantEnds []int32
+		wantFams []uint8
+	}{
+		{[]uint8{0, 0, 1, 1, 1, 4}, []int32{2, 5, 6}, []uint8{0, 1, 4}},
+		{[]uint8{famAny, famAny, 3, famAny, 0}, []int32{4, 5}, []uint8{3, 0}},
+		{[]uint8{famAny, famAny}, []int32{2}, []uint8{uint8(FamMSA)}},
+		{[]uint8{2}, []int32{1}, []uint8{2}},
+	}
+	for i, c := range cases {
+		var p Plan[float64, semiring.PlusTimes[float64]]
+		p.encodeRuns(append([]uint8(nil), c.fam...))
+		if fmt.Sprint(p.runEnds) != fmt.Sprint(c.wantEnds) || fmt.Sprint(p.runFam) != fmt.Sprint(c.wantFams) {
+			t.Errorf("case %d: runs (%v, %v), want (%v, %v)", i, p.runEnds, p.runFam, c.wantEnds, c.wantFams)
+		}
+		for row := 0; row < len(c.fam); row++ {
+			r := findRun(p.runEnds, row)
+			if r >= len(p.runEnds) || int(p.runEnds[r]) <= row || (r > 0 && int(p.runEnds[r-1]) > row) {
+				t.Errorf("case %d: findRun(%d) = %d outside its run", i, row, r)
+			}
+		}
+	}
+}
+
+// TestHybridFamilyRows checks the selector diagnostics: counts sum to
+// the row count and reproduce the plan's actual binding.
+func TestHybridFamilyRows(t *testing.T) {
+	mask, a, b := buildCase(caseSpec{"", 96, 96, 96, 10, 10, 4, 320})
+	counts := HybridFamilyRows(mask, a, b, Options{})
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != mask.Rows {
+		t.Fatalf("family rows sum to %d, want %d", total, mask.Rows)
+	}
+	p := polyTestPlan(t, mask, a, b, Options{})
+	if fromRuns := p.FamilyRows(); counts != fromRuns {
+		t.Fatalf("HybridFamilyRows %v disagrees with plan runs %v", counts, fromRuns)
+	}
+}
+
+// TestHeapRowCostHonorsNInspect pins the model/kernels consistency
+// the selector depends on: with inspection disabled every candidate
+// round-trips the heap, so the model must price NInspect=0 strictly
+// above the NInspect=1 inspect-skip regime it would otherwise assume.
+func TestHeapRowCostHonorsNInspect(t *testing.T) {
+	ctx := RowCostContext{MaskNNZ: 4, ARowNNZ: 4, Flops: 4096, AvgBCol: 16, Cols: 4096, HeapNInspect: 1}
+	withInspect := heapRowCost(ctx)
+	ctx.HeapNInspect = 0
+	withoutInspect := heapRowCost(ctx)
+	if withoutInspect <= withInspect {
+		t.Errorf("heapRowCost: NInspect=0 (%f) priced no higher than NInspect=1 (%f)", withoutInspect, withInspect)
+	}
+}
+
+// TestFamiliesRejectsInvalid pins that a typo'd family panics instead
+// of silently vanishing from the set (which would degrade to the
+// MSA-only fallback with no signal).
+func TestFamiliesRejectsInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Families(NumFamilies) did not panic")
+		}
+	}()
+	Families(NumFamilies)
+}
+
+// TestHybridSchedProfileShared checks the poly selector's chosen
+// costs feed the scheduler: a skewed poly plan still resolves the
+// SchedAuto policy from a cost profile (non-zero skew).
+func TestHybridSchedProfileShared(t *testing.T) {
+	const n = 256
+	coo := sparse.NewCOO[float64](n, n, 0)
+	rng := gen.NewRNG(77)
+	for i := 0; i < n; i++ {
+		deg := 1
+		if i >= n-8 {
+			deg = n / 2 // a few hub mask rows dominate the cost
+		}
+		for d := 0; d < deg; d++ {
+			coo.Append(int32(i), int32(rng.Intn(n)), 1)
+		}
+	}
+	maskM, err := coo.ToCSR(func(x, y float64) float64 { return x })
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := gen.Random(n, n, 16, 78)
+	p := polyTestPlan(t, maskM.PatternView(), a, a, Options{Threads: 4})
+	if p.CostSkew() == 0 {
+		t.Error("poly plan measured no cost skew on a hub-dominated mask")
+	}
+}

@@ -51,9 +51,13 @@ const (
 	// described in §8.4, re-transposes B on every call before running
 	// inner products.
 	AlgoDotTranspose
-	// AlgoHybrid picks pull (Inner) or push (MSA) per output row with
-	// the §4.3 cost model — the hybrid scheme §9 lists as future work.
-	// No complemented-mask support (complement always favors push).
+	// AlgoHybrid is the per-row poly-algorithm — the scheme §9 lists
+	// as future work, in full: every output row is bound at plan time
+	// to the cheapest admissible accumulator family (MSA, Hash, MCA,
+	// Heap, or pull-based Inner) under the registry's per-family cost
+	// models, and consecutive rows sharing a binding execute as one
+	// run (DESIGN.md §10). Complemented masks bind among the
+	// complement-capable families (never MCA).
 	AlgoHybrid
 )
 
@@ -171,6 +175,13 @@ type Options struct {
 	// positive values set the inspection window. Use with AlgoHeap for
 	// the NInspect ablation.
 	HeapNInspect int
+	// HybridFamilies restricts AlgoHybrid's per-row selector to the
+	// given accumulator families (build the set with Families); the
+	// zero value means every admissible family. Families inadmissible
+	// for the request — MCA under a complemented mask — are dropped
+	// regardless, and if nothing admissible remains the selector falls
+	// back to MSA, the universal family.
+	HybridFamilies FamilySet
 	// InnerGallop switches AlgoInner's dot products from two-pointer
 	// merges to galloping (exponential + binary search) — profitable
 	// when A rows and B columns have very different lengths. Ablation:

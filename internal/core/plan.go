@@ -53,8 +53,15 @@ type Plan[T any, S semiring.Semiring[T]] struct {
 	btPtr  []int64
 	btIdx  []int32
 	btPerm []int64
-	// pull is Hybrid's per-row §4.3 cost-model decision.
-	pull []bool
+	// runEnds/runFam are AlgoHybrid's per-row poly-algorithm bindings
+	// (DESIGN.md §10), encoded as runs of consecutive rows sharing one
+	// accumulator family: run r covers rows [runEnds[r-1], runEnds[r])
+	// and executes Family(runFam[r]). polyFams is the set of families
+	// bound by at least one run — exactly the accumulators executions
+	// of this plan materialize.
+	runEnds  []int32
+	runFam   []uint8
+	polyFams FamilySet
 	// sched is the resolved scheduling strategy (never SchedAuto) and
 	// partBounds the equal-cost partition boundaries it uses under
 	// SchedCostPartition; costSkew is the measured max/mean row-cost
@@ -123,9 +130,7 @@ func newDetachedPlan[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, 
 				p.offsets = mask.RowPtr
 			}
 		}
-		if p.needsCSC() && !info.TransposePerExecute {
-			p.btPtr, p.btIdx, p.btPerm = sparse.ToCSCStructure(b)
-		}
+		var polyCost []int64
 		switch opt.Algorithm {
 		case AlgoHash, AlgoMCA:
 			p.maxMaskRow = mask.MaxRowNNZ()
@@ -133,18 +138,41 @@ func newDetachedPlan[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, 
 			p.maxARow = a.MaxRowNNZ()
 			p.heapNInspect = resolveHeapNInspect(opt)
 		case AlgoHybrid:
-			p.planHybrid(a, b)
+			// The chosen costs feed planSchedule; skip the vector when
+			// its early returns would discard it (mirrors its policy).
+			needCost := opt.Schedule != SchedFixedGrain && opt.Schedule != SchedWorkSteal && opt.Threads > 1
+			polyCost = p.planHybrid(a, b, needCost)
+			// Sizing hints only for the families some run actually
+			// bound — unused families must stay costless. Only the
+			// plain-mask Hash/MCA binders read maxMaskRow (the
+			// complement hash sizes per row by the generation bound).
+			if !opt.Complement && (p.polyFams.Has(FamHash) || p.polyFams.Has(FamMCA)) {
+				p.maxMaskRow = mask.MaxRowNNZ()
+			}
+			if p.polyFams.Has(FamHeap) {
+				p.maxARow = a.MaxRowNNZ()
+				p.heapNInspect = resolveHeapNInspect(opt)
+			}
 		}
-		// Scheduling comes last: the hybrid pull decisions feed the
-		// per-row cost model.
-		p.planSchedule(a, b)
+		// The CSC structure comes after the scheme analysis: a poly
+		// plan pulls from B by column only when some run bound FamPull.
+		if p.needsCSC() && !info.TransposePerExecute {
+			p.btPtr, p.btIdx, p.btPerm = sparse.ToCSCStructure(b)
+		}
+		// Scheduling comes last: the per-row poly costs double as the
+		// scheduling profile.
+		p.planSchedule(a, b, polyCost)
 	}
 	return p, nil
 }
 
 // needsCSC reports whether this plan's execution pulls from B by
-// column.
+// column. For poly plans (AlgoHybrid) the registry capability is
+// refined to whether any row actually bound the pull family.
 func (p *Plan[T, S]) needsCSC() bool {
+	if p.opt.Algorithm == AlgoHybrid {
+		return p.polyFams.Has(FamPull)
+	}
 	if p.opt.Complement {
 		return p.info.ComplementNeedsCSC
 	}
@@ -165,22 +193,6 @@ func resolveHeapNInspect(opt Options) int {
 		nInspect = opt.HeapNInspect
 	}
 	return nInspect
-}
-
-// planHybrid precomputes the §4.3 pull-vs-push decision for every
-// output row. The decisions depend only on structure, so they are part
-// of the plan, not of execution.
-func (p *Plan[T, S]) planHybrid(a, b *sparse.CSR[T]) {
-	chooser := &hybridChooser{bRowPtr: b.RowPtr}
-	if b.Cols > 0 {
-		chooser.avgBCol = float64(b.NNZ()) / float64(b.Cols)
-	}
-	p.pull = make([]bool, p.mask.Rows)
-	parallel.ForEachBlock(p.mask.Rows, p.opt.Threads, p.opt.Grain, func(lo, hi, _ int) {
-		for i := lo; i < hi; i++ {
-			p.pull[i] = chooser.pullWins(p.mask.Row(i), a.Row(i))
-		}
-	})
 }
 
 // Options returns the plan's normalized options.
@@ -209,7 +221,7 @@ func (p *Plan[T, S]) footprintBytes() int64 {
 		bytes += int64(len(p.offsets)) * 8
 	}
 	bytes += int64(len(p.btPtr))*8 + int64(len(p.btIdx))*4 + int64(len(p.btPerm))*8
-	bytes += int64(len(p.pull))
+	bytes += int64(len(p.runEnds))*4 + int64(len(p.runFam))
 	bytes += int64(len(p.partBounds)) * 8
 	return bytes
 }
@@ -283,9 +295,9 @@ func (p *Plan[T, S]) ExecuteOn(exec *Executor[T, S], a, b *sparse.CSR[T]) (*spar
 		sch.stats = &exec.schedStats
 	}
 	if p.opt.Phases == TwoPhase {
-		return twoPhase(p.mask.Rows, p.mask.Cols, sch, k.symbolic, k.numeric, es), nil
+		return twoPhase(p.mask.Rows, p.mask.Cols, sch, k, es), nil
 	}
-	return onePhase(p.mask.Rows, p.mask.Cols, p.offsets, sch, k.numeric, es), nil
+	return onePhase(p.mask.Rows, p.mask.Cols, p.offsets, sch, k, es), nil
 }
 
 // SchedStats returns the default executor's scheduler telemetry from

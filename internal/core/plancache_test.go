@@ -531,3 +531,47 @@ func TestPlanCacheSingleflightPanic(t *testing.T) {
 		t.Fatal("key wedged: second lookup blocked on a dead in-flight call")
 	}
 }
+
+// TestPlanCacheHybridMixedBindings pins the cache-hygiene contract of
+// per-row poly plans (DESIGN.md §10): mixed bindings enter the cache
+// key only through Options — structure fingerprints are untouched —
+// so a Hybrid plan cached under the default (zero-value) options
+// keeps hitting with zero allocations and replays its run encoding on
+// every hit, while a different HybridFamilies restriction is a
+// distinct entry.
+func TestPlanCacheHybridMixedBindings(t *testing.T) {
+	mask, a, b := buildCase(caseSpec{"", 96, 96, 96, 8, 8, 8, 50})
+	cache := NewPlanCache(ptSR, 0, 0)
+	opt := Options{Algorithm: AlgoHybrid}
+	first, err := cache.GetOrPlan(mask, a, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.runEnds) == 0 || len(first.runFam) == 0 {
+		t.Fatal("cached poly plan ships no run encoding")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		p, err := cache.GetOrPlan(mask, a, b, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != first {
+			t.Fatal("repeat-structure lookup did not hit the cached plan")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("hybrid cache hit allocates %.1f objects, want 0", allocs)
+	}
+	restricted, err := cache.GetOrPlan(mask, a, b, Options{
+		Algorithm: AlgoHybrid, HybridFamilies: Families(FamMSA),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restricted == first {
+		t.Error("HybridFamilies must participate in the cache key")
+	}
+	if n := cache.Len(); n != 2 {
+		t.Errorf("cache holds %d entries, want 2", n)
+	}
+}

@@ -38,27 +38,35 @@ type SchemeInfo struct {
 	// execution instead of being cached by the plan — the SS:DOT
 	// baseline's defining per-call overhead (§8.4).
 	TransposePerExecute bool
+	// RowCost estimates one output row's execution cost for this
+	// scheme in multiply-add-flavored units (DESIGN.md §10). It is how
+	// a scheme family enters AlgoHybrid's per-row poly-algorithm
+	// selection; nil means the scheme has no per-row model and cannot
+	// be bound per row.
+	RowCost func(ctx RowCostContext) float64
 }
 
 // schemeTable lists every implemented scheme in evaluation order. The
 // order is observable through Algorithms()/PaperAlgorithms().
 var schemeTable = []SchemeInfo{
-	{Algo: AlgoMSA, Name: "MSA", Paper: true, Complement: true},
+	{Algo: AlgoMSA, Name: "MSA", Paper: true, Complement: true, RowCost: msaRowCost},
 	// The epoch variant has no complement form of its own; its
 	// complement kernel registration falls back to MSAC.
 	{Algo: AlgoMSAEpoch, Name: "MSA-Epoch", Complement: true},
-	{Algo: AlgoHash, Name: "Hash", Paper: true, Complement: true},
-	{Algo: AlgoMCA, Name: "MCA", Paper: true,
+	{Algo: AlgoHash, Name: "Hash", Paper: true, Complement: true, RowCost: hashRowCost},
+	{Algo: AlgoMCA, Name: "MCA", Paper: true, RowCost: mcaRowCost,
 		ComplementNote: "core: MCA does not support complemented masks (§5.4)"},
-	{Algo: AlgoHeap, Name: "Heap", Paper: true, Complement: true},
+	{Algo: AlgoHeap, Name: "Heap", Paper: true, Complement: true, RowCost: heapRowCost},
 	{Algo: AlgoHeapDot, Name: "HeapDot", Paper: true, Complement: true},
 	{Algo: AlgoInner, Name: "Inner", Paper: true, Complement: true,
-		NeedsCSC: true, ComplementNeedsCSC: true},
+		NeedsCSC: true, ComplementNeedsCSC: true, RowCost: pullRowCost},
 	{Algo: AlgoSaxpyThenMask, Name: "SS:SAXPY*", Complement: true},
 	{Algo: AlgoDotTranspose, Name: "SS:DOT*", Complement: true,
 		NeedsCSC: true, ComplementNeedsCSC: true, TransposePerExecute: true},
-	{Algo: AlgoHybrid, Name: "Hybrid", NeedsCSC: true,
-		ComplementNote: "core: Hybrid does not support complemented masks (use MSA or Hash)"},
+	// Hybrid's NeedsCSC flags are the static "may pull" capability; the
+	// plan refines them to whether any row actually bound FamPull.
+	{Algo: AlgoHybrid, Name: "Hybrid", Complement: true,
+		NeedsCSC: true, ComplementNeedsCSC: true},
 }
 
 // LookupScheme returns the registry entry for an algorithm.
@@ -112,11 +120,22 @@ func SupportsComplement(a Algorithm) bool {
 	return ok && s.Complement
 }
 
-// kernels is one bound execution: the numeric row kernel (always
-// present) and the symbolic row kernel used by the two-phase strategy.
+// kernels is one bound execution. Uniform plans carry one numeric row
+// kernel (always present) and one symbolic row kernel for the
+// two-phase strategy. Poly plans (AlgoHybrid) leave those nil and
+// instead dispatch per run: runEnds/runFam mirror the plan's run
+// encoding (DESIGN.md §10) and numFam/symFam hold one kernel pair per
+// family actually bound (nil slots for unused families). The engine
+// drivers split row blocks at run boundaries, so the family lookup is
+// paid once per run ∩ block, never per row.
 type kernels[T any] struct {
 	numeric  rowNumericFn[T]
 	symbolic rowSymbolicFn
+
+	runEnds []int32
+	runFam  []uint8
+	numFam  []rowNumericFn[T]
+	symFam  []rowSymbolicFn
 }
 
 // kernelBinder closes a scheme's row kernels over one (plan, executor,
@@ -163,7 +182,7 @@ func kernelsForAlgo[T any, S semiring.Semiring[T]](a Algorithm) schemeKernels[T,
 	case AlgoSaxpyThenMask:
 		return schemeKernels[T, S]{direct: directSaxpyThenMask[T, S]}
 	case AlgoHybrid:
-		return schemeKernels[T, S]{plain: bindHybrid[T, S]}
+		return schemeKernels[T, S]{plain: bindHybrid[T, S], complement: bindHybridComplement[T, S]}
 	}
 	return schemeKernels[T, S]{}
 }

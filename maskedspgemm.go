@@ -62,10 +62,33 @@ const (
 	SaxpyThenMask = core.AlgoSaxpyThenMask
 	// DotTranspose is the transpose-per-call dot baseline.
 	DotTranspose = core.AlgoDotTranspose
-	// Hybrid picks pull or push per output row with the §4.3 cost
-	// model (the paper's §9 future-work scheme). No complemented-mask
-	// support.
+	// Hybrid is the per-row poly-algorithm (the paper's §9 future-work
+	// scheme, in full): every output row is bound at plan time to the
+	// cheapest admissible accumulator family — MSA, Hash, MCA, Heap,
+	// or pull-based Inner — under per-family cost models, and
+	// consecutive rows sharing a binding execute as one run.
+	// Complemented masks bind among the complement-capable families
+	// (never MCA). Restrict the menu with WithHybridFamilies.
 	Hybrid = core.AlgoHybrid
+)
+
+// Family identifies one accumulator family the Hybrid per-row
+// selector can bind (DESIGN.md §10); see the Family* constants.
+type Family = core.Family
+
+// Exported family selectors for WithHybridFamilies.
+const (
+	// FamilyMSA is the masked sparse accumulator family (§5.2).
+	FamilyMSA = core.FamMSA
+	// FamilyHash is the hash accumulator family (§5.3).
+	FamilyHash = core.FamHash
+	// FamilyMCA is the mask compressed accumulator family (§5.4);
+	// inadmissible under complemented masks.
+	FamilyMCA = core.FamMCA
+	// FamilyHeap is the multi-way merge family (§5.5).
+	FamilyHeap = core.FamHeap
+	// FamilyPull is the pull-based inner-product algorithm (§4.1).
+	FamilyPull = core.FamPull
 )
 
 // Option configures Multiply.
@@ -85,6 +108,14 @@ func WithTwoPhase() Option {
 // WithComplement computes C = ¬M ⊙ (A·B).
 func WithComplement() Option {
 	return func(o *core.Options) { o.Complement = true }
+}
+
+// WithHybridFamilies restricts the Hybrid per-row selector to the
+// given accumulator families; the default is every admissible family.
+// Inadmissible families (FamilyMCA under WithComplement) are dropped
+// regardless, and an empty admissible set falls back to FamilyMSA.
+func WithHybridFamilies(fams ...Family) Option {
+	return func(o *core.Options) { o.HybridFamilies = core.Families(fams...) }
 }
 
 // WithThreads pins the worker count (default GOMAXPROCS).
