@@ -1,65 +1,101 @@
-// Serving masked products: a Session — structure-keyed plan cache +
-// bounded executor pool — answering concurrent query traffic against a
-// fixed graph, the paper's server scenario. Simulated request workers
-// issue masked products over a handful of recurring mask structures
-// (the graph itself, its lower triangle, and a complemented-BFS-style
-// sparse frontier pattern); the session plans each structure once and
-// serves every later request with only numeric work. Prints latency
-// percentiles and the cache/pool counters that say why: hits ≈
-// requests, misses ≈ distinct structures, created executors ≈ peak
-// concurrency.
+// Serving masked products over the network: this example drives the
+// real HTTP front-end (internal/serve, the same server mspgemm-serve
+// runs) with concurrent clients issuing masked products over recurring
+// structures — the paper's server scenario with actual requests on the
+// wire instead of simulated traffic. It shows the full serving story:
+//
+//   - operands are posted in the MSPG binary format and recur, so the
+//     plan cache answers everything after the first request per
+//     structure (warmed via /v1/warm before traffic starts);
+//   - admission control makes overload explicit: with more clients
+//     than execution slots, excess requests queue and the rest are
+//     shed with 429 + Retry-After, which the clients honor and retry;
+//   - /stats reports the cache/pool/admission counters that explain
+//     the latency distribution.
+//
+// By default the example hosts the server in-process on a loopback
+// port; point -connect at a running mspgemm-serve to drive that
+// instead.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
+	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	maskedspgemm "maskedspgemm"
+	"maskedspgemm/internal/serial"
+	"maskedspgemm/internal/serve"
 )
 
 func main() {
 	var (
 		scale    = flag.Int("scale", 11, "R-MAT graph scale (2^scale vertices)")
-		workers  = flag.Int("workers", 4, "concurrent request workers")
-		requests = flag.Int("requests", 200, "requests per worker")
+		workers  = flag.Int("workers", 8, "concurrent client workers")
+		requests = flag.Int("requests", 100, "requests per worker")
+		inflight = flag.Int("max-inflight", 2, "server execution slots (small to show shedding)")
+		maxQueue = flag.Int("max-queue", 4, "server wait-queue bound")
+		connect  = flag.String("connect", "", "drive an external server URL instead of self-hosting")
 	)
 	flag.Parse()
 
-	g := maskedspgemm.RMAT(*scale, 8, 7)
-	fmt.Printf("graph: %d vertices, %d edges\n", g.Rows, g.NNZ()/2)
-
-	// The recurring query shapes. A real server would derive these from
-	// its query types; what matters to the cache is only that their
-	// *structures* repeat across requests.
-	type queryKind struct {
-		name string
-		mask *maskedspgemm.Pattern
-		opts []maskedspgemm.Option
-	}
-	tri := triu(g)
-	sparseMask := maskedspgemm.ErdosRenyi(g.Rows, 2, 99)
-	kinds := []queryKind{
-		{"self-mask/MSA", g.PatternView(), []maskedspgemm.Option{maskedspgemm.WithAlgorithm(maskedspgemm.MSA)}},
-		{"upper-tri/Hash", tri.PatternView(), []maskedspgemm.Option{maskedspgemm.WithAlgorithm(maskedspgemm.Hash)}},
-		{"sparse-mask/Inner", sparseMask.PatternView(), []maskedspgemm.Option{maskedspgemm.WithAlgorithm(maskedspgemm.Inner)}},
-	}
-
-	session := maskedspgemm.NewSession(maskedspgemm.WithMaxIdleExecutors(*workers))
-	// Optional but typical: pre-plan the known shapes so even the first
-	// requests are served from cache.
-	for _, k := range kinds {
-		if err := session.Warm(k.mask, g, g, k.opts...); err != nil {
+	base := *connect
+	if base == "" {
+		var stop func()
+		var err error
+		base, stop, err = selfHost(*inflight, *maxQueue)
+		if err != nil {
 			log.Fatal(err)
+		}
+		defer stop()
+	}
+
+	g := maskedspgemm.RMAT(*scale, 8, 7)
+	fmt.Printf("graph: %d vertices, %d edges; server: %s\n", g.Rows, g.NNZ()/2, base)
+
+	// The recurring query shapes, encoded once: the graph itself (the
+	// triangle-counting self-product) posted raw, and its product under
+	// a sparser mask posted as multipart. What matters to the server's
+	// cache is only that the structures repeat across requests.
+	queries := []struct {
+		name   string
+		params string
+		body   []byte
+	}{
+		{"self-mask/MSA", "?algorithm=msa", encode(g)},
+		{"self-mask/Hash", "?algorithm=hash", encode(g)},
+		{"sparse-mask/Inner", "?algorithm=inner", encode(maskedspgemm.ErdosRenyi(g.Rows, 2, 99))},
+	}
+
+	// Pre-plan the known shapes so even the first requests hit. Warm and
+	// multiply share the operands and options; the key normalization
+	// guarantees the warmed plan serves them.
+	client := &http.Client{Timeout: time.Minute}
+	for _, q := range queries {
+		resp, err := client.Post(base+"/v1/warm"+q.params, "", bytes.NewReader(q.body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("warm %s: %d", q.name, resp.StatusCode)
 		}
 	}
 
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
+		sheds     int
 	)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -68,16 +104,35 @@ func main() {
 		go func(worker int) {
 			defer wg.Done()
 			local := make([]time.Duration, 0, *requests)
+			localSheds := 0
 			for r := 0; r < *requests; r++ {
-				k := kinds[(worker+r)%len(kinds)]
+				q := queries[(worker+r)%len(queries)]
 				t0 := time.Now()
-				if _, err := session.Multiply(k.mask, g, g, k.opts...); err != nil {
-					log.Fatal(err)
+				for attempt := 0; ; attempt++ {
+					resp, err := client.Post(base+"/v1/multiply"+q.params, "", bytes.NewReader(q.body))
+					if err != nil {
+						log.Fatal(err)
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusOK {
+						break
+					}
+					if resp.StatusCode == http.StatusTooManyRequests && attempt < 50 {
+						// Shed: honor the server's backoff hint (scaled
+						// down: this is a demo, not production patience).
+						localSheds++
+						after, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+						time.Sleep(time.Duration(after) * time.Second / 100)
+						continue
+					}
+					log.Fatalf("%s: status %d", q.name, resp.StatusCode)
 				}
 				local = append(local, time.Since(t0))
 			}
 			mu.Lock()
 			latencies = append(latencies, local...)
+			sheds += localSheds
 			mu.Unlock()
 		}(w)
 	}
@@ -86,36 +141,73 @@ func main() {
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	total := len(latencies)
-	fmt.Printf("served %d requests from %d workers in %v (%.0f req/s)\n",
-		total, *workers, elapsed, float64(total)/elapsed.Seconds())
+	fmt.Printf("served %d requests from %d workers in %v (%.0f req/s), %d sheds retried\n",
+		total, *workers, elapsed, float64(total)/elapsed.Seconds(), sheds)
 	if total > 0 {
 		fmt.Printf("latency p50 %v  p95 %v  p99 %v  max %v\n",
 			latencies[total/2], latencies[total*95/100], latencies[total*99/100], latencies[total-1])
 	}
 
-	st := session.Stats()
+	// The server-side story: cache hits ≈ requests, misses ≈ structures,
+	// admission counters show how overload was absorbed.
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Session struct {
+			Cache struct {
+				Hits    uint64 `json:"hits"`
+				Misses  uint64 `json:"misses"`
+				Entries int    `json:"entries"`
+				Bytes   int64  `json:"bytes"`
+			} `json:"cache"`
+			Pool struct {
+				Created uint64 `json:"created"`
+				Reused  uint64 `json:"reused"`
+				Idle    int    `json:"idle"`
+			} `json:"pool"`
+		} `json:"session"`
+		Admission struct {
+			Admitted uint64 `json:"admitted"`
+			Queued   uint64 `json:"queued"`
+			Shed     uint64 `json:"shed"`
+		} `json:"admission"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("plan cache: %d hits / %d misses (%d structures cached, ~%d KiB analysis)\n",
-		st.Cache.Hits, st.Cache.Misses, st.Cache.Entries, st.Cache.Bytes/1024)
+		st.Session.Cache.Hits, st.Session.Cache.Misses, st.Session.Cache.Entries, st.Session.Cache.Bytes/1024)
 	fmt.Printf("executor pool: %d created, %d reused, %d idle retained\n",
-		st.Pool.Created, st.Pool.Reused, st.Pool.Idle)
+		st.Session.Pool.Created, st.Session.Pool.Reused, st.Session.Pool.Idle)
+	fmt.Printf("admission: %d admitted, %d queued, %d shed\n",
+		st.Admission.Admitted, st.Admission.Queued, st.Admission.Shed)
 }
 
-// triu extracts the strictly-upper-triangular pattern of g as a
-// matrix, one of the demo's recurring mask shapes.
-func triu(g *maskedspgemm.Matrix) *maskedspgemm.Matrix {
-	out := &maskedspgemm.Matrix{}
-	out.Rows, out.Cols = g.Rows, g.Cols
-	out.RowPtr = make([]int64, g.Rows+1)
-	for i := 0; i < g.Rows; i++ {
-		row := g.Row(i)
-		vals := g.RowVals(i)
-		for k, j := range row {
-			if int(j) > i {
-				out.ColIdx = append(out.ColIdx, j)
-				out.Val = append(out.Val, vals[k])
-			}
-		}
-		out.RowPtr[i+1] = int64(len(out.ColIdx))
+// encode renders a matrix in the MSPG wire format.
+func encode(m *maskedspgemm.Matrix) []byte {
+	var buf bytes.Buffer
+	if err := serial.Write(&buf, m); err != nil {
+		log.Fatal(err)
 	}
-	return out
+	return buf.Bytes()
+}
+
+// selfHost starts the front-end on a loopback port and returns its
+// base URL and a graceful stop (drain, then close).
+func selfHost(inflight, maxQueue int) (string, func(), error) {
+	front := serve.New(serve.Config{MaxInFlight: inflight, MaxQueue: maxQueue, QueueTimeout: 10 * time.Second})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: front}
+	go srv.Serve(ln)
+	stop := func() {
+		<-front.Drain()
+		srv.Close()
+	}
+	return "http://" + ln.Addr().String(), stop, nil
 }

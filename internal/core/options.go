@@ -202,6 +202,38 @@ func (o Options) SchemeName() string {
 	return o.Algorithm.String() + "-" + o.Phases.String()
 }
 
+// ExecOptions are the execution-only knobs of Options: they change
+// what one execution does (telemetry collection, output ownership) but
+// never the per-structure analysis, so two requests differing only
+// here can share a cached plan. Plan.ExecuteOnOpts takes them per
+// call; plans built directly via NewPlan default to the values frozen
+// in at plan time.
+type ExecOptions struct {
+	// CollectSchedStats records per-worker scheduler telemetry for this
+	// execution (see Options.CollectSchedStats).
+	CollectSchedStats bool
+	// ReuseOutput backs this execution's result with executor-owned
+	// pooled buffers (see Options.ReuseOutput).
+	ReuseOutput bool
+}
+
+// ExecOnly extracts the execution-only fields of o — the defaults
+// Plan.ExecuteOn applies when the caller does not override them per
+// execution.
+func (o Options) ExecOnly() ExecOptions {
+	return ExecOptions{CollectSchedStats: o.CollectSchedStats, ReuseOutput: o.ReuseOutput}
+}
+
+// planIdentity returns o with the execution-only fields zeroed: the
+// canonical form under which a PlanCache keys and builds plans, so
+// requests differing only in telemetry or output ownership converge on
+// one cached analysis.
+func (o Options) planIdentity() Options {
+	o.CollectSchedStats = false
+	o.ReuseOutput = false
+	return o
+}
+
 func (o *Options) normalize() {
 	o.Threads = parallel.Threads(o.Threads)
 	if o.Grain < 1 {

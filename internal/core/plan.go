@@ -263,24 +263,40 @@ func (p *Plan[T, S]) Execute(a, b *sparse.CSR[T]) (*sparse.CSR[T], error) {
 // executor that it owns exclusively for the duration of the call (the
 // ExecutorPool checkout contract, DESIGN.md §8).
 //
-// With Options.ReuseOutput set, the returned matrix is backed by
-// executor-owned buffers and stays valid only until the next execution
-// on the same executor — for pooled executors that means until the
-// executor is returned; Clone the result to retain it. Without it (the
-// default) the output is freshly allocated and only the internal
-// scratch is pooled.
+// With Options.ReuseOutput set at plan time, the returned matrix is
+// backed by executor-owned buffers and stays valid only until the next
+// execution on the same executor — for pooled executors that means
+// until the executor is returned; Clone the result to retain it.
+// Without it (the default) the output is freshly allocated and only
+// the internal scratch is pooled.
+//
+// ExecuteOn applies the execution-only options frozen into the plan;
+// cache-shared plans are built with those zeroed (plan identity never
+// includes them), so serving layers that honor per-request telemetry
+// or output-ownership choices use ExecuteOnOpts.
 func (p *Plan[T, S]) ExecuteOn(exec *Executor[T, S], a, b *sparse.CSR[T]) (*sparse.CSR[T], error) {
+	return p.ExecuteOnOpts(exec, a, b, p.opt.ExecOnly())
+}
+
+// ExecuteOnOpts is ExecuteOn with the execution-only options supplied
+// per call instead of read from the plan. This is what lets one cached
+// plan serve requests that differ only in telemetry (CollectSchedStats)
+// or output ownership (ReuseOutput): those knobs never affect the
+// analysis, so they are not part of plan identity — they are decided
+// here, at execution time.
+func (p *Plan[T, S]) ExecuteOnOpts(exec *Executor[T, S], a, b *sparse.CSR[T], eo ExecOptions) (*sparse.CSR[T], error) {
 	if exec == nil {
 		return nil, errors.New("core: ExecuteOn requires an executor")
 	}
+	if eo.CollectSchedStats {
+		// Reset before argument validation and the direct-scheme branch:
+		// an execution that errors early or collects no telemetry (direct
+		// schemes have no row passes) must read as empty, not replay the
+		// previous execution's record.
+		exec.schedStats.Reset(p.opt.Threads)
+	}
 	if err := p.checkArgs(a, b); err != nil {
 		return nil, err
-	}
-	if p.opt.CollectSchedStats {
-		// Reset before the direct-scheme branch too: an execution that
-		// collects no telemetry (direct schemes have no row passes) must
-		// read as empty, not replay the previous execution's record.
-		exec.schedStats.Reset(p.opt.Threads)
 	}
 	if p.reg.direct != nil {
 		return p.reg.direct(p, a, b)
@@ -289,9 +305,9 @@ func (p *Plan[T, S]) ExecuteOn(exec *Executor[T, S], a, b *sparse.CSR[T]) (*spar
 	exec.prepareCSC(p, b)
 	k := exec.kernelsFor(p, a, b)
 	es := &exec.scratch
-	es.reuseOut = p.opt.ReuseOutput
+	es.reuseOut = eo.ReuseOutput
 	sch := rowSched{threads: p.opt.Threads, grain: p.opt.Grain, mode: p.sched, bounds: p.partBounds}
-	if p.opt.CollectSchedStats {
+	if eo.CollectSchedStats {
 		sch.stats = &exec.schedStats
 	}
 	if p.opt.Phases == TwoPhase {

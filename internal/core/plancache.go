@@ -26,8 +26,15 @@ var errPlanningPanicked = errors.New("core: concurrent plan analysis panicked; r
 //
 // Keys combine the structural fingerprints of mask, A, and B
 // (sparse.Pattern.Fingerprint — values never enter, so matrices whose
-// numbers change in place keep hitting) with the full normalized
-// Options, since every option can affect analysis or execution.
+// numbers change in place keep hitting) with the normalized
+// *plan-affecting* Options. Execution-only options (CollectSchedStats,
+// ReuseOutput) never enter the key — they change what one execution
+// does, not the analysis — so warming a structure and later requesting
+// it with telemetry on still hits; supply them per execution via
+// Plan.ExecuteOnOpts. Cached plans are likewise built with those
+// fields zeroed, making the stored plan canonical regardless of which
+// request planted it.
+//
 // Fingerprints are recomputed on every lookup: the cache never trusts
 // pointer identity, so mutating a matrix's structure in place simply
 // misses and plans afresh. Cached plans own a private clone of the
@@ -67,9 +74,9 @@ type planCall[T any, S semiring.Semiring[T]] struct {
 }
 
 // planKey identifies one cached analysis: the three operand structure
-// fingerprints plus the normalized Options (Options is a comparable
-// all-scalar struct, so the key works as a map key without
-// allocation).
+// fingerprints plus the normalized plan-identity Options — execution-
+// only fields zeroed (Options is a comparable all-scalar struct, so
+// the key works as a map key without allocation).
 type planKey struct {
 	maskFP, aFP, bFP uint64
 	opt              Options
@@ -105,7 +112,8 @@ func NewPlanCache[T any, S semiring.Semiring[T]](sr S, maxEntries int, maxBytes 
 
 // keyFor fingerprints the operands, hashing each distinct Pattern
 // object once (mask = A = B is the common case in the graph
-// workloads: C = L ⊙ (L·L)).
+// workloads: C = L ⊙ (L·L)). opt must already be in plan-identity
+// form (normalized, execution-only fields zeroed).
 func (c *PlanCache[T, S]) keyFor(mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options) planKey {
 	k := planKey{opt: opt}
 	k.maskFP = mask.Fingerprint()
@@ -136,8 +144,24 @@ func (c *PlanCache[T, S]) keyFor(mask *sparse.Pattern, a, b *sparse.CSR[T], opt 
 // of identical requests plans exactly once (CoalescedMisses counts the
 // waiters). A failed planning is not cached: every waiter receives the
 // error and the next lookup plans afresh.
+//
+// Execution-only options are stripped from both the key and the built
+// plan (see planIdentity): the cached plan is canonical, and callers
+// wanting per-request telemetry or pooled output pass ExecOptions to
+// Plan.ExecuteOnOpts.
 func (c *PlanCache[T, S]) GetOrPlan(mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options) (*Plan[T, S], error) {
+	plan, _, err := c.GetOrPlanObserved(mask, a, b, opt)
+	return plan, err
+}
+
+// GetOrPlanObserved is GetOrPlan, additionally reporting whether the
+// lookup was answered from the cache — the signal a serving layer's
+// warm-by-prediction hooks observe. A lookup that coalesced onto
+// another goroutine's in-flight planning reports hit = false: the
+// structure was not yet cached when the request arrived.
+func (c *PlanCache[T, S]) GetOrPlanObserved(mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options) (*Plan[T, S], bool, error) {
 	opt.normalize()
+	opt = opt.planIdentity()
 	key := c.keyFor(mask, a, b, opt)
 
 	c.mu.Lock()
@@ -146,7 +170,7 @@ func (c *PlanCache[T, S]) GetOrPlan(mask *sparse.Pattern, a, b *sparse.CSR[T], o
 		c.hits++
 		plan := el.Value.(*planEntry[T, S]).plan
 		c.mu.Unlock()
-		return plan, nil
+		return plan, true, nil
 	}
 	c.misses++
 	if call, ok := c.inflight[key]; ok {
@@ -155,7 +179,7 @@ func (c *PlanCache[T, S]) GetOrPlan(mask *sparse.Pattern, a, b *sparse.CSR[T], o
 		c.coalesced++
 		c.mu.Unlock()
 		<-call.done
-		return call.plan, call.err
+		return call.plan, false, call.err
 	}
 	call := &planCall[T, S]{done: make(chan struct{})}
 	c.inflight[key] = call
@@ -192,7 +216,7 @@ func (c *PlanCache[T, S]) GetOrPlan(mask *sparse.Pattern, a, b *sparse.CSR[T], o
 		c.mu.Unlock()
 		call.err = err
 		close(call.done)
-		return nil, err
+		return nil, false, err
 	}
 	entry := &planEntry[T, S]{key: key, plan: plan, bytes: plan.footprintBytes()}
 
@@ -214,7 +238,7 @@ func (c *PlanCache[T, S]) GetOrPlan(mask *sparse.Pattern, a, b *sparse.CSR[T], o
 	}
 	call.plan = plan
 	close(call.done)
-	return plan, nil
+	return plan, false, nil
 }
 
 // evictLocked drops least-recently-used entries until both bounds

@@ -575,3 +575,59 @@ func TestPlanCacheHybridMixedBindings(t *testing.T) {
 		t.Errorf("cache holds %d entries, want 2", n)
 	}
 }
+
+// TestPlanCacheExecOnlyOptionsShareKey pins the serving regression the
+// key normalization fixes: execution-only options (CollectSchedStats,
+// ReuseOutput) must not fragment cache keys. Warming a structure
+// without telemetry and then requesting it with telemetry on — the
+// Session.Warm → Multiply(WithSchedStats()) pattern — must hit.
+func TestPlanCacheExecOnlyOptionsShareKey(t *testing.T) {
+	mask, a, b := buildCase(caseSpec{"", 48, 48, 48, 6, 6, 8, 21})
+	cache := NewPlanCache(ptSR, 0, 0)
+
+	// Warm: plan without any execution-only options.
+	warm, err := cache.GetOrPlan(mask, a, b, Options{Algorithm: AlgoMSA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serve: same structure, telemetry and pooled output requested.
+	served, hit, err := cache.GetOrPlanObserved(mask, a, b, Options{
+		Algorithm: AlgoMSA, CollectSchedStats: true, ReuseOutput: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || served != warm {
+		t.Fatal("execution-only options fragmented the plan-cache key; warm → multiply must hit")
+	}
+	if st := cache.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 hit / 1 miss", st)
+	}
+
+	// The canonical cached plan carries no execution-only options, so
+	// telemetry must be honored per execution via ExecuteOnOpts.
+	exec := NewExecutor[float64](ptSR)
+	got, err := served.ExecuteOnOpts(exec, a, b, ExecOptions{CollectSchedStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sparse.Diff(oracle(mask, a, b, false), got, floatEq); d != "" {
+		t.Fatalf("shared plan wrong under per-execution options: %s", d)
+	}
+	if exec.SchedStats().Claimed() == 0 {
+		t.Fatal("per-execution CollectSchedStats on a warm-planted plan recorded nothing")
+	}
+}
+
+// TestPlanCacheObservedReportsMiss pins GetOrPlanObserved's hit signal:
+// the first lookup of a structure reports a miss, the second a hit.
+func TestPlanCacheObservedReportsMiss(t *testing.T) {
+	mask, a, b := buildCase(caseSpec{"", 32, 32, 32, 4, 4, 6, 22})
+	cache := NewPlanCache(ptSR, 0, 0)
+	if _, hit, err := cache.GetOrPlanObserved(mask, a, b, Options{}); err != nil || hit {
+		t.Fatalf("first lookup: hit=%v err=%v, want miss", hit, err)
+	}
+	if _, hit, err := cache.GetOrPlanObserved(mask, a, b, Options{}); err != nil || !hit {
+		t.Fatalf("second lookup: hit=%v err=%v, want hit", hit, err)
+	}
+}

@@ -298,3 +298,33 @@ func TestMaskedFlopsDenseBParity(t *testing.T) {
 		t.Fatalf("MaskedFlops = %d, want %d", got, want)
 	}
 }
+
+// TestExecuteErroredPassResetsSchedStats pins the telemetry contract
+// behind Session's record-even-on-error behaviour: ExecuteOnOpts
+// resets the executor's stats before anything can fail, so an errored
+// execution issued with CollectSchedStats reads as an empty pass
+// rather than replaying the previous execution's record.
+func TestExecuteErroredPassResetsSchedStats(t *testing.T) {
+	mask, a, b := buildCase(caseSpec{"", 128, 128, 128, 8, 8, 8, 31})
+	exec := NewExecutor[float64](ptSR)
+	p, err := NewPlan(ptSR, mask, a, b, Options{Algorithm: AlgoMSA, Threads: 2}, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eo := ExecOptions{CollectSchedStats: true}
+	if _, err := p.ExecuteOnOpts(exec, a, b, eo); err != nil {
+		t.Fatal(err)
+	}
+	if exec.SchedStats().Claimed() == 0 {
+		t.Fatal("successful pass recorded no blocks")
+	}
+	// Mismatched operands: checkArgs fails after the stats reset.
+	bad, _, _ := buildCase(caseSpec{"", 64, 64, 64, 4, 4, 4, 32})
+	wrong := &sparse.CSR[float64]{Pattern: *bad, Val: make([]float64, int(bad.NNZ()))}
+	if _, err := p.ExecuteOnOpts(exec, wrong, b, eo); err == nil {
+		t.Fatal("mismatched operands must error")
+	}
+	if got := exec.SchedStats(); got.Claimed() != 0 {
+		t.Fatalf("errored pass replayed stale telemetry: %d blocks claimed", got.Claimed())
+	}
+}

@@ -91,22 +91,22 @@ func (w *KTrussWorkload) Run(k int, opt core.Options) (*KTrussResult, error) {
 	// The workload executor carries the accumulator workspaces and
 	// output buffers across iterations and runs. The support matrix is
 	// consumed by Select before the next execution, so pooled output
-	// (ReuseOutput) is safe.
-	iterOpt := opt
-	iterOpt.ReuseOutput = true
+	// (ReuseOutput) is safe — requested per execution, since cached
+	// plans are canonical and carry no execution-only options.
+	execOpt := opt.ExecOnly()
+	execOpt.ReuseOutput = true
 	c := w.c
 	for {
 		res.Iterations++
-		missesBefore := w.cache.Stats().Misses
-		plan, err := w.cache.GetOrPlan(c.PatternView(), c, c, iterOpt)
+		plan, hit, err := w.cache.GetOrPlanObserved(c.PatternView(), c, c, opt)
 		if err != nil {
 			return nil, err
 		}
-		if w.cache.Stats().Misses == missesBefore {
+		if hit {
 			res.PlansReused++
 		}
 		res.Flops += plan.FlopsEstimate(c, c)
-		s, err := plan.ExecuteOn(w.exec, c, c)
+		s, err := plan.ExecuteOnOpts(w.exec, c, c, execOpt)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,262 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// admission is the server's bounded-concurrency front door, the piece
+// that reconciles ExecutorPool's "Get never blocks" contract with real
+// network backpressure. The pool bounds retained memory, deliberately
+// not concurrency — so without admission control a traffic burst would
+// create an executor (and run a full multiplication) per in-flight
+// request, and saturation would degrade into unbounded memory growth
+// and queueing. admission makes the degradation predictable instead:
+//
+//   - at most maxInFlight requests execute concurrently (a semaphore
+//     sized to the executor pool, so steady-state traffic reuses pooled
+//     executors instead of growing new ones);
+//   - at most maxQueue further requests wait for a slot, each bounded
+//     by a per-request deadline;
+//   - everything beyond that is shed immediately (HTTP 429 with
+//     Retry-After), and queued requests whose deadline passes are
+//     dropped (503) rather than served stale;
+//   - draining rejects new and queued work (503) while in-flight
+//     requests run to completion.
+//
+// The state machine per request, with the admitOutcome each transition
+// reports:
+//
+//	arrive ── slot free ──────────────▶ admitted ──▶ release
+//	   │
+//	   ├─ draining ───────────────────▶ admitDraining (503)
+//	   ├─ queue full ─────────────────▶ admitShed (429)
+//	   └─ enqueue ──┬─ slot freed ────▶ admitted ──▶ release
+//	                ├─ deadline ──────▶ admitExpired (503)
+//	                ├─ drain begins ──▶ admitDraining (503)
+//	                └─ client gone ───▶ admitCanceled
+type admission struct {
+	// slots holds one token per permitted concurrent execution; a
+	// request owns a slot from acquire to release.
+	slots        chan struct{}
+	maxInFlight  int
+	maxQueue     int
+	queueTimeout time.Duration
+
+	mu       sync.Mutex
+	queued   int  // requests currently waiting for a slot
+	inFlight int  // requests currently holding a slot
+	draining bool // beginDrain called; drainCh closed
+
+	// drainCh is closed by beginDrain, waking every queued waiter.
+	drainCh chan struct{}
+	// idleCh is closed when draining and the last in-flight request
+	// releases its slot (created lazily by beginDrain).
+	idleCh chan struct{}
+
+	c admissionCounters
+}
+
+// admissionCounters are the monotonic totals /stats exposes (guarded
+// by admission.mu).
+type admissionCounters struct {
+	admitted        uint64 // granted a slot (immediately or after queueing)
+	enqueued        uint64 // had to wait for a slot
+	shed            uint64 // rejected because the queue was full
+	deadlineExpired uint64 // dropped from the queue at their deadline
+	canceled        uint64 // dropped from the queue because the client went away
+	rejectedDrain   uint64 // rejected because the server was draining
+}
+
+// admitOutcome is the result of one pass through the admission state
+// machine.
+type admitOutcome int
+
+const (
+	// admitted means the request owns an execution slot and must
+	// release() it when done.
+	admitted admitOutcome = iota
+	// admitShed means the wait queue was full; shed immediately.
+	admitShed
+	// admitExpired means the per-request deadline passed while queued.
+	admitExpired
+	// admitDraining means the server is shutting down.
+	admitDraining
+	// admitCanceled means the client's context ended while queued.
+	admitCanceled
+)
+
+// newAdmission sizes the front door: maxInFlight concurrent
+// executions, maxQueue waiters, queueTimeout as the default per-request
+// queue deadline.
+func newAdmission(maxInFlight, maxQueue int, queueTimeout time.Duration) *admission {
+	a := &admission{
+		slots:        make(chan struct{}, maxInFlight),
+		maxInFlight:  maxInFlight,
+		maxQueue:     maxQueue,
+		queueTimeout: queueTimeout,
+		drainCh:      make(chan struct{}),
+	}
+	for i := 0; i < maxInFlight; i++ {
+		a.slots <- struct{}{}
+	}
+	return a
+}
+
+// acquire runs one request through the admission state machine. wait
+// bounds the time spent queued (<= 0 means the configured default).
+// On admitted the caller owns a slot and must release() exactly once.
+func (a *admission) acquire(ctx context.Context, wait time.Duration) admitOutcome {
+	if wait <= 0 {
+		wait = a.queueTimeout
+	}
+	a.mu.Lock()
+	if a.draining {
+		a.c.rejectedDrain++
+		a.mu.Unlock()
+		return admitDraining
+	}
+	// Fast path: a free slot admits without queueing. Taken under mu so
+	// the draining check and the token grab are one atomic step.
+	select {
+	case <-a.slots:
+		a.c.admitted++
+		a.inFlight++
+		a.mu.Unlock()
+		return admitted
+	default:
+	}
+	if a.queued >= a.maxQueue {
+		a.c.shed++
+		a.mu.Unlock()
+		return admitShed
+	}
+	a.queued++
+	a.c.enqueued++
+	a.mu.Unlock()
+
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	var out admitOutcome
+	select {
+	case <-a.slots:
+		out = admitted
+	case <-timer.C:
+		out = admitExpired
+	case <-a.drainCh:
+		out = admitDraining
+	case <-ctx.Done():
+		out = admitCanceled
+	}
+	a.mu.Lock()
+	a.queued--
+	if out == admitted && a.draining {
+		// The waiter raced a freed slot against the drain signal and the
+		// slot won the select; drain policy still rejects it — no new
+		// execution starts after beginDrain. The token goes back (the
+		// channel has room: this request holds one of its tokens).
+		a.slots <- struct{}{}
+		out = admitDraining
+	}
+	switch out {
+	case admitted:
+		a.c.admitted++
+		a.inFlight++
+	case admitExpired:
+		a.c.deadlineExpired++
+	case admitDraining:
+		a.c.rejectedDrain++
+	case admitCanceled:
+		a.c.canceled++
+	}
+	a.mu.Unlock()
+	return out
+}
+
+// release returns an admitted request's slot. When the last in-flight
+// request of a draining server releases, the drain completes. The
+// gauge is decremented before the token frees so stats never read more
+// than maxInFlight concurrent executions.
+func (a *admission) release() {
+	a.mu.Lock()
+	a.inFlight--
+	if a.draining && a.inFlight == 0 && a.idleCh != nil {
+		close(a.idleCh)
+		a.idleCh = nil
+	}
+	a.mu.Unlock()
+	a.slots <- struct{}{}
+}
+
+// beginDrain moves the front door to the draining state: new arrivals
+// and queued waiters are rejected with admitDraining, in-flight work
+// keeps its slots. Returns a channel closed once the last in-flight
+// request releases (immediately-closed when already idle). Safe to
+// call more than once; later calls observe the same drain.
+func (a *admission) beginDrain() <-chan struct{} {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.draining {
+		a.draining = true
+		close(a.drainCh)
+		a.idleCh = make(chan struct{})
+		if a.inFlight == 0 {
+			close(a.idleCh)
+		}
+	}
+	ch := a.idleCh
+	if ch == nil {
+		// Drain already completed; hand back a closed channel.
+		done := make(chan struct{})
+		close(done)
+		ch = done
+	}
+	return ch
+}
+
+// AdmissionStats is a point-in-time snapshot of the front door, the
+// admission half of the /stats payload.
+type AdmissionStats struct {
+	// MaxInFlight is the execution concurrency bound (semaphore size).
+	MaxInFlight int `json:"max_in_flight"`
+	// MaxQueue is the wait-queue bound.
+	MaxQueue int `json:"max_queue"`
+	// InFlight is the number of requests currently executing.
+	InFlight int `json:"in_flight"`
+	// QueueDepth is the number of requests currently waiting.
+	QueueDepth int `json:"queue_depth"`
+	// Admitted counts requests granted an execution slot.
+	Admitted uint64 `json:"admitted"`
+	// Queued counts admitted-or-dropped requests that had to wait.
+	Queued uint64 `json:"queued"`
+	// Shed counts requests rejected because the queue was full (429).
+	Shed uint64 `json:"shed"`
+	// DeadlineExpired counts queued requests dropped at their deadline.
+	DeadlineExpired uint64 `json:"deadline_expired"`
+	// Canceled counts queued requests whose client went away.
+	Canceled uint64 `json:"canceled"`
+	// RejectedDraining counts requests rejected during shutdown.
+	RejectedDraining uint64 `json:"rejected_draining"`
+	// Draining reports whether the server is shutting down.
+	Draining bool `json:"draining"`
+}
+
+// stats snapshots the admission counters.
+func (a *admission) stats() AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AdmissionStats{
+		MaxInFlight:      a.maxInFlight,
+		MaxQueue:         a.maxQueue,
+		InFlight:         a.inFlight,
+		QueueDepth:       a.queued,
+		Admitted:         a.c.admitted,
+		Queued:           a.c.enqueued,
+		Shed:             a.c.shed,
+		DeadlineExpired:  a.c.deadlineExpired,
+		Canceled:         a.c.canceled,
+		RejectedDraining: a.c.rejectedDrain,
+		Draining:         a.draining,
+	}
+}

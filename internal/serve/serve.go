@@ -1,0 +1,485 @@
+// Package serve is the network front-end over the Session serving
+// facade: an HTTP server that accepts masked-product requests with
+// operands on the wire, serves them through the session's
+// structure-keyed plan cache and bounded executor pool, and — the
+// point — applies admission control so saturation degrades predictably
+// (bounded concurrency, bounded queueing, load shedding) instead of
+// queueing unboundedly. See DESIGN.md §11.
+//
+// Endpoints:
+//
+//	POST /v1/multiply  — compute C = M ⊙ (A·B); operands in the body
+//	                     (MSPG binary or Matrix Market, raw single
+//	                     matrix or multipart mask/a/b parts), options
+//	                     as query parameters, result as MSPG binary,
+//	                     Matrix Market, or a JSON summary.
+//	POST /v1/warm      — plan the operands' structure without
+//	                     executing, pre-populating the plan cache.
+//	GET  /stats        — JSON session + admission counters and the
+//	                     recent plan-miss log.
+//	GET  /healthz      — liveness; 503 once draining begins.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	maskedspgemm "maskedspgemm"
+	"maskedspgemm/internal/core"
+	"maskedspgemm/internal/mtx"
+	"maskedspgemm/internal/parallel"
+	"maskedspgemm/internal/serial"
+)
+
+// Config sizes a Server. The zero value is serviceable: every field
+// has a default chosen to match the session's executor pool.
+type Config struct {
+	// MaxInFlight bounds concurrent multiplications (default
+	// GOMAXPROCS, matching the executor pool's idle bound, so
+	// steady-state traffic reuses pooled executors instead of growing
+	// new ones).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an execution slot (default
+	// 4×MaxInFlight). Requests beyond it are shed with 429.
+	MaxQueue int
+	// QueueTimeout is the default per-request queue deadline (default
+	// 2s); requests may lower it via the X-Queue-Deadline-Ms header.
+	QueueTimeout time.Duration
+	// RetryAfter is the hint attached to 429/503 responses (default 1s).
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds a request body (default 1 GiB).
+	MaxBodyBytes int64
+	// SessionOptions configures the session the server constructs
+	// (cache bounds, executor-pool bound). The server installs its own
+	// miss observer in addition — observers compose, so a caller-
+	// provided WithMissObserver still fires.
+	SessionOptions []maskedspgemm.SessionOption
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = parallel.Threads(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInFlight
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 2 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 30
+	}
+	return c
+}
+
+// Server is the HTTP front-end. Construct with New, mount as an
+// http.Handler, and call Drain before shutting the listener down.
+type Server struct {
+	cfg     Config
+	session *maskedspgemm.Session
+	adm     *admission
+	misses  *missLog
+	mux     *http.ServeMux
+
+	// execGate, when non-nil, is invoked while an admitted request
+	// holds its execution slot — a test seam for observing (and
+	// widening) the concurrency window.
+	execGate func()
+}
+
+// New builds a Server and its Session from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	misses := newMissLog(missLogDepth)
+	// The pool bound default may be overridden by caller options; miss
+	// observers compose, so the server's own rides alongside any the
+	// caller installed.
+	sopts := append([]maskedspgemm.SessionOption{
+		maskedspgemm.WithMaxIdleExecutors(cfg.MaxInFlight),
+	}, cfg.SessionOptions...)
+	sopts = append(sopts, maskedspgemm.WithMissObserver(misses.observe))
+	s := &Server{
+		cfg:     cfg,
+		session: maskedspgemm.NewSession(sopts...),
+		adm:     newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueTimeout),
+		misses:  misses,
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/multiply", s.handleMultiply)
+	s.mux.HandleFunc("/v1/warm", s.handleWarm)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Session exposes the server's session (for warming at startup).
+func (s *Server) Session() *maskedspgemm.Session { return s.session }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain moves the server to the draining state — new and queued
+// multiply requests are rejected with 503 — and returns a channel that
+// closes once the last in-flight multiplication finishes. Pair with
+// http.Server.Shutdown: Drain first (stop accepting work), then
+// Shutdown (wait out the connections).
+func (s *Server) Drain() <-chan struct{} {
+	return s.adm.beginDrain()
+}
+
+// handleMultiply is the serving path: admission first (shedding is
+// cheap and happens before the body is read), then decode, then the
+// session's cached plan + pooled executor do the work.
+func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	opts, err := parseOptions(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	format, err := parseFormat(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	wait, err := queueDeadline(r, s.cfg.QueueTimeout)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	switch s.adm.acquire(r.Context(), wait) {
+	case admitted:
+		defer s.adm.release()
+	case admitShed:
+		s.retryAfter(w)
+		httpError(w, http.StatusTooManyRequests, "admission queue full; retry later")
+		return
+	case admitExpired:
+		s.retryAfter(w)
+		httpError(w, http.StatusServiceUnavailable, "queue deadline expired before an execution slot freed")
+		return
+	case admitDraining:
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	case admitCanceled:
+		// The client is gone; nothing useful to write.
+		return
+	}
+	if s.execGate != nil {
+		s.execGate()
+	}
+	ops, err := s.readOperands(w, r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	out, err := s.session.Multiply(ops.mask, ops.a, ops.b, opts...)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	s.writeResult(w, format, out)
+}
+
+// handleWarm plans without executing. Warming bypasses the execution
+// semaphore — it touches only the plan cache (planning bursts coalesce
+// via singleflight), never the executor pool the semaphore protects —
+// so a deploy can pre-plan its corpus while traffic is being served.
+// It still honors drain: planning into a cache that is about to be
+// discarded only delays shutdown.
+func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.adm.stats().Draining {
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	opts, err := parseOptions(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ops, err := s.readOperands(w, r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.session.Warm(ops.mask, ops.a, ops.b, opts...); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{"warmed": true, "cache": s.session.Stats().Cache})
+}
+
+// statsResponse is the /stats payload.
+type statsResponse struct {
+	// Session carries the plan-cache, executor-pool, and scheduler
+	// counters (SessionStats).
+	Session sessionStatsJSON `json:"session"`
+	// Admission carries the front door's counters.
+	Admission AdmissionStats `json:"admission"`
+	// RecentMisses is the tail of the plan-miss log, newest last — the
+	// structures a warm-by-prediction loop would pre-plan.
+	RecentMisses []missRecord `json:"recent_misses"`
+}
+
+// sessionStatsJSON mirrors maskedspgemm.SessionStats with stable
+// lowercase JSON names for external consumers.
+type sessionStatsJSON struct {
+	// Cache is the plan-cache snapshot.
+	Cache cacheStatsJSON `json:"cache"`
+	// Pool is the executor-pool snapshot.
+	Pool poolStatsJSON `json:"pool"`
+	// Sched is the cumulative scheduler telemetry.
+	Sched schedStatsJSON `json:"sched"`
+}
+
+// cacheStatsJSON is the wire form of CacheStats.
+type cacheStatsJSON struct {
+	// Hits counts lookups answered from the cache.
+	Hits uint64 `json:"hits"`
+	// Misses counts lookups that planned (or waited on planning).
+	Misses uint64 `json:"misses"`
+	// CoalescedMisses counts misses absorbed by singleflight.
+	CoalescedMisses uint64 `json:"coalesced_misses"`
+	// Evictions counts entries dropped by the cache bounds.
+	Evictions uint64 `json:"evictions"`
+	// Entries is the current number of cached plans.
+	Entries int `json:"entries"`
+	// Bytes is the estimated retained analysis memory.
+	Bytes int64 `json:"bytes"`
+}
+
+// poolStatsJSON is the wire form of PoolStats.
+type poolStatsJSON struct {
+	// Created counts executors constructed on an empty pool.
+	Created uint64 `json:"created"`
+	// Reused counts checkouts served by an idle executor.
+	Reused uint64 `json:"reused"`
+	// Discarded counts returns dropped at the idle bound.
+	Discarded uint64 `json:"discarded"`
+	// Idle is the current number of retained executors.
+	Idle int `json:"idle"`
+}
+
+// schedStatsJSON is the wire form of SchedSummary.
+type schedStatsJSON struct {
+	// Passes counts executions that recorded telemetry.
+	Passes uint64 `json:"passes"`
+	// BusyNanos is total worker busy time across recorded passes.
+	BusyNanos int64 `json:"busy_nanos"`
+	// BlocksClaimed counts scheduler blocks claimed normally.
+	BlocksClaimed uint64 `json:"blocks_claimed"`
+	// BlocksStolen counts blocks obtained by work stealing.
+	BlocksStolen uint64 `json:"blocks_stolen"`
+	// WorstImbalance is the worst per-pass busy-time imbalance.
+	WorstImbalance float64 `json:"worst_imbalance"`
+}
+
+// handleStats reports the counters a dashboard or autoscaler reads.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.session.Stats()
+	writeJSON(w, statsResponse{
+		Session: sessionStatsJSON{
+			Cache: cacheStatsJSON{
+				Hits:            st.Cache.Hits,
+				Misses:          st.Cache.Misses,
+				CoalescedMisses: st.Cache.CoalescedMisses,
+				Evictions:       st.Cache.Evictions,
+				Entries:         st.Cache.Entries,
+				Bytes:           st.Cache.Bytes,
+			},
+			Pool: poolStatsJSON{
+				Created:   st.Pool.Created,
+				Reused:    st.Pool.Reused,
+				Discarded: st.Pool.Discarded,
+				Idle:      st.Pool.Idle,
+			},
+			Sched: schedStatsJSON{
+				Passes:         st.Sched.Passes,
+				BusyNanos:      int64(st.Sched.Busy),
+				BlocksClaimed:  st.Sched.BlocksClaimed,
+				BlocksStolen:   st.Sched.BlocksStolen,
+				WorstImbalance: st.Sched.WorstImbalance,
+			},
+		},
+		Admission:    s.adm.stats(),
+		RecentMisses: s.misses.recent(),
+	})
+}
+
+// handleHealthz is the liveness/readiness probe: 200 while serving,
+// 503 once draining begins (load balancers stop routing here first).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.adm.stats().Draining {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// readOperands decodes the request body under the configured size cap.
+func (s *Server) readOperands(w http.ResponseWriter, r *http.Request) (*operands, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	return decodeOperands(r)
+}
+
+// writeResult encodes a product in the requested format: MSPG binary
+// (default), Matrix Market (?format=mtx), or a JSON summary
+// (?format=summary). format was validated by parseFormat before the
+// request was admitted.
+func (s *Server) writeResult(w http.ResponseWriter, format string, out *maskedspgemm.Matrix) {
+	switch format {
+	case "", "serial":
+		w.Header().Set("Content-Type", "application/x-mspgemm")
+		// A failed write means the client is gone; nothing to recover.
+		_ = serial.Write(w, out)
+	case "mtx":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = mtx.Write(w, out)
+	case "summary":
+		writeJSON(w, summarize(out))
+	}
+}
+
+// retryAfter attaches the backoff hint to a shed response.
+func (s *Server) retryAfter(w http.ResponseWriter) {
+	secs := int(s.cfg.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+// queueDeadline resolves the per-request queue deadline: the
+// X-Queue-Deadline-Ms header when present (capped at the server
+// default — a client may ask for less patience, not more), else the
+// server default.
+func queueDeadline(r *http.Request, def time.Duration) (time.Duration, error) {
+	h := r.Header.Get("X-Queue-Deadline-Ms")
+	if h == "" {
+		return def, nil
+	}
+	ms, err := strconv.Atoi(h)
+	if err != nil || ms < 0 {
+		return 0, fmt.Errorf("serve: X-Queue-Deadline-Ms must be a non-negative integer, got %q", h)
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d == 0 || d > def {
+		return def, nil
+	}
+	return d, nil
+}
+
+// httpError writes a plain-text error response.
+func httpError(w http.ResponseWriter, code int, msg string) {
+	http.Error(w, msg, code)
+}
+
+// writeJSON writes v as an indented JSON response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// algorithmByName resolves a scheme by its registry name,
+// case-insensitively ("hash" → AlgoHash).
+func algorithmByName(name string) (maskedspgemm.Algorithm, bool) {
+	for _, a := range core.Algorithms() {
+		if strings.EqualFold(a.String(), name) {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+// algorithmNames lists the registry's scheme names for error messages.
+func algorithmNames() string {
+	var names []string
+	for _, a := range core.Algorithms() {
+		names = append(names, a.String())
+	}
+	return strings.Join(names, ", ")
+}
+
+// missLogDepth bounds the recent-miss ring exposed by /stats.
+const missLogDepth = 32
+
+// missRecord is one observed plan-cache miss as /stats reports it —
+// the raw material of the ROADMAP's warm-by-prediction loop: a
+// recurring fingerprint in this log is a structure worth pre-planning.
+type missRecord struct {
+	// MaskFP, AFP, BFP are the operands' structural fingerprints, hex.
+	MaskFP string `json:"mask_fp"`
+	AFP    string `json:"a_fp"`
+	BFP    string `json:"b_fp"`
+	// Scheme is the plan's scheme name ("MSA-1P").
+	Scheme string `json:"scheme"`
+	// Complement marks complemented-mask requests.
+	Complement bool `json:"complement,omitempty"`
+	// Warm marks misses planted by /v1/warm rather than live traffic.
+	Warm bool `json:"warm,omitempty"`
+}
+
+// missLog is a bounded ring of recent plan-cache misses fed by the
+// session's miss observer.
+type missLog struct {
+	mu   sync.Mutex
+	ring []missRecord
+	next int
+}
+
+// newMissLog returns a ring holding the last depth misses.
+func newMissLog(depth int) *missLog {
+	return &missLog{ring: make([]missRecord, 0, depth)}
+}
+
+// observe is the maskedspgemm.PlanMiss observer wired into the
+// session.
+func (l *missLog) observe(ev maskedspgemm.PlanMiss) {
+	rec := missRecord{
+		MaskFP:     fmt.Sprintf("%016x", ev.MaskFingerprint),
+		AFP:        fmt.Sprintf("%016x", ev.AFingerprint),
+		BFP:        fmt.Sprintf("%016x", ev.BFingerprint),
+		Scheme:     ev.Scheme,
+		Complement: ev.Complement,
+		Warm:       ev.Warm,
+	}
+	l.mu.Lock()
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, rec)
+	} else {
+		l.ring[l.next] = rec
+		l.next = (l.next + 1) % cap(l.ring)
+	}
+	l.mu.Unlock()
+}
+
+// recent returns the logged misses oldest-first.
+func (l *missLog) recent() []missRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]missRecord, 0, len(l.ring))
+	out = append(out, l.ring[l.next:]...)
+	out = append(out, l.ring[:l.next]...)
+	return out
+}

@@ -1,0 +1,569 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	maskedspgemm "maskedspgemm"
+	"maskedspgemm/internal/mtx"
+	"maskedspgemm/internal/serial"
+	"maskedspgemm/internal/sparse"
+)
+
+// encodeSerial renders a matrix in the MSPG wire format.
+func encodeSerial(t testing.TB, m *maskedspgemm.Matrix) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := serial.Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// encodeMTX renders a matrix in Matrix Market format.
+func encodeMTX(t testing.TB, m *maskedspgemm.Matrix) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := mtx.Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// post issues one request against the test server.
+func post(t testing.TB, client *http.Client, url string, body []byte, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// getStats fetches and decodes /stats.
+func getStats(t testing.TB, client *http.Client, base string) statsResponse {
+	t.Helper()
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestAdmissionStateMachine unit-tests the front door: capacity,
+// queueing, shedding, deadline expiry, and cancellation.
+func TestAdmissionStateMachine(t *testing.T) {
+	a := newAdmission(2, 1, time.Minute)
+	ctx := context.Background()
+
+	if got := a.acquire(ctx, 0); got != admitted {
+		t.Fatalf("slot 1: %v", got)
+	}
+	if got := a.acquire(ctx, 0); got != admitted {
+		t.Fatalf("slot 2: %v", got)
+	}
+
+	// Third request queues; it should be admitted once a slot frees.
+	admittedCh := make(chan admitOutcome, 1)
+	go func() { admittedCh <- a.acquire(ctx, time.Minute) }()
+	waitFor(t, func() bool { return a.stats().QueueDepth == 1 })
+
+	// Fourth request finds the queue full: shed.
+	if got := a.acquire(ctx, 0); got != admitShed {
+		t.Fatalf("queue-full request: got %v, want shed", got)
+	}
+
+	a.release()
+	if got := <-admittedCh; got != admitted {
+		t.Fatalf("queued request after release: %v", got)
+	}
+
+	// A queued request with a short deadline expires.
+	if got := a.acquire(ctx, 10*time.Millisecond); got != admitExpired {
+		t.Fatalf("deadline request: got %v, want expired", got)
+	}
+
+	// A queued request whose context ends is dropped as canceled.
+	cctx, cancel := context.WithCancel(ctx)
+	outcomeCh := make(chan admitOutcome, 1)
+	go func() { outcomeCh <- a.acquire(cctx, time.Minute) }()
+	waitFor(t, func() bool { return a.stats().QueueDepth == 1 })
+	cancel()
+	if got := <-outcomeCh; got != admitCanceled {
+		t.Fatalf("canceled request: %v", got)
+	}
+
+	st := a.stats()
+	if st.Admitted != 3 || st.Shed != 1 || st.DeadlineExpired != 1 || st.Canceled != 1 {
+		t.Fatalf("counters = %+v", st)
+	}
+}
+
+// TestAdmissionDrain pins drain semantics: queued waiters are rejected,
+// in-flight work finishes, the drain channel closes only after the last
+// release, and later arrivals bounce immediately.
+func TestAdmissionDrain(t *testing.T) {
+	a := newAdmission(1, 4, time.Minute)
+	ctx := context.Background()
+	if got := a.acquire(ctx, 0); got != admitted {
+		t.Fatal(got)
+	}
+	queuedCh := make(chan admitOutcome, 1)
+	go func() { queuedCh <- a.acquire(ctx, time.Minute) }()
+	waitFor(t, func() bool { return a.stats().QueueDepth == 1 })
+
+	done := a.beginDrain()
+	if got := <-queuedCh; got != admitDraining {
+		t.Fatalf("queued waiter during drain: %v", got)
+	}
+	select {
+	case <-done:
+		t.Fatal("drain completed with a request still in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if got := a.acquire(ctx, 0); got != admitDraining {
+		t.Fatalf("arrival during drain: %v", got)
+	}
+	a.release()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("drain did not complete after the last release")
+	}
+	if !a.stats().Draining {
+		t.Fatal("stats must report draining")
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t testing.TB, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestServeMultiplyFormats checks the wire contract end to end: raw
+// serial and Matrix Market bodies, multipart operands, and all three
+// response formats agree with the library computed locally.
+func TestServeMultiplyFormats(t *testing.T) {
+	g := maskedspgemm.ErdosRenyi(96, 6, 42)
+	want, err := maskedspgemm.Multiply(g.PatternView(), g, g, maskedspgemm.WithAlgorithm(maskedspgemm.Hash))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+
+	// Raw serial body, serial response.
+	resp, body := post(t, ts.Client(), ts.URL+"/v1/multiply?algorithm=hash", encodeSerial(t, g), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("serial: status %d: %s", resp.StatusCode, body)
+	}
+	got, err := serial.Read(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.Equal(want, got) {
+		t.Fatal("serial round trip: result differs from local Multiply")
+	}
+
+	// Raw Matrix Market body, mtx response.
+	resp, body = post(t, ts.Client(), ts.URL+"/v1/multiply?algorithm=hash&format=mtx", encodeMTX(t, g), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mtx: status %d: %s", resp.StatusCode, body)
+	}
+	got, _, err = mtx.Read(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.EqualFunc(want, got, func(x, y float64) bool { return x == y }) {
+		t.Fatal("mtx round trip: result differs from local Multiply")
+	}
+
+	// Summary response: shape, nnz, and value sum.
+	resp, body = post(t, ts.Client(), ts.URL+"/v1/multiply?algorithm=hash&format=summary", encodeSerial(t, g), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("summary: status %d: %s", resp.StatusCode, body)
+	}
+	var sum resultSummary
+	if err := json.Unmarshal(body, &sum); err != nil {
+		t.Fatal(err)
+	}
+	wantSum := summarize(want)
+	if sum != wantSum {
+		t.Fatalf("summary = %+v, want %+v", sum, wantSum)
+	}
+
+	// Multipart operands in mixed formats: mask as Matrix Market, a and
+	// b as serial. Use an asymmetric product so operand routing matters.
+	h := maskedspgemm.ErdosRenyi(96, 4, 43)
+	wantMulti, err := maskedspgemm.Multiply(h.PatternView(), g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mbody bytes.Buffer
+	mw := multipart.NewWriter(&mbody)
+	for _, part := range []struct {
+		name string
+		data []byte
+	}{
+		{"mask", encodeMTX(t, h)},
+		{"a", encodeSerial(t, g)},
+		{"b", encodeSerial(t, h)},
+	} {
+		fw, err := mw.CreateFormField(part.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fw.Write(part.data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mw.Close()
+	resp, body = post(t, ts.Client(), ts.URL+"/v1/multiply", mbody.Bytes(),
+		map[string]string{"Content-Type": mw.FormDataContentType()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("multipart: status %d: %s", resp.StatusCode, body)
+	}
+	got, err = serial.Read(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.Equal(wantMulti, got) {
+		t.Fatal("multipart: result differs from local Multiply")
+	}
+}
+
+// TestServeWarmThenMultiplyHits drives the headline bugfix through the
+// wire: /v1/warm plants the plan, a later /v1/multiply with telemetry
+// on must hit it — one miss, one hit, one cache entry.
+func TestServeWarmThenMultiplyHits(t *testing.T) {
+	g := maskedspgemm.ErdosRenyi(80, 6, 44)
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	body := encodeSerial(t, g)
+
+	resp, out := post(t, ts.Client(), ts.URL+"/v1/warm?algorithm=msa", body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm: status %d: %s", resp.StatusCode, out)
+	}
+	resp, out = post(t, ts.Client(), ts.URL+"/v1/multiply?algorithm=msa&sched_stats=1&threads=2", body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("multiply: status %d: %s", resp.StatusCode, out)
+	}
+	st := getStats(t, ts.Client(), ts.URL)
+	c := st.Session.Cache
+	if c.Hits != 1 || c.Misses != 2 || c.Entries != 2 {
+		// threads=2 is plan-affecting (partition layout), so the warmed
+		// threads-default plan and the threads=2 request are distinct
+		// entries; re-issue with matching plan options to pin the
+		// normalization claim precisely below.
+		t.Logf("cache after mixed-thread requests: %+v", c)
+	}
+
+	// The precise regression: identical plan-affecting options, telemetry
+	// differing. Fresh server for clean counters.
+	ts2 := httptest.NewServer(New(Config{}))
+	defer ts2.Close()
+	if resp, out := post(t, ts2.Client(), ts2.URL+"/v1/warm", body, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm: status %d: %s", resp.StatusCode, out)
+	}
+	if resp, out := post(t, ts2.Client(), ts2.URL+"/v1/multiply?sched_stats=1", body, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("multiply: status %d: %s", resp.StatusCode, out)
+	}
+	st2 := getStats(t, ts2.Client(), ts2.URL)
+	if c := st2.Session.Cache; c.Hits != 1 || c.Misses != 1 || c.Entries != 1 {
+		t.Fatalf("cache = %+v, want Hits == 1, Misses == 1, Entries == 1 (warm → stats-multiply must hit)", c)
+	}
+	if len(st2.RecentMisses) != 1 || !st2.RecentMisses[0].Warm {
+		t.Fatalf("recent misses = %+v, want the single warm plant", st2.RecentMisses)
+	}
+}
+
+// TestServeSaturation is the admission-control acceptance test: with
+// pool size P and 8·P concurrent clients, at most P products execute
+// concurrently, excess queues up to the bound, everything beyond is
+// shed with 429 + Retry-After, and draining bounces new requests with
+// 503 while leaking no goroutines. Run under -race in CI.
+func TestServeSaturation(t *testing.T) {
+	const (
+		pool    = 2
+		queue   = 2
+		clients = 8 * pool
+	)
+	baseline := runtime.NumGoroutine()
+
+	srv := New(Config{MaxInFlight: pool, MaxQueue: queue, QueueTimeout: 30 * time.Second})
+	gate := make(chan struct{})
+	var cur, peak atomic.Int64
+	srv.execGate = func() {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		<-gate
+		cur.Add(-1)
+	}
+	ts := httptest.NewServer(srv)
+	ts.Client().Timeout = time.Minute
+
+	g := maskedspgemm.ErdosRenyi(64, 4, 45)
+	body := encodeSerial(t, g)
+	url := ts.URL + "/v1/multiply"
+
+	// Fill every execution slot, then every queue seat.
+	var wg sync.WaitGroup
+	codes := make(chan int, clients)
+	launch := func(n int) {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp, _ := post(t, ts.Client(), url, body, nil)
+				if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
+					t.Error("429 without Retry-After")
+				}
+				codes <- resp.StatusCode
+			}()
+		}
+	}
+	launch(pool)
+	waitFor(t, func() bool { return srv.adm.stats().InFlight == pool })
+
+	// With slots full but queue room free, a request with its own short
+	// deadline queues, expires, and gets 503.
+	resp, _ := post(t, ts.Client(), url, body, map[string]string{"X-Queue-Deadline-Ms": "1"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("expired request: status %d, want 503", resp.StatusCode)
+	}
+
+	launch(queue)
+	waitFor(t, func() bool { return srv.adm.stats().QueueDepth == queue })
+
+	// Every further client must be shed immediately: slots and queue are
+	// both full and nothing can free while the gate is closed.
+	launch(clients - pool - queue)
+	waitFor(t, func() bool { return srv.adm.stats().Shed == clients-pool-queue })
+
+	// Open the gate: the P in-flight and Q queued requests all finish.
+	close(gate)
+	wg.Wait()
+	close(codes)
+	var ok200, shed429 int
+	for code := range codes {
+		switch code {
+		case http.StatusOK:
+			ok200++
+		case http.StatusTooManyRequests:
+			shed429++
+		default:
+			t.Fatalf("unexpected status %d", code)
+		}
+	}
+	if ok200 != pool+queue || shed429 != clients-pool-queue {
+		t.Fatalf("outcomes: %d ok / %d shed, want %d / %d", ok200, shed429, pool+queue, clients-pool-queue)
+	}
+	if p := peak.Load(); p > pool {
+		t.Fatalf("%d products executed concurrently, bound is %d", p, pool)
+	}
+
+	st := srv.adm.stats()
+	if st.Shed != uint64(clients-pool-queue) || st.DeadlineExpired != 1 {
+		t.Fatalf("admission counters = %+v", st)
+	}
+
+	// Drain: in-flight is zero, so it completes at once and later
+	// requests bounce with 503.
+	select {
+	case <-srv.Drain():
+	case <-time.After(time.Second):
+		t.Fatal("drain did not complete with no requests in flight")
+	}
+	resp, _ = post(t, ts.Client(), url, body, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain request: status %d, want 503", resp.StatusCode)
+	}
+	resp, _ = post(t, ts.Client(), ts.URL+"/v1/warm", body, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain warm: status %d, want 503 (warming must not delay shutdown)", resp.StatusCode)
+	}
+	if hresp, err := ts.Client().Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		hresp.Body.Close()
+		if hresp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("healthz while draining: %d, want 503", hresp.StatusCode)
+		}
+	}
+
+	// Zero goroutine leak once the listener closes: every queued waiter,
+	// timer, and handler goroutine must be gone.
+	ts.Close()
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= baseline+2 })
+}
+
+// TestServeBadRequests pins the failure-mode statuses: bad options,
+// undecodable bodies, wrong methods, and invalid operand shapes.
+func TestServeBadRequests(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	g := maskedspgemm.ErdosRenyi(32, 4, 46)
+
+	resp, _ := post(t, ts.Client(), ts.URL+"/v1/multiply?algorithm=nope", encodeSerial(t, g), nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown algorithm: %d", resp.StatusCode)
+	}
+	// A typo'd format is rejected up front, before a slot or a
+	// multiplication is spent on it.
+	resp, _ = post(t, ts.Client(), ts.URL+"/v1/multiply?format=json", encodeSerial(t, g), nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown format: %d", resp.StatusCode)
+	}
+	resp, _ = post(t, ts.Client(), ts.URL+"/v1/multiply", []byte("junk body"), nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("junk body: %d", resp.StatusCode)
+	}
+	hresp, err := ts.Client().Get(ts.URL + "/v1/multiply")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET multiply: %d", hresp.StatusCode)
+	}
+
+	// Shape mismatch (mask 32×32, A 16×16) is a planning error: 422.
+	small := maskedspgemm.ErdosRenyi(16, 4, 47)
+	var mbody bytes.Buffer
+	mw := multipart.NewWriter(&mbody)
+	for _, part := range []struct {
+		name string
+		data []byte
+	}{{"mask", encodeSerial(t, g)}, {"a", encodeSerial(t, small)}} {
+		fw, _ := mw.CreateFormField(part.name)
+		fw.Write(part.data)
+	}
+	mw.Close()
+	resp, body := post(t, ts.Client(), ts.URL+"/v1/multiply", mbody.Bytes(),
+		map[string]string{"Content-Type": mw.FormDataContentType()})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("shape mismatch: %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "mask is") {
+		t.Fatalf("shape mismatch error lost: %s", body)
+	}
+}
+
+// TestServeConcurrentMixedTraffic hammers one server with recurring
+// structures from many clients and verifies every payload — the
+// network-level analogue of TestSessionConcurrent. Run under -race.
+func TestServeConcurrentMixedTraffic(t *testing.T) {
+	graphs := []*maskedspgemm.Matrix{
+		maskedspgemm.ErdosRenyi(64, 6, 50),
+		maskedspgemm.ErdosRenyi(96, 4, 51),
+	}
+	algos := []string{"msa", "hash", "inner"}
+	type query struct {
+		body []byte
+		url  string
+		want resultSummary
+	}
+	ts := httptest.NewServer(New(Config{MaxInFlight: 4, MaxQueue: 64, QueueTimeout: 30 * time.Second}))
+	defer ts.Close()
+	var queries []query
+	for _, g := range graphs {
+		for _, algo := range algos {
+			want, err := maskedspgemm.Multiply(g.PatternView(), g, g, mustAlgo(t, algo))
+			if err != nil {
+				t.Fatal(err)
+			}
+			queries = append(queries, query{
+				body: encodeSerial(t, g),
+				url:  fmt.Sprintf("%s/v1/multiply?algorithm=%s&format=summary", ts.URL, algo),
+				want: summarize(want),
+			})
+		}
+	}
+	const workers = 8
+	const rounds = 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				q := queries[(worker+r)%len(queries)]
+				resp, body := post(t, ts.Client(), q.url, q.body, nil)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("worker %d: status %d: %s", worker, resp.StatusCode, body)
+					return
+				}
+				var got resultSummary
+				if err := json.Unmarshal(body, &got); err != nil {
+					t.Error(err)
+					return
+				}
+				if got != q.want {
+					t.Errorf("worker %d: summary %+v, want %+v", worker, got, q.want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := getStats(t, ts.Client(), ts.URL)
+	if st.Session.Cache.Hits == 0 {
+		t.Fatal("recurring traffic produced no cache hits")
+	}
+	if lookups := st.Session.Cache.Hits + st.Session.Cache.Misses; lookups != workers*rounds {
+		t.Fatalf("cache saw %d lookups, want %d", lookups, workers*rounds)
+	}
+}
+
+// mustAlgo resolves a query-parameter algorithm name to a facade
+// option, failing the test on registry drift.
+func mustAlgo(t testing.TB, name string) maskedspgemm.Option {
+	t.Helper()
+	a, ok := algorithmByName(name)
+	if !ok {
+		t.Fatalf("algorithm %q missing from registry", name)
+	}
+	return maskedspgemm.WithAlgorithm(a)
+}

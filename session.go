@@ -38,6 +38,9 @@ type arith = semiring.PlusTimes[float64]
 type Session struct {
 	cache *core.PlanCache[float64, arith]
 	pool  *core.ExecutorPool[float64, arith]
+	// onMiss holds the observers installed via WithMissObserver, each
+	// called after every plan-cache miss that planned successfully.
+	onMiss []func(PlanMiss)
 
 	schedMu sync.Mutex
 	sched   parallel.SchedSummary
@@ -51,6 +54,41 @@ type sessionConfig struct {
 	cacheEntries int
 	cacheBytes   int64
 	maxIdle      int
+	onMiss       []func(PlanMiss)
+}
+
+// PlanMiss describes one plan-cache miss a session observed: a request
+// whose operand structure (under its plan-affecting options) had not
+// been planned before. A serving layer can aggregate these — which
+// structures keep missing, whether warming covered the live traffic —
+// and feed a warm-by-prediction loop that pre-plans recurring shapes.
+type PlanMiss struct {
+	// MaskFingerprint, AFingerprint, BFingerprint are the structural
+	// fingerprints of the missed operands (sparse.Pattern.Fingerprint) —
+	// the same identities the plan cache keys on.
+	MaskFingerprint, AFingerprint, BFingerprint uint64
+	// Scheme is the plan's scheme name ("MSA-1P" style, as in the
+	// paper's figures).
+	Scheme string
+	// Complement reports whether the missed request used a complemented
+	// mask.
+	Complement bool
+	// Warm reports whether the miss came from Warm rather than Multiply:
+	// warming misses are expected (they are the point of warming), serve
+	// misses are the signal worth predicting away.
+	Warm bool
+}
+
+// WithMissObserver installs f as a plan-miss observer: it is called
+// synchronously after every cache miss that planned successfully, from
+// the goroutine that issued the Multiply or Warm. The option may be
+// given more than once; observers run in installation order. Keep them
+// fast and non-blocking; they must not call back into the session.
+// Every lookup not answered from the cache reports a miss, including
+// requests that coalesced onto another goroutine's in-flight planning —
+// observers see demand, not planning work.
+func WithMissObserver(f func(PlanMiss)) SessionOption {
+	return func(c *sessionConfig) { c.onMiss = append(c.onMiss, f) }
 }
 
 // WithPlanCacheEntries bounds the number of cached plans (default
@@ -84,29 +122,73 @@ func NewSession(opts ...SessionOption) *Session {
 	}
 	sr := arith{}
 	return &Session{
-		cache: core.NewPlanCache[float64](sr, cfg.cacheEntries, cfg.cacheBytes),
-		pool:  core.NewExecutorPool[float64](sr, cfg.maxIdle),
+		cache:  core.NewPlanCache[float64](sr, cfg.cacheEntries, cfg.cacheBytes),
+		pool:   core.NewExecutorPool[float64](sr, cfg.maxIdle),
+		onMiss: cfg.onMiss,
+	}
+}
+
+// observeMiss reports a plan-cache miss to the installed observer. The
+// fingerprint recomputation is cheap relative to the planning the miss
+// just paid for, and hits — the steady state — never reach here.
+func (s *Session) observeMiss(mask *Pattern, a, b *Matrix, o core.Options, warm bool) {
+	if len(s.onMiss) == 0 {
+		return
+	}
+	ev := PlanMiss{
+		MaskFingerprint: mask.Fingerprint(),
+		Scheme:          o.SchemeName(),
+		Complement:      o.Complement,
+		Warm:            warm,
+	}
+	if &a.Pattern == mask {
+		ev.AFingerprint = ev.MaskFingerprint
+	} else {
+		ev.AFingerprint = a.Pattern.Fingerprint()
+	}
+	switch {
+	case &b.Pattern == mask:
+		ev.BFingerprint = ev.MaskFingerprint
+	case &b.Pattern == &a.Pattern:
+		ev.BFingerprint = ev.AFingerprint
+	default:
+		ev.BFingerprint = b.Pattern.Fingerprint()
+	}
+	for _, f := range s.onMiss {
+		f(ev)
 	}
 }
 
 // Multiply computes C = M ⊙ (A·B) like the package-level Multiply, but
 // through the session's plan cache and executor pool: a product whose
-// operand structure (and options) recur pays only the numeric work.
-// Safe for concurrent use.
+// operand structure (and plan-affecting options) recur pays only the
+// numeric work. Execution-only options never fragment the cache:
+// WithSchedStats is honored per execution against the shared plan, so
+// a structure warmed without telemetry still hits when requested with
+// it. Safe for concurrent use.
 //
 // WithReuseOutput is ignored here — the result must outlive the pooled
 // executor that produced it, so outputs are always freshly allocated.
 func (s *Session) Multiply(mask *Pattern, a, b *Matrix, opts ...Option) (*Matrix, error) {
 	o := buildOptions(opts)
-	o.ReuseOutput = false
-	plan, err := s.cache.GetOrPlan(mask, a, b, o)
+	plan, hit, err := s.cache.GetOrPlanObserved(mask, a, b, o)
 	if err != nil {
 		return nil, err
 	}
+	if !hit {
+		s.observeMiss(mask, a, b, o, false)
+	}
 	exec := s.pool.Get()
 	defer s.pool.Put(exec)
-	out, err := plan.ExecuteOn(exec, a, b)
-	if err == nil && o.CollectSchedStats {
+	// ReuseOutput stays off: the result must outlive the pooled executor.
+	eo := core.ExecOptions{CollectSchedStats: o.CollectSchedStats}
+	out, err := plan.ExecuteOnOpts(exec, a, b, eo)
+	if eo.CollectSchedStats {
+		// Record telemetry even when the execution errored: dashboards
+		// must see the passes that misbehaved, not only the clean ones.
+		// ExecuteOnOpts resets the stats before anything can fail, so an
+		// errored pass reads as empty rather than replaying the previous
+		// execution's record.
 		st := exec.SchedStats()
 		s.schedMu.Lock()
 		s.sched.Record(st)
@@ -117,12 +199,19 @@ func (s *Session) Multiply(mask *Pattern, a, b *Matrix, opts ...Option) (*Matrix
 
 // Warm plans (or confirms a cached plan for) the given structure
 // without executing, so a server can pre-populate its cache at startup
-// and keep first-request latency flat.
+// and keep first-request latency flat. Warming is keyed like serving:
+// execution-only options are normalized out, so a warmed structure hits
+// for any telemetry or output-ownership choice a later request makes.
 func (s *Session) Warm(mask *Pattern, a, b *Matrix, opts ...Option) error {
 	o := buildOptions(opts)
-	o.ReuseOutput = false
-	_, err := s.cache.GetOrPlan(mask, a, b, o)
-	return err
+	_, hit, err := s.cache.GetOrPlanObserved(mask, a, b, o)
+	if err != nil {
+		return err
+	}
+	if !hit {
+		s.observeMiss(mask, a, b, o, true)
+	}
+	return nil
 }
 
 // CacheStats re-exports the plan cache counters (see SessionStats).

@@ -255,3 +255,95 @@ func TestSessionScheduleOption(t *testing.T) {
 		t.Errorf("schedules should be distinct cache entries, got %d", st.Entries)
 	}
 }
+
+// TestSessionWarmThenSchedStatsHits is the headline serving regression
+// for plan-key normalization: warming without telemetry and then
+// multiplying with WithSchedStats must hit the warmed plan — and still
+// collect the requested telemetry per execution. Before execution-only
+// options were normalized out of the cache key this was a guaranteed
+// miss, defeating warming exactly where a server needs it.
+func TestSessionWarmThenSchedStatsHits(t *testing.T) {
+	g := ErdosRenyi(128, 8, 15)
+	s := NewSession()
+	if err := s.Warm(g.PatternView(), g, g, WithThreads(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Multiply(g.PatternView(), g, g, WithThreads(2), WithSchedStats()); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Cache.Hits != 1 || st.Cache.Misses != 1 {
+		t.Fatalf("cache = %+v, want Hits == 1, Misses == 1 (warm plants, stats-request hits)", st.Cache)
+	}
+	if st.Sched.Passes != 1 {
+		t.Fatalf("sched passes = %d, want telemetry honored on the shared plan", st.Sched.Passes)
+	}
+	// The reverse order must share the same single entry too.
+	if _, err := s.Multiply(g.PatternView(), g, g, WithThreads(2), WithReuseOutput()); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats().Cache; st.Entries != 1 {
+		t.Fatalf("execution-only options fragmented the cache into %d entries", st.Entries)
+	}
+}
+
+// TestSessionMissObserver checks the warm-by-prediction hook: the
+// observer sees every structure that planned fresh, tagged with its
+// origin (warm vs serve), and hits stay silent.
+func TestSessionMissObserver(t *testing.T) {
+	var (
+		mu     sync.Mutex
+		misses []PlanMiss
+	)
+	s := NewSession(WithMissObserver(func(ev PlanMiss) {
+		mu.Lock()
+		misses = append(misses, ev)
+		mu.Unlock()
+	}))
+	g := ErdosRenyi(96, 6, 16)
+	h := ErdosRenyi(96, 6, 17)
+	if err := s.Warm(g.PatternView(), g, g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Multiply(g.PatternView(), g, g); err != nil { // hit: silent
+		t.Fatal(err)
+	}
+	if _, err := s.Multiply(h.PatternView(), h, h, WithAlgorithm(Hash)); err != nil { // fresh structure
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(misses) != 2 {
+		t.Fatalf("observer saw %d misses, want 2 (one warm, one serve)", len(misses))
+	}
+	if !misses[0].Warm || misses[1].Warm {
+		t.Fatalf("miss origins wrong: %+v", misses)
+	}
+	if misses[0].MaskFingerprint != misses[0].AFingerprint || misses[0].AFingerprint != misses[0].BFingerprint {
+		t.Fatal("self-product miss should share one fingerprint across operands")
+	}
+	if misses[0].MaskFingerprint == misses[1].MaskFingerprint {
+		t.Fatal("distinct structures reported identical fingerprints")
+	}
+	if misses[1].Scheme != "Hash-1P" {
+		t.Fatalf("scheme = %q, want Hash-1P", misses[1].Scheme)
+	}
+}
+
+// TestSessionMissObserversCompose pins that WithMissObserver stacks:
+// the serve front-end adds its own observer on top of any the embedder
+// installed, and both must fire.
+func TestSessionMissObserversCompose(t *testing.T) {
+	var first, second int
+	s := NewSession(
+		WithMissObserver(func(PlanMiss) { first++ }),
+		WithMissObserver(func(PlanMiss) { second++ }),
+	)
+	g := ErdosRenyi(64, 4, 18)
+	if _, err := s.Multiply(g.PatternView(), g, g); err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 || second != 1 {
+		t.Fatalf("observers fired %d/%d times, want 1/1", first, second)
+	}
+}
