@@ -38,7 +38,9 @@ func main() {
 		maxQueue     = flag.Int("max-queue", 0, "queued requests beyond the in-flight bound (0 = 4×max-inflight)")
 		queueTimeout = flag.Duration("queue-timeout", 2*time.Second, "default per-request queue deadline")
 		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
-		maxBody      = flag.Int64("max-body-bytes", 1<<30, "request body size cap")
+		maxBody      = flag.Int64("max-body-bytes", 1<<30, "request body size cap (413 beyond it)")
+		bodyTimeout  = flag.Duration("body-read-timeout", time.Minute, "per-request body upload deadline (408 beyond it)")
+		maxWarm      = flag.Int("max-warm", 0, "concurrent /v1/warm planning bound (0 = default 2)")
 		cacheEntries = flag.Int("cache-entries", 0, "plan-cache entry bound (0 = default 128)")
 		cacheBytes   = flag.Int64("cache-bytes", 0, "plan-cache byte bound (0 = unbounded)")
 		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight work")
@@ -53,14 +55,25 @@ func main() {
 		sopts = append(sopts, maskedspgemm.WithPlanCacheBytes(*cacheBytes))
 	}
 	front := serve.New(serve.Config{
-		MaxInFlight:    *maxInFlight,
-		MaxQueue:       *maxQueue,
-		QueueTimeout:   *queueTimeout,
-		RetryAfter:     *retryAfter,
-		MaxBodyBytes:   *maxBody,
-		SessionOptions: sopts,
+		MaxInFlight:     *maxInFlight,
+		MaxQueue:        *maxQueue,
+		QueueTimeout:    *queueTimeout,
+		RetryAfter:      *retryAfter,
+		MaxBodyBytes:    *maxBody,
+		BodyReadTimeout: *bodyTimeout,
+		MaxWarmInFlight: *maxWarm,
+		SessionOptions:  sopts,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: front}
+	// ReadHeaderTimeout caps header trickling before a request reaches
+	// a handler; body trickling is bounded per request by the serve
+	// package's BodyReadTimeout (a whole-request ReadTimeout would also
+	// clock queue time, mispricing large-but-honest uploads).
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           front,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()

@@ -18,7 +18,8 @@ import (
 //     sized to the executor pool, so steady-state traffic reuses pooled
 //     executors instead of growing new ones);
 //   - at most maxQueue further requests wait for a slot, each bounded
-//     by a per-request deadline;
+//     by a per-request deadline (a zero deadline refuses to queue at
+//     all: now-or-never);
 //   - everything beyond that is shed immediately (HTTP 429 with
 //     Retry-After), and queued requests whose deadline passes are
 //     dropped (503) rather than served stale;
@@ -39,10 +40,9 @@ import (
 type admission struct {
 	// slots holds one token per permitted concurrent execution; a
 	// request owns a slot from acquire to release.
-	slots        chan struct{}
-	maxInFlight  int
-	maxQueue     int
-	queueTimeout time.Duration
+	slots       chan struct{}
+	maxInFlight int
+	maxQueue    int
 
 	mu       sync.Mutex
 	queued   int  // requests currently waiting for a slot
@@ -88,15 +88,13 @@ const (
 )
 
 // newAdmission sizes the front door: maxInFlight concurrent
-// executions, maxQueue waiters, queueTimeout as the default per-request
-// queue deadline.
-func newAdmission(maxInFlight, maxQueue int, queueTimeout time.Duration) *admission {
+// executions, maxQueue waiters.
+func newAdmission(maxInFlight, maxQueue int) *admission {
 	a := &admission{
-		slots:        make(chan struct{}, maxInFlight),
-		maxInFlight:  maxInFlight,
-		maxQueue:     maxQueue,
-		queueTimeout: queueTimeout,
-		drainCh:      make(chan struct{}),
+		slots:       make(chan struct{}, maxInFlight),
+		maxInFlight: maxInFlight,
+		maxQueue:    maxQueue,
+		drainCh:     make(chan struct{}),
 	}
 	for i := 0; i < maxInFlight; i++ {
 		a.slots <- struct{}{}
@@ -105,12 +103,11 @@ func newAdmission(maxInFlight, maxQueue int, queueTimeout time.Duration) *admiss
 }
 
 // acquire runs one request through the admission state machine. wait
-// bounds the time spent queued (<= 0 means the configured default).
-// On admitted the caller owns a slot and must release() exactly once.
+// bounds the time spent queued; wait <= 0 means the request refuses to
+// queue — it is admitted only if a slot is free right now, shed
+// otherwise. On admitted the caller owns a slot and must release()
+// exactly once.
 func (a *admission) acquire(ctx context.Context, wait time.Duration) admitOutcome {
-	if wait <= 0 {
-		wait = a.queueTimeout
-	}
 	a.mu.Lock()
 	if a.draining {
 		a.c.rejectedDrain++
@@ -127,7 +124,7 @@ func (a *admission) acquire(ctx context.Context, wait time.Duration) admitOutcom
 		return admitted
 	default:
 	}
-	if a.queued >= a.maxQueue {
+	if wait <= 0 || a.queued >= a.maxQueue {
 		a.c.shed++
 		a.mu.Unlock()
 		return admitShed

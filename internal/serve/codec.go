@@ -7,6 +7,8 @@ import (
 	"mime"
 	"mime/multipart"
 	"net/http"
+	"runtime"
+	"strconv"
 	"strings"
 
 	maskedspgemm "maskedspgemm"
@@ -108,7 +110,9 @@ func decodeMultipart(mr *multipart.Reader) (*operands, error) {
 
 // parseOptions turns query parameters into facade options; every knob
 // is optional. Recognized: algorithm (scheme name, case-insensitive),
-// phases (1|2), complement (bool), sched_stats (bool), threads (int).
+// phases (1|2), complement (bool), sched_stats (bool), threads (int,
+// at most GOMAXPROCS — the parameter picks a width within the host's
+// parallelism, it must not size allocations).
 func parseOptions(r *http.Request) ([]maskedspgemm.Option, error) {
 	q := r.URL.Query()
 	var opts []maskedspgemm.Option
@@ -133,9 +137,16 @@ func parseOptions(r *http.Request) ([]maskedspgemm.Option, error) {
 		opts = append(opts, maskedspgemm.WithSchedStats())
 	}
 	if t := q.Get("threads"); t != "" {
-		var n int
-		if _, err := fmt.Sscanf(t, "%d", &n); err != nil || n < 1 {
+		n, err := strconv.Atoi(t)
+		if err != nil || n < 1 {
 			return nil, fmt.Errorf("serve: threads must be a positive integer, got %q", t)
+		}
+		// Clamp hard: worker counts size per-thread scratch allocations
+		// (scheduler state, telemetry), so an unauthenticated
+		// ?threads=1e9 would be a one-request OOM — and every distinct
+		// count is a distinct plan-cache key.
+		if max := runtime.GOMAXPROCS(0); n > max {
+			return nil, fmt.Errorf("serve: threads=%d exceeds this server's parallelism (max %d)", n, max)
 		}
 		opts = append(opts, maskedspgemm.WithThreads(n))
 	}

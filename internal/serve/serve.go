@@ -22,8 +22,11 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -52,8 +55,22 @@ type Config struct {
 	QueueTimeout time.Duration
 	// RetryAfter is the hint attached to 429/503 responses (default 1s).
 	RetryAfter time.Duration
-	// MaxBodyBytes bounds a request body (default 1 GiB).
+	// MaxBodyBytes bounds a request body (default 1 GiB). Bodies over
+	// the cap are rejected with 413.
 	MaxBodyBytes int64
+	// BodyReadTimeout bounds how long one request may spend uploading
+	// its body (default 1 minute). Operands are decoded while the
+	// request holds its execution slot — that keeps decode concurrency
+	// bounded by MaxInFlight — so without this deadline a slow-trickling
+	// client would hold a slot for the duration of its upload; with it,
+	// the slot is reclaimed and the client gets 408.
+	BodyReadTimeout time.Duration
+	// MaxWarmInFlight bounds concurrent /v1/warm requests (default 2).
+	// Warming bypasses the execution semaphore — it only plans — but
+	// planning distinct structures is real CPU work, so it gets its own
+	// small bound; warms that cannot start within QueueTimeout are shed
+	// with 429.
+	MaxWarmInFlight int
 	// SessionOptions configures the session the server constructs
 	// (cache bounds, executor-pool bound). The server installs its own
 	// miss observer in addition — observers compose, so a caller-
@@ -78,6 +95,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 30
 	}
+	if c.BodyReadTimeout <= 0 {
+		c.BodyReadTimeout = time.Minute
+	}
+	if c.MaxWarmInFlight <= 0 {
+		c.MaxWarmInFlight = 2
+	}
 	return c
 }
 
@@ -90,10 +113,17 @@ type Server struct {
 	misses  *missLog
 	mux     *http.ServeMux
 
+	// warmGate is the planning semaphore /v1/warm requests hold: one
+	// token per permitted concurrent warm (MaxWarmInFlight).
+	warmGate chan struct{}
+
 	// execGate, when non-nil, is invoked while an admitted request
 	// holds its execution slot — a test seam for observing (and
 	// widening) the concurrency window.
 	execGate func()
+	// planGate, when non-nil, is invoked while a warm request holds its
+	// warmGate token — the analogous seam for the planning window.
+	planGate func()
 }
 
 // New builds a Server and its Session from cfg.
@@ -108,10 +138,11 @@ func New(cfg Config) *Server {
 	}, cfg.SessionOptions...)
 	sopts = append(sopts, maskedspgemm.WithMissObserver(misses.observe))
 	s := &Server{
-		cfg:     cfg,
-		session: maskedspgemm.NewSession(sopts...),
-		adm:     newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueTimeout),
-		misses:  misses,
+		cfg:      cfg,
+		session:  maskedspgemm.NewSession(sopts...),
+		adm:      newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		misses:   misses,
+		warmGate: make(chan struct{}, cfg.MaxWarmInFlight),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/multiply", s.handleMultiply)
@@ -182,9 +213,13 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	if s.execGate != nil {
 		s.execGate()
 	}
-	ops, err := s.readOperands(w, r)
+	// The body is decoded while holding the slot — deliberately, so at
+	// most MaxInFlight bodies are ever in memory at once — but under
+	// BodyReadTimeout, so a slow-trickling upload surrenders the slot at
+	// the deadline (408) instead of starving the queue.
+	ops, status, err := s.readOperands(w, r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		httpError(w, status, err.Error())
 		return
 	}
 	out, err := s.session.Multiply(ops.mask, ops.a, ops.b, opts...)
@@ -196,11 +231,15 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleWarm plans without executing. Warming bypasses the execution
-// semaphore — it touches only the plan cache (planning bursts coalesce
-// via singleflight), never the executor pool the semaphore protects —
-// so a deploy can pre-plan its corpus while traffic is being served.
-// It still honors drain: planning into a cache that is about to be
-// discarded only delays shutdown.
+// semaphore — it touches only the plan cache, never the executor pool
+// the semaphore protects — so a deploy can pre-plan its corpus while
+// traffic is being served. But singleflight only coalesces *identical*
+// structures, and planning a distinct structure is real analysis CPU,
+// so warms hold their own small semaphore (MaxWarmInFlight): the
+// bounded-concurrency guarantee covers the planner too, and a burst of
+// distinct-structure warms queues up to QueueTimeout then sheds with
+// 429. Warming still honors drain: planning into a cache that is about
+// to be discarded only delays shutdown.
 func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
@@ -215,9 +254,34 @@ func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	ops, err := s.readOperands(w, r)
+	timer := time.NewTimer(s.cfg.QueueTimeout)
+	defer timer.Stop()
+	select {
+	case s.warmGate <- struct{}{}:
+		defer func() { <-s.warmGate }()
+	case <-timer.C:
+		s.retryAfter(w)
+		httpError(w, http.StatusTooManyRequests, "warm concurrency limit reached; retry later")
+		return
+	case <-s.adm.drainCh:
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	case <-r.Context().Done():
+		return
+	}
+	if s.planGate != nil {
+		s.planGate()
+	}
+	// Re-check after winning the token: a warm that raced a free token
+	// against the drain signal must not start planning (the same
+	// post-select re-check admission.acquire does for multiplies).
+	if s.adm.stats().Draining {
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	ops, status, err := s.readOperands(w, r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		httpError(w, status, err.Error())
 		return
 	}
 	if err := s.session.Warm(ops.mask, ops.a, ops.b, opts...); err != nil {
@@ -335,10 +399,69 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// readOperands decodes the request body under the configured size cap.
-func (s *Server) readOperands(w http.ResponseWriter, r *http.Request) (*operands, error) {
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	return decodeOperands(r)
+// readOperands decodes the request body under the configured size cap
+// (over it → 413) and read deadline (a body still trickling in at
+// BodyReadTimeout → 408, and the slot or warm token the caller holds
+// frees). On failure the returned status is the HTTP code the caller
+// should answer with.
+func (s *Server) readOperands(w http.ResponseWriter, r *http.Request) (*operands, int, error) {
+	rc := http.NewResponseController(w)
+	// SetReadDeadline is unsupported on some wrapped writers; a request
+	// that can't be deadlined still gets the size cap.
+	deadlined := rc.SetReadDeadline(time.Now().Add(s.cfg.BodyReadTimeout)) == nil
+	// The tracker remembers the transport-level read failure (cap
+	// tripped, deadline expired) independently of the decode error:
+	// the decoders see truncated input and may report the resulting
+	// parse confusion without wrapping the cause.
+	body := &trackedBody{ReadCloser: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)}
+	r.Body = body
+	ops, err := decodeOperands(r)
+	if err != nil {
+		return nil, operandStatus(err, body.readErr), err
+	}
+	if deadlined {
+		// Decoded fully: stop the deadline from bleeding into the next
+		// request on this kept-alive connection. On error the deadline
+		// deliberately stays armed — net/http drains the unread body
+		// after the handler returns, and that drain must time out too,
+		// or a stalled upload would block the error response itself.
+		_ = rc.SetReadDeadline(time.Time{})
+	}
+	return ops, http.StatusOK, nil
+}
+
+// trackedBody records the first non-EOF error a body read surfaces.
+type trackedBody struct {
+	io.ReadCloser
+	readErr error
+}
+
+// Read delegates and remembers the first real failure.
+func (b *trackedBody) Read(p []byte) (int, error) {
+	n, err := b.ReadCloser.Read(p)
+	if err != nil && err != io.EOF && b.readErr == nil {
+		b.readErr = err
+	}
+	return n, err
+}
+
+// operandStatus maps a body-decode failure to its HTTP status,
+// consulting both the decoder's error and the underlying read error:
+// the size cap surfaces as 413 (so clients learn the limit exists), an
+// expired read deadline as 408, anything else — a malformed body — as
+// 400.
+func operandStatus(decodeErr, readErr error) int {
+	var tooBig *http.MaxBytesError
+	for _, err := range []error{decodeErr, readErr} {
+		switch {
+		case err == nil:
+		case errors.As(err, &tooBig):
+			return http.StatusRequestEntityTooLarge
+		case errors.Is(err, os.ErrDeadlineExceeded):
+			return http.StatusRequestTimeout
+		}
+	}
+	return http.StatusBadRequest
 }
 
 // writeResult encodes a product in the requested format: MSPG binary
@@ -371,7 +494,9 @@ func (s *Server) retryAfter(w http.ResponseWriter) {
 // queueDeadline resolves the per-request queue deadline: the
 // X-Queue-Deadline-Ms header when present (capped at the server
 // default — a client may ask for less patience, not more), else the
-// server default.
+// server default. An explicit 0 means exactly what it says — no
+// patience: the request is served only if a slot is free right now,
+// and shed (429) instead of queued otherwise.
 func queueDeadline(r *http.Request, def time.Duration) (time.Duration, error) {
 	h := r.Header.Get("X-Queue-Deadline-Ms")
 	if h == "" {
@@ -382,7 +507,7 @@ func queueDeadline(r *http.Request, def time.Duration) (time.Duration, error) {
 		return 0, fmt.Errorf("serve: X-Queue-Deadline-Ms must be a non-negative integer, got %q", h)
 	}
 	d := time.Duration(ms) * time.Millisecond
-	if d == 0 || d > def {
+	if d > def {
 		return def, nil
 	}
 	return d, nil

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"mime/multipart"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -82,7 +83,7 @@ func getStats(t testing.TB, client *http.Client, base string) statsResponse {
 // TestAdmissionStateMachine unit-tests the front door: capacity,
 // queueing, shedding, deadline expiry, and cancellation.
 func TestAdmissionStateMachine(t *testing.T) {
-	a := newAdmission(2, 1, time.Minute)
+	a := newAdmission(2, 1)
 	ctx := context.Background()
 
 	if got := a.acquire(ctx, 0); got != admitted {
@@ -112,6 +113,12 @@ func TestAdmissionStateMachine(t *testing.T) {
 		t.Fatalf("deadline request: got %v, want expired", got)
 	}
 
+	// A zero deadline is now-or-never: with slots full but the queue
+	// empty, the request is shed instead of queued.
+	if got := a.acquire(ctx, 0); got != admitShed {
+		t.Fatalf("zero-deadline request: got %v, want shed", got)
+	}
+
 	// A queued request whose context ends is dropped as canceled.
 	cctx, cancel := context.WithCancel(ctx)
 	outcomeCh := make(chan admitOutcome, 1)
@@ -123,7 +130,7 @@ func TestAdmissionStateMachine(t *testing.T) {
 	}
 
 	st := a.stats()
-	if st.Admitted != 3 || st.Shed != 1 || st.DeadlineExpired != 1 || st.Canceled != 1 {
+	if st.Admitted != 3 || st.Shed != 2 || st.DeadlineExpired != 1 || st.Canceled != 1 {
 		t.Fatalf("counters = %+v", st)
 	}
 }
@@ -132,7 +139,7 @@ func TestAdmissionStateMachine(t *testing.T) {
 // in-flight work finishes, the drain channel closes only after the last
 // release, and later arrivals bounce immediately.
 func TestAdmissionDrain(t *testing.T) {
-	a := newAdmission(1, 4, time.Minute)
+	a := newAdmission(1, 4)
 	ctx := context.Background()
 	if got := a.acquire(ctx, 0); got != admitted {
 		t.Fatal(got)
@@ -281,7 +288,13 @@ func TestServeWarmThenMultiplyHits(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("warm: status %d: %s", resp.StatusCode, out)
 	}
-	resp, out = post(t, ts.Client(), ts.URL+"/v1/multiply?algorithm=msa&sched_stats=1&threads=2", body, nil)
+	murl := ts.URL + "/v1/multiply?algorithm=msa&sched_stats=1"
+	if runtime.GOMAXPROCS(0) > 1 {
+		// threads is clamped to the host's parallelism; only widen where
+		// the host allows it.
+		murl += "&threads=2"
+	}
+	resp, out = post(t, ts.Client(), murl, body, nil)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("multiply: status %d: %s", resp.StatusCode, out)
 	}
@@ -460,6 +473,18 @@ func TestServeBadRequests(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("junk body: %d", resp.StatusCode)
 	}
+	// threads is clamped to the host's parallelism: a giant value must
+	// be a 400, not a per-thread allocation storm (and not a fresh
+	// plan-cache key per count).
+	resp, body := post(t, ts.Client(), ts.URL+"/v1/multiply?threads=1000000000", encodeSerial(t, g), nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized threads: %d: %s", resp.StatusCode, body)
+	}
+	// Trailing garbage no longer parses (Sscanf would have taken "2x" as 2).
+	resp, _ = post(t, ts.Client(), ts.URL+"/v1/multiply?threads=2x", encodeSerial(t, g), nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed threads: %d", resp.StatusCode)
+	}
 	hresp, err := ts.Client().Get(ts.URL + "/v1/multiply")
 	if err != nil {
 		t.Fatal(err)
@@ -481,13 +506,163 @@ func TestServeBadRequests(t *testing.T) {
 		fw.Write(part.data)
 	}
 	mw.Close()
-	resp, body := post(t, ts.Client(), ts.URL+"/v1/multiply", mbody.Bytes(),
+	resp, body = post(t, ts.Client(), ts.URL+"/v1/multiply", mbody.Bytes(),
 		map[string]string{"Content-Type": mw.FormDataContentType()})
 	if resp.StatusCode != http.StatusUnprocessableEntity {
 		t.Fatalf("shape mismatch: %d: %s", resp.StatusCode, body)
 	}
 	if !strings.Contains(string(body), "mask is") {
 		t.Fatalf("shape mismatch error lost: %s", body)
+	}
+}
+
+// TestServeBodyTooLarge pins the size-cap status: a body over
+// MaxBodyBytes is 413 Content Too Large on both endpoints, not a
+// generic 400 that hides the cap from clients.
+func TestServeBodyTooLarge(t *testing.T) {
+	ts := httptest.NewServer(New(Config{MaxBodyBytes: 64}))
+	defer ts.Close()
+	g := maskedspgemm.ErdosRenyi(64, 4, 48)
+	// Both wire formats: the Matrix Market decoder reports truncation as
+	// a parse error without wrapping the cause, so the 413 must come
+	// from the tracked transport error, not the decoder's message.
+	for name, body := range map[string][]byte{"serial": encodeSerial(t, g), "mtx": encodeMTX(t, g)} {
+		if len(body) <= 64 {
+			t.Fatalf("%s test body must exceed the 64-byte cap, got %d bytes", name, len(body))
+		}
+		for _, ep := range []string{"/v1/multiply", "/v1/warm"} {
+			resp, out := post(t, ts.Client(), ts.URL+ep, body, nil)
+			if resp.StatusCode != http.StatusRequestEntityTooLarge {
+				t.Fatalf("%s %s oversized body: status %d: %s", name, ep, resp.StatusCode, out)
+			}
+		}
+	}
+}
+
+// TestServeZeroQueueDeadline pins the now-or-never contract: an
+// explicit X-Queue-Deadline-Ms: 0 with every slot busy is shed with
+// 429 immediately — even with queue room free — rather than coerced to
+// the server's default patience.
+func TestServeZeroQueueDeadline(t *testing.T) {
+	srv := New(Config{MaxInFlight: 1, MaxQueue: 4, QueueTimeout: 30 * time.Second})
+	gate := make(chan struct{})
+	srv.execGate = func() { <-gate }
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	body := encodeSerial(t, maskedspgemm.ErdosRenyi(64, 4, 49))
+
+	done := make(chan int, 1)
+	go func() {
+		resp, _ := post(t, ts.Client(), ts.URL+"/v1/multiply", body, nil)
+		done <- resp.StatusCode
+	}()
+	waitFor(t, func() bool { return srv.adm.stats().InFlight == 1 })
+
+	resp, out := post(t, ts.Client(), ts.URL+"/v1/multiply", body,
+		map[string]string{"X-Queue-Deadline-Ms": "0"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("zero-deadline request: status %d: %s (want immediate 429)", resp.StatusCode, out)
+	}
+	if st := srv.adm.stats(); st.Shed != 1 || st.QueueDepth != 0 {
+		t.Fatalf("admission stats = %+v, want one shed and nothing queued", st)
+	}
+	close(gate)
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("slot-holding request: status %d", code)
+	}
+}
+
+// TestServeWarmBounded pins the planning bound: /v1/warm no longer
+// bypasses admission wholesale — at most MaxWarmInFlight warms plan
+// concurrently, and a warm that cannot start within QueueTimeout is
+// shed with 429 + Retry-After.
+func TestServeWarmBounded(t *testing.T) {
+	srv := New(Config{MaxWarmInFlight: 1, QueueTimeout: 30 * time.Millisecond})
+	gate := make(chan struct{})
+	srv.planGate = func() { <-gate }
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	body := encodeSerial(t, maskedspgemm.ErdosRenyi(64, 4, 52))
+
+	done := make(chan int, 1)
+	go func() {
+		resp, _ := post(t, ts.Client(), ts.URL+"/v1/warm", body, nil)
+		done <- resp.StatusCode
+	}()
+	waitFor(t, func() bool { return len(srv.warmGate) == 1 })
+
+	resp, out := post(t, ts.Client(), ts.URL+"/v1/warm", body, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second warm: status %d: %s (want 429 at the planning bound)", resp.StatusCode, out)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed warm missing Retry-After")
+	}
+	close(gate)
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("gated warm: status %d", code)
+	}
+}
+
+// TestServeWarmDrainRace pins the post-token drain re-check: a warm
+// that wins its warmGate token concurrently with Drain beginning must
+// be rejected with 503 before it starts reading or planning, not
+// silently plan into a cache that is being discarded.
+func TestServeWarmDrainRace(t *testing.T) {
+	srv := New(Config{MaxWarmInFlight: 1})
+	gate := make(chan struct{})
+	srv.planGate = func() { <-gate }
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	body := encodeSerial(t, maskedspgemm.ErdosRenyi(64, 4, 54))
+
+	done := make(chan int, 1)
+	go func() {
+		resp, _ := post(t, ts.Client(), ts.URL+"/v1/warm", body, nil)
+		done <- resp.StatusCode
+	}()
+	// The warm holds its token and is paused just before the re-check;
+	// drain begins, then the warm resumes.
+	waitFor(t, func() bool { return len(srv.warmGate) == 1 })
+	srv.Drain()
+	close(gate)
+	if code := <-done; code != http.StatusServiceUnavailable {
+		t.Fatalf("warm that raced drain: status %d, want 503", code)
+	}
+}
+
+// TestServeSlowBodyTimeout pins the slot-starvation fix: a client that
+// sends headers and then trickles its body cannot hold an execution
+// slot past BodyReadTimeout — the read deadline fires, the request
+// gets 408, and the slot frees for the waiting request.
+func TestServeSlowBodyTimeout(t *testing.T) {
+	srv := New(Config{MaxInFlight: 1, BodyReadTimeout: 100 * time.Millisecond})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Headers complete, body stalls after the format sniff bytes.
+	fmt.Fprintf(conn, "POST /v1/multiply HTTP/1.1\r\nHost: x\r\nContent-Length: 100000\r\n\r\nMSPG")
+	reply := make([]byte, 64)
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := conn.Read(reply)
+	if err != nil {
+		t.Fatalf("no response to the stalled upload: %v", err)
+	}
+	if line := string(reply[:n]); !strings.Contains(line, "408") {
+		t.Fatalf("stalled upload answered %q, want 408", line)
+	}
+	// The slot freed: a healthy request is served.
+	g := maskedspgemm.ErdosRenyi(64, 4, 53)
+	resp, out := post(t, ts.Client(), ts.URL+"/v1/multiply?format=summary", encodeSerial(t, g), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after stalled upload: status %d: %s", resp.StatusCode, out)
 	}
 }
 
