@@ -462,6 +462,58 @@ func BenchmarkHybridMix(b *testing.B) {
 	}
 }
 
+// BenchmarkBitmapMix — the MaskedBit bitmap-state accumulator
+// (DESIGN.md §12) against the byte-state MSA and the Hybrid menu with
+// and without it. The dense-mask workload (mask degree n/4 over
+// edge-factor-8 inputs) is walk-dominated — the class MaskedBit's
+// 8x-smaller state traffic targets; the density sweep checks the
+// Hybrid selector only binds MaskedBit where it wins. `mspgemm-bench
+// bitmap` runs the same comparison with a best-of-reps harness and
+// emits BENCH_bitmap.json, which CI gates on.
+func BenchmarkBitmapMix(b *testing.B) {
+	sr := semiring.PlusTimes[float64]{}
+	const scale, ef = 12, 8
+	n := 1 << scale
+	g := gen.Symmetrize(gen.ErdosRenyi(n, ef, 11))
+	workloads := []struct {
+		name string
+		mask *sparse.Pattern
+	}{
+		{"dense-mask", gen.ErdosRenyiPattern(n, n/4, 13)},
+		{"density-sweep", bench.BandedMask(n, bench.SweepDensities, 14)},
+		{"uniform-sparse", gen.ErdosRenyiPattern(n, 2, 15)},
+	}
+	schemes := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"MSA", core.Options{Algorithm: core.AlgoMSA, ReuseOutput: true}},
+		{"MaskedBit", core.Options{Algorithm: core.AlgoMaskedBit, ReuseOutput: true}},
+		{"Hybrid", core.Options{Algorithm: core.AlgoHybrid, ReuseOutput: true}},
+		{"Hybrid-noMaskedBit", core.Options{
+			Algorithm:      core.AlgoHybrid,
+			HybridFamilies: core.Families(core.FamMSA, core.FamHash, core.FamMCA, core.FamHeap, core.FamPull),
+			ReuseOutput:    true,
+		}},
+	}
+	for _, wl := range workloads {
+		for _, sc := range schemes {
+			plan, err := core.NewPlan(sr, wl.mask, g, g, sc.opt, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(wl.name+"/"+sc.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := plan.Execute(g, g); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkBFSDirection — push vs pull vs direction-optimized BFS
 // (§4's motivating application for masking).
 func BenchmarkBFSDirection(b *testing.B) {

@@ -42,7 +42,7 @@ func main() {
 		rmat      = flag.Int("rmat", 12, "generate a symmetric R-MAT graph of this scale")
 		ef        = flag.Int("ef", 16, "R-MAT edge factor")
 		seed      = flag.Uint64("seed", 1, "generator seed")
-		algo      = flag.String("algo", "msa", "algorithm: msa, hash, mca, heap, heapdot, inner, hybrid, saxpy, dot")
+		algo      = flag.String("algo", "msa", "algorithm: msa, hash, mca, heap, heapdot, inner, maskedbit, hybrid, saxpy, dot")
 		twoPhase  = flag.Bool("two-phase", false, "use the symbolic+numeric strategy")
 		threads   = flag.Int("threads", 0, "worker goroutines (0 = GOMAXPROCS)")
 		k         = flag.Int("k", 5, "k-truss order")
@@ -167,6 +167,8 @@ func parseOptions(algo string, twoPhase bool, threads int) (core.Options, error)
 		opt.Algorithm = core.AlgoHeapDot
 	case "inner":
 		opt.Algorithm = core.AlgoInner
+	case "maskedbit":
+		opt.Algorithm = core.AlgoMaskedBit
 	case "hybrid":
 		opt.Algorithm = core.AlgoHybrid
 	case "saxpy":

@@ -3,13 +3,14 @@
 // experiment of DESIGN.md §9 and the per-row poly-algorithm
 // experiment of DESIGN.md §10. Each figure is a subcommand; "all"
 // runs everything at the default (CI-scale) sizes; "sched" runs the
-// scheduling sweep (BENCH_sched.json) and "hybridmix" the
-// mask-density mixed-binding sweep (BENCH_hybridmix.json) for the
-// perf trajectory.
+// scheduling sweep (BENCH_sched.json), "hybridmix" the mask-density
+// mixed-binding sweep (BENCH_hybridmix.json), and "bitmap" the
+// MaskedBit accumulator experiment (BENCH_bitmap.json) for the perf
+// trajectory.
 //
 // Usage:
 //
-//	mspgemm-bench [flags] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|sched|hybridmix|all
+//	mspgemm-bench [flags] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|sched|hybridmix|bitmap|all
 //
 // Flags:
 //
@@ -21,6 +22,7 @@
 //	-ktruss N         truss order k (default 5)
 //	-sched-out F      where "sched" writes its JSON (default BENCH_sched.json)
 //	-hybridmix-out F  where "hybridmix" writes its JSON (default BENCH_hybridmix.json)
+//	-bitmap-out F     where "bitmap" writes its JSON (default BENCH_bitmap.json)
 //	-selftest         cross-check all schemes before benchmarking
 package main
 
@@ -44,11 +46,12 @@ func main() {
 		ktrussK  = flag.Int("ktruss", 5, "k-truss order")
 		schedOut = flag.String("sched-out", "BENCH_sched.json", "output path for the sched subcommand's JSON")
 		mixOut   = flag.String("hybridmix-out", "BENCH_hybridmix.json", "output path for the hybridmix subcommand's JSON")
+		bitOut   = flag.String("bitmap-out", "BENCH_bitmap.json", "output path for the bitmap subcommand's JSON")
 		selftest = flag.Bool("selftest", false, "run the cross-scheme self-test first")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mspgemm-bench [flags] fig7|...|fig16|sched|hybridmix|all")
+		fmt.Fprintln(os.Stderr, "usage: mspgemm-bench [flags] fig7|...|fig16|sched|hybridmix|bitmap|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -68,6 +71,7 @@ func main() {
 		ktrussK:  *ktrussK,
 		schedOut: *schedOut,
 		mixOut:   *mixOut,
+		bitOut:   *bitOut,
 	}
 	figure := flag.Arg(0)
 	var err error
@@ -89,7 +93,7 @@ func main() {
 
 type runner struct {
 	threads, reps, scaleMax, batch, dimExp, ktrussK int
-	schedOut, mixOut                                string
+	schedOut, mixOut, bitOut                        string
 }
 
 // scales returns the R-MAT sweep 8..scaleMax (paper: 8..20).
@@ -267,6 +271,30 @@ func (r runner) run(figure string) error {
 			return err
 		}
 		fmt.Fprintf(w, "wrote %s\n", r.mixOut)
+	case "bitmap":
+		cfg := bench.DefaultBitmapMixConfig()
+		if r.scaleMax < cfg.Scale {
+			cfg.Scale = r.scaleMax
+		}
+		cfg.Reps = r.reps
+		cfg.Threads = r.threads
+		pts, err := bench.RunBitmapMix(cfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteBitmapMix(w, cfg, pts)
+		f, err := os.Create(r.bitOut)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteBitmapMixJSON(f, cfg, pts); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", r.bitOut)
 	default:
 		return fmt.Errorf("unknown figure %q", figure)
 	}

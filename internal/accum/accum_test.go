@@ -24,10 +24,11 @@ type numericAcc interface {
 
 func plainAccumulators(ncols, maxMask int) map[string]numericAcc {
 	return map[string]numericAcc{
-		"MSA":      NewMSA[float64](pt, ncols),
-		"MSAEpoch": NewMSAEpoch[float64](pt, ncols),
-		"Hash":     NewHash[float64](pt, maxMask, 0),
-		"Hash-lf1": NewHash[float64](pt, maxMask, 1.0),
+		"MSA":       NewMSA[float64](pt, ncols),
+		"MSAEpoch":  NewMSAEpoch[float64](pt, ncols),
+		"Hash":      NewHash[float64](pt, maxMask, 0),
+		"Hash-lf1":  NewHash[float64](pt, maxMask, 1.0),
+		"MaskedBit": NewMaskedBit[float64](pt, ncols),
 	}
 }
 
@@ -191,8 +192,9 @@ func TestComplementAccumulatorsQuick(t *testing.T) {
 		EndSymbolic() int
 	}
 	accs := map[string]cAcc{
-		"MSAC":  NewMSAC[float64](pt, 64),
-		"HashC": NewHashC[float64](pt, 16, 0),
+		"MSAC":       NewMSAC[float64](pt, 64),
+		"HashC":      NewHashC[float64](pt, 16, 0),
+		"MaskedBitC": NewMaskedBitC[float64](pt, 64),
 	}
 	for name, acc := range accs {
 		name, acc := name, acc
@@ -333,6 +335,91 @@ func TestHashGrowth(t *testing.T) {
 		if val[i] != float64(i) {
 			t.Fatalf("val[%d] = %v", i, val[i])
 		}
+	}
+}
+
+// TestMaskedBitStateWalk walks the bitmap automaton explicitly: the
+// discard path, the fused-add path, and the post-gather reset.
+func TestMaskedBitStateWalk(t *testing.T) {
+	m := NewMaskedBit[float64](pt, 130) // spans three bitset words
+	mask := []int32{2, 65, 129}
+	m.Begin(mask)
+	m.Insert(3, 10, 10) // not allowed: discarded
+	m.Insert(2, 2, 3)   // first touch: 6
+	m.Insert(2, 1, 4)   // accumulate: 10
+	m.Insert(129, 5, 5) // last word: 25
+	m.Insert(128, 9, 9) // same word, not allowed: discarded
+	idx := make([]int32, 3)
+	val := make([]float64, 3)
+	n := m.Gather(mask, idx, val)
+	if n != 2 || idx[0] != 2 || val[0] != 10 || idx[1] != 129 || val[1] != 25 {
+		t.Fatalf("gather = %d %v %v, want keys 2=10, 129=25", n, idx[:n], val[:n])
+	}
+	// After gather, everything is reset: inserting on key 2 without it
+	// being in the new mask must be discarded.
+	m.Begin([]int32{65})
+	m.Insert(2, 1, 1)
+	if n := m.Gather([]int32{65}, idx, val); n != 0 {
+		t.Fatalf("post-reset gather = %d, want 0", n)
+	}
+}
+
+// TestMaskedBitZeroSum pins pattern fidelity: products that cancel to
+// the numeric zero still count as SET, exactly like the MSA — the
+// emptiness test is the set bit, never the value.
+func TestMaskedBitZeroSum(t *testing.T) {
+	m := NewMaskedBit[float64](pt, 8)
+	mask := []int32{4}
+	m.Begin(mask)
+	m.Insert(4, 2, 3)  // +6
+	m.Insert(4, -2, 3) // −6: sums to 0.0
+	idx := make([]int32, 1)
+	val := make([]float64, 1)
+	if n := m.Gather(mask, idx, val); n != 1 || val[0] != 0 {
+		t.Fatalf("gather = %d %v, want one explicit zero entry", n, val[:n])
+	}
+	// And the accumulator is clean for the next row despite the zero
+	// value having been "re-zeroed" to itself.
+	m.Begin(mask)
+	if n := m.Gather(mask, idx, val); n != 0 {
+		t.Fatalf("next-row gather = %d, want 0", n)
+	}
+}
+
+// TestMaskedBitEnsureColsGrowth grows both variants between rows and
+// checks the fresh region behaves like a clean accumulator.
+func TestMaskedBitEnsureColsGrowth(t *testing.T) {
+	m := NewMaskedBit[float64](pt, 8)
+	mask := []int32{1, 3}
+	m.Begin(mask)
+	m.Insert(1, 2, 2)
+	idx := make([]int32, 4)
+	val := make([]float64, 4)
+	if n := m.Gather(mask, idx, val); n != 1 || idx[0] != 1 || val[0] != 4 {
+		t.Fatalf("pre-growth gather = %d %v %v", n, idx[:n], val[:n])
+	}
+	m.EnsureCols(200) // new words must come up clean
+	wide := []int32{1, 70, 199}
+	m.Begin(wide)
+	m.Insert(199, 3, 3)
+	m.Insert(70, 1, 1)
+	m.Insert(100, 1, 1) // not in mask
+	if n := m.Gather(wide, idx, val); n != 2 || idx[0] != 70 || idx[1] != 199 || val[1] != 9 {
+		t.Fatalf("post-growth gather = %d %v %v", n, idx[:n], val[:n])
+	}
+
+	c := NewMaskedBitC[float64](pt, 8)
+	c.BeginSized(mask, 4)
+	c.Insert(0, 2, 3)
+	if n := c.Gather(idx, val); n != 1 || idx[0] != 0 || val[0] != 6 {
+		t.Fatalf("complement pre-growth gather = %d %v %v", n, idx[:n], val[:n])
+	}
+	c.EnsureCols(200)
+	c.BeginSized(wide, 4)
+	c.Insert(199, 1, 1) // banned
+	c.Insert(150, 2, 2)
+	if n := c.Gather(idx, val); n != 1 || idx[0] != 150 || val[0] != 4 {
+		t.Fatalf("complement post-growth gather = %d %v %v", n, idx[:n], val[:n])
 	}
 }
 

@@ -100,28 +100,53 @@ func (h *Hash[T, S]) sizeFor(n int) {
 	}
 }
 
-// slot probes for key and returns its slot index, or the index of the
-// empty slot where it would be inserted.
-func (h *Hash[T, S]) slot(key int32) int {
-	mask := uint32(h.cap - 1)
-	p := (uint32(key) * hashMultiplier) & mask
+// probe linear-probes keys (a power-of-two-sized table using -1 for
+// empty slots) for key and returns its slot, or the empty slot
+// terminating its chain. A free function over the resliced active
+// region rather than a method: the compiler sees the probe index is
+// masked by len(keys)-1 and (after the len guard) eliminates the
+// bounds check inside the loop, which a h.keys/h.cap formulation
+// defeats.
+func probe(keys []int32, key int32) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	// mask stays an int expression over len(keys) so the prove pass can
+	// see p&mask < len(keys); routing it through uint32 would lose that.
+	mask := len(keys) - 1
+	p := int(uint32(key)*hashMultiplier) & mask
 	for {
-		k := h.keys[p]
+		k := keys[p&mask]
 		if k == key || k == -1 {
-			return int(p)
+			return p & mask
 		}
 		p = (p + 1) & mask
 	}
 }
 
 // Begin sizes the table for the row and inserts the mask keys as
-// ALLOWED.
+// ALLOWED. The scatter is unrolled 4-wide; probes of distinct keys are
+// independent chains the CPU can overlap, but each insert must land
+// before the next probe starts (a later key may hash into the same
+// chain), so probe/store pairs stay interleaved.
 func (h *Hash[T, S]) Begin(maskRow []int32) {
 	h.sizeFor(len(maskRow))
+	keys := h.keys[:h.cap]
+	states := h.states[:len(keys)]
+	for ; len(maskRow) >= 4; maskRow = maskRow[4:] {
+		j0, j1, j2, j3 := maskRow[0], maskRow[1], maskRow[2], maskRow[3]
+		p0 := probe(keys, j0)
+		keys[p0], states[p0] = j0, stateAllowed
+		p1 := probe(keys, j1)
+		keys[p1], states[p1] = j1, stateAllowed
+		p2 := probe(keys, j2)
+		keys[p2], states[p2] = j2, stateAllowed
+		p3 := probe(keys, j3)
+		keys[p3], states[p3] = j3, stateAllowed
+	}
 	for _, j := range maskRow {
-		p := h.slot(j)
-		h.keys[p] = j
-		h.states[p] = stateAllowed
+		p := probe(keys, j)
+		keys[p], states[p] = j, stateAllowed
 	}
 }
 
@@ -129,15 +154,20 @@ func (h *Hash[T, S]) Begin(maskRow []int32) {
 // (i.e. admitted by the mask). Probing that lands on an empty slot means
 // the key is NOTALLOWED and the product is never computed.
 func (h *Hash[T, S]) Insert(key int32, a, b T) {
-	p := h.slot(key)
-	if h.keys[p] == -1 {
+	// states and values share keys' length, so after the keys[p] check
+	// the remaining accesses are provably in bounds.
+	keys := h.keys[:h.cap]
+	p := probe(keys, key)
+	if keys[p] == -1 {
 		return // not in mask: discard without computing the product
 	}
-	if h.states[p] == stateAllowed {
-		h.values[p] = h.sr.Mul(a, b)
-		h.states[p] = stateSet
+	states := h.states[:len(keys)]
+	values := h.values[:len(keys)]
+	if states[p] == stateAllowed {
+		values[p] = h.sr.Mul(a, b)
+		states[p] = stateSet
 	} else {
-		h.values[p] = h.sr.Add(h.values[p], h.sr.Mul(a, b))
+		values[p] = h.sr.Add(values[p], h.sr.Mul(a, b))
 	}
 }
 
@@ -145,12 +175,15 @@ func (h *Hash[T, S]) Insert(key int32, a, b T) {
 // is therefore sorted exactly like the mask. The table needs no explicit
 // reset — the next Begin clears its active region.
 func (h *Hash[T, S]) Gather(maskRow []int32, outIdx []int32, outVal []T) int {
+	keys := h.keys[:h.cap]
+	states := h.states[:len(keys)]
+	values := h.values[:len(keys)]
 	n := 0
 	for _, j := range maskRow {
-		p := h.slot(j)
-		if h.keys[p] != -1 && h.states[p] == stateSet {
+		p := probe(keys, j)
+		if keys[p] != -1 && states[p] == stateSet {
 			outIdx[n] = j
-			outVal[n] = h.values[p]
+			outVal[n] = values[p]
 			n++
 		}
 	}
@@ -162,21 +195,25 @@ func (h *Hash[T, S]) BeginSymbolic(maskRow []int32) { h.Begin(maskRow) }
 
 // InsertPattern marks key SET if admitted.
 func (h *Hash[T, S]) InsertPattern(key int32) {
-	p := h.slot(key)
-	if h.keys[p] == -1 {
+	keys := h.keys[:h.cap]
+	p := probe(keys, key)
+	if keys[p] == -1 {
 		return
 	}
-	if h.states[p] == stateAllowed {
-		h.states[p] = stateSet
+	states := h.states[:len(keys)]
+	if states[p] == stateAllowed {
+		states[p] = stateSet
 	}
 }
 
 // EndSymbolic counts SET keys.
 func (h *Hash[T, S]) EndSymbolic(maskRow []int32) int {
+	keys := h.keys[:h.cap]
+	states := h.states[:len(keys)]
 	n := 0
 	for _, j := range maskRow {
-		p := h.slot(j)
-		if h.keys[p] != -1 && h.states[p] == stateSet {
+		p := probe(keys, j)
+		if keys[p] != -1 && states[p] == stateSet {
 			n++
 		}
 	}
@@ -242,37 +279,29 @@ func (h *HashC[T, S]) BeginSized(maskRow []int32, bound int) {
 	for i := 0; i < need; i++ {
 		h.keys[i] = -1
 	}
+	keys := h.keys[:h.cap]
+	states := h.states[:len(keys)]
 	for _, j := range maskRow {
-		p := h.slot(j)
-		h.keys[p] = j
-		h.states[p] = stateNotAllowed
+		p := probe(keys, j)
+		keys[p], states[p] = j, stateNotAllowed
 	}
 	h.inserted = h.inserted[:0]
 }
 
-func (h *HashC[T, S]) slot(key int32) int {
-	mask := uint32(h.cap - 1)
-	p := (uint32(key) * hashMultiplier) & mask
-	for {
-		k := h.keys[p]
-		if k == key || k == -1 {
-			return int(p)
-		}
-		p = (p + 1) & mask
-	}
-}
-
 // Insert accumulates Mul(a, b) into key unless it is a mask sentinel.
 func (h *HashC[T, S]) Insert(key int32, a, b T) {
-	p := h.slot(key)
+	keys := h.keys[:h.cap]
+	p := probe(keys, key)
+	states := h.states[:len(keys)]
+	values := h.values[:len(keys)]
 	switch {
-	case h.keys[p] == -1:
-		h.keys[p] = key
-		h.states[p] = stateSet
-		h.values[p] = h.sr.Mul(a, b)
+	case keys[p] == -1:
+		keys[p] = key
+		states[p] = stateSet
+		values[p] = h.sr.Mul(a, b)
 		h.inserted = append(h.inserted, key)
-	case h.states[p] == stateSet:
-		h.values[p] = h.sr.Add(h.values[p], h.sr.Mul(a, b))
+	case states[p] == stateSet:
+		values[p] = h.sr.Add(values[p], h.sr.Mul(a, b))
 	}
 	// stateNotAllowed: masked out; discard.
 }
@@ -281,11 +310,13 @@ func (h *HashC[T, S]) Insert(key int32, a, b T) {
 // the table.
 func (h *HashC[T, S]) Gather(outIdx []int32, outVal []T) int {
 	sort.Sort(int32Slice(h.inserted))
+	keys := h.keys[:h.cap]
+	values := h.values[:len(keys)]
 	n := 0
 	for _, j := range h.inserted {
-		p := h.slot(j)
+		p := probe(keys, j)
 		outIdx[n] = j
-		outVal[n] = h.values[p]
+		outVal[n] = values[p]
 		n++
 	}
 	h.inserted = h.inserted[:0]
@@ -299,10 +330,12 @@ func (h *HashC[T, S]) BeginSymbolicSized(maskRow []int32, bound int) {
 
 // InsertPattern marks key SET unless it is a sentinel.
 func (h *HashC[T, S]) InsertPattern(key int32) {
-	p := h.slot(key)
-	if h.keys[p] == -1 {
-		h.keys[p] = key
-		h.states[p] = stateSet
+	keys := h.keys[:h.cap]
+	p := probe(keys, key)
+	if keys[p] == -1 {
+		keys[p] = key
+		states := h.states[:len(keys)]
+		states[p] = stateSet
 		h.inserted = append(h.inserted, key)
 	}
 }

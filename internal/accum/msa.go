@@ -34,36 +34,55 @@ func (m *MSA[T, S]) EnsureCols(ncols int) {
 	}
 }
 
-// Begin marks every key in maskRow ALLOWED.
+// Begin marks every key in maskRow ALLOWED. The scatter is unrolled
+// 4-wide: the four stores are independent, so the CPU overlaps them,
+// and the block's three extra index loads are bounds-check-free (the
+// loop condition covers them).
 func (m *MSA[T, S]) Begin(maskRow []int32) {
+	states := m.states
+	for ; len(maskRow) >= 4; maskRow = maskRow[4:] {
+		j0, j1, j2, j3 := maskRow[0], maskRow[1], maskRow[2], maskRow[3]
+		states[uint32(j0)] = stateAllowed
+		states[uint32(j1)] = stateAllowed
+		states[uint32(j2)] = stateAllowed
+		states[uint32(j3)] = stateAllowed
+	}
 	for _, j := range maskRow {
-		m.states[j] = stateAllowed
+		states[uint32(j)] = stateAllowed
 	}
 }
 
 // Insert accumulates Mul(a, b) into key if the mask admits it. The
 // product is not computed for NOTALLOWED keys (lazy evaluation, §5.1).
 func (m *MSA[T, S]) Insert(key int32, a, b T) {
-	switch m.states[key] {
+	// values shares states' length, so after the states[k] check every
+	// values[k] access is provably in bounds (len-hint reslicing).
+	states := m.states
+	values := m.values[:len(states)]
+	k := uint32(key)
+	switch states[k] {
 	case stateAllowed:
-		m.values[key] = m.sr.Mul(a, b)
-		m.states[key] = stateSet
+		values[k] = m.sr.Mul(a, b)
+		states[k] = stateSet
 	case stateSet:
-		m.values[key] = m.sr.Add(m.values[key], m.sr.Mul(a, b))
+		values[k] = m.sr.Add(values[k], m.sr.Mul(a, b))
 	}
 }
 
 // Gather emits the SET entries in mask order and resets the mask's
 // states to NOTALLOWED.
 func (m *MSA[T, S]) Gather(maskRow []int32, outIdx []int32, outVal []T) int {
+	states := m.states
+	values := m.values[:len(states)]
 	n := 0
 	for _, j := range maskRow {
-		if m.states[j] == stateSet {
+		k := uint32(j)
+		if states[k] == stateSet {
 			outIdx[n] = j
-			outVal[n] = m.values[j]
+			outVal[n] = values[k]
 			n++
 		}
-		m.states[j] = stateNotAllowed
+		states[k] = stateNotAllowed
 	}
 	return n
 }
@@ -73,19 +92,23 @@ func (m *MSA[T, S]) BeginSymbolic(maskRow []int32) { m.Begin(maskRow) }
 
 // InsertPattern marks key SET if allowed, without touching values.
 func (m *MSA[T, S]) InsertPattern(key int32) {
-	if m.states[key] == stateAllowed {
-		m.states[key] = stateSet
+	states := m.states
+	k := uint32(key)
+	if states[k] == stateAllowed {
+		states[k] = stateSet
 	}
 }
 
 // EndSymbolic counts SET keys and resets the mask's states.
 func (m *MSA[T, S]) EndSymbolic(maskRow []int32) int {
+	states := m.states
 	n := 0
 	for _, j := range maskRow {
-		if m.states[j] == stateSet {
+		k := uint32(j)
+		if states[k] == stateSet {
 			n++
 		}
-		m.states[j] = stateNotAllowed
+		states[k] = stateNotAllowed
 	}
 	return n
 }
@@ -131,8 +154,9 @@ func (m *MSAC[T, S]) EnsureCols(ncols int) {
 // Begin marks every key in maskRow NOTALLOWED; all other keys are
 // admitted.
 func (m *MSAC[T, S]) Begin(maskRow []int32) {
+	states := m.states
 	for _, j := range maskRow {
-		m.states[j] = msacNotAllowed
+		states[uint32(j)] = msacNotAllowed
 	}
 	m.inserted = m.inserted[:0]
 	m.maskRow = maskRow
@@ -145,13 +169,16 @@ func (m *MSAC[T, S]) BeginSized(maskRow []int32, _ int) { m.Begin(maskRow) }
 
 // Insert accumulates Mul(a, b) into key unless the mask excludes it.
 func (m *MSAC[T, S]) Insert(key int32, a, b T) {
-	switch m.states[key] {
+	states := m.states
+	values := m.values[:len(states)]
+	k := uint32(key)
+	switch states[k] {
 	case msacAllowed:
-		m.values[key] = m.sr.Mul(a, b)
-		m.states[key] = msacSet
+		values[k] = m.sr.Mul(a, b)
+		states[k] = msacSet
 		m.inserted = append(m.inserted, key)
 	case msacSet:
-		m.values[key] = m.sr.Add(m.values[key], m.sr.Mul(a, b))
+		values[k] = m.sr.Add(values[k], m.sr.Mul(a, b))
 	}
 }
 
@@ -160,16 +187,19 @@ func (m *MSAC[T, S]) Insert(key int32, a, b T) {
 // the accumulator is clean for the next row.
 func (m *MSAC[T, S]) Gather(outIdx []int32, outVal []T) int {
 	sort.Sort(int32Slice(m.inserted))
+	states := m.states
+	values := m.values[:len(states)]
 	n := 0
 	for _, j := range m.inserted {
+		k := uint32(j)
 		outIdx[n] = j
-		outVal[n] = m.values[j]
-		m.states[j] = msacAllowed
+		outVal[n] = values[k]
+		states[k] = msacAllowed
 		n++
 	}
 	m.inserted = m.inserted[:0]
 	for _, j := range m.maskRow {
-		m.states[j] = msacAllowed
+		states[uint32(j)] = msacAllowed
 	}
 	m.maskRow = nil
 	return n
@@ -180,21 +210,24 @@ func (m *MSAC[T, S]) BeginSymbolicSized(maskRow []int32, _ int) { m.Begin(maskRo
 
 // InsertPattern marks key SET unless excluded.
 func (m *MSAC[T, S]) InsertPattern(key int32) {
-	if m.states[key] == msacAllowed {
-		m.states[key] = msacSet
+	states := m.states
+	k := uint32(key)
+	if states[k] == msacAllowed {
+		states[k] = msacSet
 		m.inserted = append(m.inserted, key)
 	}
 }
 
 // EndSymbolic counts inserted keys and resets all touched state.
 func (m *MSAC[T, S]) EndSymbolic() int {
+	states := m.states
 	n := len(m.inserted)
 	for _, j := range m.inserted {
-		m.states[j] = msacAllowed
+		states[uint32(j)] = msacAllowed
 	}
 	m.inserted = m.inserted[:0]
 	for _, j := range m.maskRow {
-		m.states[j] = msacAllowed
+		states[uint32(j)] = msacAllowed
 	}
 	m.maskRow = nil
 	return n

@@ -234,6 +234,67 @@ func TestRunSchedSkewTiny(t *testing.T) {
 	}
 }
 
+// TestRunBitmapMixTiny exercises the MaskedBit experiment end to end
+// at a small scale: every workload carries all eight schemes, the
+// Hybrid points expose their family mix, and the JSON document
+// round-trips.
+func TestRunBitmapMixTiny(t *testing.T) {
+	cfg := BitmapMixConfig{Scale: 8, EdgeFactor: 4, Threads: 2, Reps: 1, Seed: 11}
+	pts, err := RunBitmapMix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 workloads × (6 single families + 2 Hybrid variants).
+	if len(pts) != 32 {
+		t.Fatalf("points = %d, want 32", len(pts))
+	}
+	workloads := map[string]bool{}
+	for _, p := range pts {
+		if p.Seconds <= 0 {
+			t.Errorf("non-positive time: %+v", p)
+		}
+		workloads[p.Workload] = true
+		switch p.Scheme {
+		case "Hybrid", HybridNoMaskedBitScheme:
+			if len(p.FamilyRows) == 0 {
+				t.Errorf("%s/%s: missing family mix", p.Workload, p.Scheme)
+			}
+			if p.Scheme == HybridNoMaskedBitScheme {
+				if _, ok := p.FamilyRows["MaskedBit"]; ok {
+					t.Errorf("%s: ablated Hybrid bound MaskedBit rows", p.Workload)
+				}
+			}
+		case "MSA":
+			if p.VsMSA != 1 {
+				t.Errorf("%s/MSA: vs_msa = %v, want 1", p.Workload, p.VsMSA)
+			}
+		}
+	}
+	for _, wl := range []string{"er-dense", "er-sweep", "rmat-sweep", "er-uniform-sparse"} {
+		if !workloads[wl] {
+			t.Errorf("missing workload %s", wl)
+		}
+	}
+	var buf bytes.Buffer
+	WriteBitmapMix(&buf, cfg, pts)
+	if !strings.Contains(buf.String(), "MaskedBit") {
+		t.Error("table missing MaskedBit rows")
+	}
+	buf.Reset()
+	if err := WriteBitmapMixJSON(&buf, cfg, pts); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Points []BitmapMixPoint `json:"points"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("BENCH_bitmap.json round-trip: %v", err)
+	}
+	if len(doc.Points) != len(pts) {
+		t.Fatalf("JSON points = %d, want %d", len(doc.Points), len(pts))
+	}
+}
+
 // TestSkewedGraphIsSkewed pins the adversarial construction: after the
 // degree-ascending relabel the heaviest rows are adjacent at the tail,
 // so the last DefaultGrain-row blocks hold a disproportionate share of

@@ -94,6 +94,7 @@ type HybridMixPoint struct {
 // compared against, in Family order.
 var mixFamilies = []core.Algorithm{
 	core.AlgoMSA, core.AlgoHash, core.AlgoMCA, core.AlgoHeap, core.AlgoInner,
+	core.AlgoMaskedBit,
 }
 
 // mixWorkload is one named (mask, A, B) product.

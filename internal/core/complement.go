@@ -26,20 +26,30 @@ type pushAccC[T any] interface {
 // rowGenBound returns Σ_{k : A_ik ≠ 0} nnz(B_k*), the population bound
 // for row i's complement accumulator.
 func rowGenBound[T any](aCols []int32, b *sparse.CSR[T]) int {
+	rowPtr := b.RowPtr
 	var gen int64
 	for _, k := range aCols {
-		gen += b.RowPtr[k+1] - b.RowPtr[k]
+		c := int(uint32(k))
+		rp := rowPtr[c : c+2]
+		gen += rp[1] - rp[0]
 	}
 	return int(gen)
 }
 
-// pushRowNumericC computes one complemented output row.
+// pushRowNumericC computes one complemented output row. The body uses
+// the same bounds-check-elimination hints as pushRowNumeric.
 func pushRowNumericC[T any, A pushAccC[T]](acc A, maskRow []int32, aCols []int32, aVals []T, b *sparse.CSR[T], outIdx []int32, outVal []T) int {
 	acc.BeginSized(maskRow, rowGenBound(aCols, b))
+	aVals = aVals[:len(aCols)]
+	rowPtr := b.RowPtr
+	colIdx := b.ColIdx
+	vals := b.Val[:len(colIdx)]
 	for k, col := range aCols {
-		lo, hi := b.RowPtr[col], b.RowPtr[col+1]
-		bCols := b.ColIdx[lo:hi]
-		bVals := b.Val[lo:hi]
+		c := int(uint32(col))
+		rp := rowPtr[c : c+2]
+		lo, hi := rp[0], rp[1]
+		bCols := colIdx[lo:hi]
+		bVals := vals[lo:hi]
 		av := aVals[k]
 		for t, j := range bCols {
 			acc.Insert(j, av, bVals[t])
@@ -51,9 +61,13 @@ func pushRowNumericC[T any, A pushAccC[T]](acc A, maskRow []int32, aCols []int32
 // pushRowSymbolicC counts one complemented output row.
 func pushRowSymbolicC[T any, A pushAccC[T]](acc A, maskRow []int32, aCols []int32, b *sparse.CSR[T]) int {
 	acc.BeginSymbolicSized(maskRow, rowGenBound(aCols, b))
+	rowPtr := b.RowPtr
+	colIdx := b.ColIdx
 	for _, col := range aCols {
-		lo, hi := b.RowPtr[col], b.RowPtr[col+1]
-		for _, j := range b.ColIdx[lo:hi] {
+		c := int(uint32(col))
+		rp := rowPtr[c : c+2]
+		lo, hi := rp[0], rp[1]
+		for _, j := range colIdx[lo:hi] {
 			acc.InsertPattern(j)
 		}
 	}
@@ -80,6 +94,16 @@ func bindMSAC[T any, S semiring.Semiring[T]](p *Plan[T, S], e *Executor[T, S], a
 	exec, ncols := e, b.Cols
 	return pushKernelsC(p.mask, a, b, func(tid int) *accum.MSAC[T, S] {
 		return exec.worker(tid).MSAC(ncols)
+	})
+}
+
+// bindMaskedBitC registers the complemented bitmap-state variant
+// (DESIGN.md §12). Like MSAC it is a dense-array accumulator, so the
+// per-row bound only feeds the shared protocol, never a resize.
+func bindMaskedBitC[T any, S semiring.Semiring[T]](p *Plan[T, S], e *Executor[T, S], a, b *sparse.CSR[T]) kernels[T] {
+	exec, ncols := e, b.Cols
+	return pushKernelsC(p.mask, a, b, func(tid int) *accum.MaskedBitC[T, S] {
+		return exec.worker(tid).MaskedBitC(ncols)
 	})
 }
 

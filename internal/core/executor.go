@@ -153,6 +153,9 @@ type workspace[T any, S semiring.Semiring[T]] struct {
 	heap     *accum.IterHeap
 	msac     *accum.MSAC[T, S]
 	hashC    *accum.HashC[T, S]
+
+	maskedBit  *accum.MaskedBit[T, S]
+	maskedBitC *accum.MaskedBitC[T, S]
 }
 
 // MSA returns the worker's MSA sized for rows of width ncols.
@@ -214,6 +217,28 @@ func (w *workspace[T, S]) MSAC(ncols int) *accum.MSAC[T, S] {
 		w.msac.EnsureCols(ncols)
 	}
 	return w.msac
+}
+
+// MaskedBit returns the worker's bitmap-state accumulator sized for
+// rows of width ncols.
+func (w *workspace[T, S]) MaskedBit(ncols int) *accum.MaskedBit[T, S] {
+	if w.maskedBit == nil {
+		w.maskedBit = accum.NewMaskedBit[T](w.sr, ncols)
+	} else {
+		w.maskedBit.EnsureCols(ncols)
+	}
+	return w.maskedBit
+}
+
+// MaskedBitC returns the worker's complemented bitmap-state
+// accumulator.
+func (w *workspace[T, S]) MaskedBitC(ncols int) *accum.MaskedBitC[T, S] {
+	if w.maskedBitC == nil {
+		w.maskedBitC = accum.NewMaskedBitC[T](w.sr, ncols)
+	} else {
+		w.maskedBitC.EnsureCols(ncols)
+	}
+	return w.maskedBitC
 }
 
 // HashC returns the worker's complemented hash accumulator.

@@ -43,6 +43,13 @@ const (
 	// FamPull is the pull-based inner-product algorithm (§4.1); rows
 	// bound to it read B through the plan's CSC structure.
 	FamPull
+	// FamMaskedBit is the bitmap-state masked accumulator family
+	// (DESIGN.md §12): MSA's state bytes collapsed into allowed/set
+	// bitsets over a zero-kept values array. Appended after FamPull so
+	// the bit positions of the preexisting families — serialized by
+	// clients through WithHybridFamilies — never renumber
+	// (TestFamilyBitPositionsPinned).
+	FamMaskedBit
 	// NumFamilies is the number of bindable families — the length of
 	// per-family tables such as HybridFamilyRows' result.
 	NumFamilies
@@ -61,8 +68,13 @@ func (f Family) String() string {
 		return "Heap"
 	case FamPull:
 		return "Pull"
+	case FamMaskedBit:
+		return "MaskedBit"
 	}
-	return "Family(?)"
+	// Out-of-range values (a decoded run from newer code, a corrupted
+	// plan) render as a distinct diagnostic name rather than colliding
+	// or panicking — stats renderers aggregate by this string.
+	return fmt.Sprintf("Family(%d)", uint8(f))
 }
 
 // FamilySet is a bitmask of accumulator families, used by
@@ -94,7 +106,7 @@ func (s FamilySet) with(f Family) FamilySet { return s | 1<<f }
 
 // famAlgo maps each family to the registry scheme that carries its
 // cost model and display name.
-var famAlgo = [NumFamilies]Algorithm{AlgoMSA, AlgoHash, AlgoMCA, AlgoHeap, AlgoInner}
+var famAlgo = [NumFamilies]Algorithm{AlgoMSA, AlgoHash, AlgoMCA, AlgoHeap, AlgoInner, AlgoMaskedBit}
 
 // famAny marks a row with no work under any family (empty mask row,
 // empty A row, or no admitted positions): the run encoder folds such
@@ -171,6 +183,28 @@ const (
 	// order-of-magnitude gap between Heap on dense masks (every
 	// candidate round-trips) and tiny masks (iterators die at insert).
 	heapMaskNear = 8.0
+	// maskedBitWalkFactor prices MaskedBit's Begin mask walk against
+	// MSA's: the bitset fill reads every mask entry but flushes one
+	// word store per 64-column word instead of one byte store per
+	// entry.
+	maskedBitWalkFactor = 0.5
+	// maskedBitGatherWord prices one word of the Gather/EndSymbolic
+	// word walk, which spans the row's column range at 64 columns per
+	// word: the per-row cleanup term is (Cols/64)·maskedBitGatherWord
+	// rather than a second O(nnz(mask row)) walk. It is what makes
+	// MaskedBit cheap on dense rows (range/64 ≪ nnz) and dear on very
+	// sparse ones (range/64 ≫ nnz), independent of the flop balance.
+	maskedBitGatherWord = 1.0
+	// maskedBitInsertFactor prices the fused bit-test add against
+	// MSA's state-byte automaton step: the unconditional set-bit store
+	// makes the accumulate path slightly dearer per flop, which is why
+	// flops-dominated rows (flops ≫ nnz(mask row)) stay with MSA.
+	maskedBitInsertFactor = 1.1
+	// maskedBitColdScale softens the cold-line penalty relative to
+	// MSA: the values array is as wide as MSA's, but the state traffic
+	// shrinks 8×, keeping the bitset cache-resident long after MSA's
+	// state bytes spill.
+	maskedBitColdScale = 0.75
 )
 
 // msaRowCost models MSA (§5.2): mask-row walks for Begin and Gather
@@ -190,6 +224,32 @@ func msaRowCost(c RowCostContext) float64 {
 		return 1 + (m+f)*touch + 0.5*out*math.Log2(out+2)
 	}
 	return 1 + (2*m+f+c.outBound())*touch
+}
+
+// maskedBitRowCost models MaskedBit (DESIGN.md §12): MSA's row shape
+// with the state byte per column collapsed to two bits. The Begin fill
+// (maskedBitWalkFactor), Gather's cleanup is a word walk over the
+// row's column range (maskedBitGatherWord) rather than a second mask
+// walk, the fused insert pays a small premium for its unconditional
+// set-bit store (maskedBitInsertFactor), and the cold-line regime is
+// softened because only the width-n values array — not the states —
+// outgrows cache (maskedBitColdScale). The crossover against MSA
+// therefore sits where mask rows are dense relative to the flops that
+// land on them: walks dominate → MaskedBit; flops dominate → MSA.
+func maskedBitRowCost(c RowCostContext) float64 {
+	m, f := float64(c.MaskNNZ), float64(c.Flops)
+	words := maskedBitGatherWord * (float64(c.Cols)/64 + 1)
+	touch := 1.0
+	if spacing := float64(c.Cols) / (m + 1); spacing > 8 {
+		touch += maskedBitColdScale * math.Min(msaColdMax, float64(c.Cols)/msaCacheCols)
+	}
+	if c.Complement {
+		// MaskedBitC tracks inserted keys and sorts them at gather,
+		// like MSAC; only the banned-bit fill and cleanup are word-wide.
+		out := c.outBound()
+		return 1 + (maskedBitWalkFactor*m+f)*touch + 0.5*out*math.Log2(out+2)
+	}
+	return 1 + (maskedBitWalkFactor*m+words+maskedBitInsertFactor*f+c.outBound())*touch
 }
 
 // hashRowCost models Hash (§5.3): the same row shape as MSA but every
@@ -446,6 +506,11 @@ func bindFamily[T any, S semiring.Semiring[T]](f Family, p *Plan[T, S], e *Execu
 			return bindInnerComplement(p, e, a, b)
 		}
 		return bindInner(p, e, a, b)
+	case FamMaskedBit:
+		if complement {
+			return bindMaskedBitC(p, e, a, b)
+		}
+		return bindMaskedBit(p, e, a, b)
 	case FamMCA:
 		if complement {
 			// famAdmissible keeps MCA out of complemented run

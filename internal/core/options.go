@@ -54,11 +54,18 @@ const (
 	// AlgoHybrid is the per-row poly-algorithm — the scheme §9 lists
 	// as future work, in full: every output row is bound at plan time
 	// to the cheapest admissible accumulator family (MSA, Hash, MCA,
-	// Heap, or pull-based Inner) under the registry's per-family cost
-	// models, and consecutive rows sharing a binding execute as one
-	// run (DESIGN.md §10). Complemented masks bind among the
-	// complement-capable families (never MCA).
+	// Heap, pull-based Inner, or MaskedBit) under the registry's
+	// per-family cost models, and consecutive rows sharing a binding
+	// execute as one run (DESIGN.md §10). Complemented masks bind
+	// among the complement-capable families (never MCA).
 	AlgoHybrid
+	// AlgoMaskedBit is the push algorithm over the bitmap-state masked
+	// accumulator: the MSA's state byte per column collapsed into
+	// allowed/set bits plus a values array kept at the semiring zero,
+	// making insert a fused add gated by one bit test (DESIGN.md §12).
+	// Appended after AlgoHybrid so existing Algorithm values — part of
+	// plan-cache keys — keep their numbering.
+	AlgoMaskedBit
 )
 
 // The Algorithm name, the evaluation-order enumerations, and the

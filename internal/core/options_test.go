@@ -39,7 +39,7 @@ func TestAlgorithmStrings(t *testing.T) {
 
 func TestAlgorithmEnumerations(t *testing.T) {
 	all := Algorithms()
-	if len(all) != 10 {
+	if len(all) != 11 {
 		t.Errorf("Algorithms() has %d entries", len(all))
 	}
 	seen := map[Algorithm]bool{}

@@ -289,18 +289,44 @@ type PlanCacheStats struct {
 	Entries int
 	// Bytes is the estimated retained analysis memory of all entries.
 	Bytes int64
+	// HybridFamilyRows sums, across the currently cached hybrid plans,
+	// how many output rows each accumulator family is bound to execute,
+	// keyed by Family name ("MSA", "MaskedBit", ...) — the operator's
+	// view of per-family adoption. Nil when no cached plan carries a
+	// per-row binding.
+	HybridFamilyRows map[string]int64
 }
 
 // Stats returns a snapshot of the cache counters.
 func (c *PlanCache[T, S]) Stats() PlanCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var famRows map[string]int64
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		p := el.Value.(*planEntry[T, S]).plan
+		if p.polyFams == 0 {
+			continue
+		}
+		if famRows == nil {
+			famRows = make(map[string]int64)
+		}
+		prev := int32(0)
+		for r, end := range p.runEnds {
+			// Family.String names out-of-range values defensively
+			// ("Family(N)"), so a run decoded from newer or corrupted
+			// state aggregates under a diagnostic key instead of
+			// panicking an indexed table.
+			famRows[Family(p.runFam[r]).String()] += int64(end - prev)
+			prev = end
+		}
+	}
 	return PlanCacheStats{
-		Hits:            c.hits,
-		Misses:          c.misses,
-		CoalescedMisses: c.coalesced,
-		Evictions:       c.evicted,
-		Entries:         c.lru.Len(),
-		Bytes:           c.bytes,
+		Hits:             c.hits,
+		Misses:           c.misses,
+		CoalescedMisses:  c.coalesced,
+		Evictions:        c.evicted,
+		Entries:          c.lru.Len(),
+		Bytes:            c.bytes,
+		HybridFamilyRows: famRows,
 	}
 }

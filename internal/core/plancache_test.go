@@ -576,6 +576,43 @@ func TestPlanCacheHybridMixedBindings(t *testing.T) {
 	}
 }
 
+// TestPlanCacheStatsHybridFamilyRows checks the operator view: Stats()
+// aggregates per-family bound row counts across cached hybrid plans,
+// keyed by family name, with family-restricted plans counted under
+// their actual binding — and reports nothing for uniform-scheme plans.
+func TestPlanCacheStatsHybridFamilyRows(t *testing.T) {
+	mask, a, b := buildCase(caseSpec{"", 96, 96, 96, 8, 8, 8, 51})
+	cache := NewPlanCache(ptSR, 0, 0)
+	if _, err := cache.GetOrPlan(mask, a, b, Options{Algorithm: AlgoMSA}); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.HybridFamilyRows != nil {
+		t.Fatalf("uniform plan reported family rows %v", st.HybridFamilyRows)
+	}
+	if _, err := cache.GetOrPlan(mask, a, b, Options{
+		Algorithm: AlgoHybrid, HybridFamilies: Families(FamMaskedBit),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.GetOrPlan(mask, a, b, Options{Algorithm: AlgoHybrid}); err != nil {
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	if st.HybridFamilyRows == nil {
+		t.Fatal("cached hybrid plans reported no family rows")
+	}
+	if got := st.HybridFamilyRows[FamMaskedBit.String()]; got < int64(mask.Rows) {
+		t.Errorf("MaskedBit rows = %d, want at least the restricted plan's %d", got, mask.Rows)
+	}
+	var total int64
+	for _, n := range st.HybridFamilyRows {
+		total += n
+	}
+	if total != 2*int64(mask.Rows) {
+		t.Errorf("family rows sum to %d, want %d across two hybrid plans", total, 2*mask.Rows)
+	}
+}
+
 // TestPlanCacheExecOnlyOptionsShareKey pins the serving regression the
 // key normalization fixes: execution-only options (CollectSchedStats,
 // ReuseOutput) must not fragment cache keys. Warming a structure

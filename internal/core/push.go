@@ -19,10 +19,20 @@ type pushAcc[T any] interface {
 // are discarded before the multiplication happens (§5.1).
 func pushRowNumeric[T any, A pushAcc[T]](acc A, maskRow []int32, aCols []int32, aVals []T, b *sparse.CSR[T], outIdx []int32, outVal []T) int {
 	acc.Begin(maskRow)
+	// Bounds-check elimination hints: aVals walks in lockstep with
+	// aCols, and b.Val in lockstep with b.ColIdx, so reslicing each to
+	// its partner's length lets one check per iteration cover both;
+	// the two-element rowPtr window makes one check cover lo and hi.
+	aVals = aVals[:len(aCols)]
+	rowPtr := b.RowPtr
+	colIdx := b.ColIdx
+	vals := b.Val[:len(colIdx)]
 	for k, col := range aCols {
-		lo, hi := b.RowPtr[col], b.RowPtr[col+1]
-		bCols := b.ColIdx[lo:hi]
-		bVals := b.Val[lo:hi]
+		c := int(uint32(col))
+		rp := rowPtr[c : c+2]
+		lo, hi := rp[0], rp[1]
+		bCols := colIdx[lo:hi]
+		bVals := vals[lo:hi]
 		av := aVals[k]
 		for t, j := range bCols {
 			acc.Insert(j, av, bVals[t])
@@ -35,9 +45,13 @@ func pushRowNumeric[T any, A pushAcc[T]](acc A, maskRow []int32, aCols []int32, 
 // used by the two-phase variants (§6).
 func pushRowSymbolic[T any, A pushAcc[T]](acc A, maskRow []int32, aCols []int32, b *sparse.CSR[T]) int {
 	acc.BeginSymbolic(maskRow)
+	rowPtr := b.RowPtr
+	colIdx := b.ColIdx
 	for _, col := range aCols {
-		lo, hi := b.RowPtr[col], b.RowPtr[col+1]
-		for _, j := range b.ColIdx[lo:hi] {
+		c := int(uint32(col))
+		rp := rowPtr[c : c+2]
+		lo, hi := rp[0], rp[1]
+		for _, j := range colIdx[lo:hi] {
 			acc.InsertPattern(j)
 		}
 	}
@@ -71,6 +85,15 @@ func bindMSAEpoch[T any, S semiring.Semiring[T]](p *Plan[T, S], e *Executor[T, S
 	exec, ncols := e, b.Cols
 	return pushKernels(p.mask, a, b, func(tid int) *accum.MSAEpoch[T, S] {
 		return exec.worker(tid).MSAEpoch(ncols)
+	})
+}
+
+// bindMaskedBit registers the bitmap-state MSA variant (DESIGN.md
+// §12).
+func bindMaskedBit[T any, S semiring.Semiring[T]](p *Plan[T, S], e *Executor[T, S], a, b *sparse.CSR[T]) kernels[T] {
+	exec, ncols := e, b.Cols
+	return pushKernels(p.mask, a, b, func(tid int) *accum.MaskedBit[T, S] {
+		return exec.worker(tid).MaskedBit(ncols)
 	})
 }
 

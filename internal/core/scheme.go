@@ -53,6 +53,8 @@ var schemeTable = []SchemeInfo{
 	// The epoch variant has no complement form of its own; its
 	// complement kernel registration falls back to MSAC.
 	{Algo: AlgoMSAEpoch, Name: "MSA-Epoch", Complement: true},
+	// The bitmap-state MSA variant (DESIGN.md §12); not a paper scheme.
+	{Algo: AlgoMaskedBit, Name: "MaskedBit", Complement: true, RowCost: maskedBitRowCost},
 	{Algo: AlgoHash, Name: "Hash", Paper: true, Complement: true, RowCost: hashRowCost},
 	{Algo: AlgoMCA, Name: "MCA", Paper: true, RowCost: mcaRowCost,
 		ComplementNote: "core: MCA does not support complemented masks (§5.4)"},
@@ -169,6 +171,8 @@ func kernelsForAlgo[T any, S semiring.Semiring[T]](a Algorithm) schemeKernels[T,
 		return schemeKernels[T, S]{plain: bindMSA[T, S], complement: bindMSAC[T, S]}
 	case AlgoMSAEpoch:
 		return schemeKernels[T, S]{plain: bindMSAEpoch[T, S], complement: bindMSAC[T, S]}
+	case AlgoMaskedBit:
+		return schemeKernels[T, S]{plain: bindMaskedBit[T, S], complement: bindMaskedBitC[T, S]}
 	case AlgoHash:
 		return schemeKernels[T, S]{plain: bindHash[T, S], complement: bindHashC[T, S]}
 	case AlgoMCA:

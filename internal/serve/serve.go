@@ -328,6 +328,10 @@ type cacheStatsJSON struct {
 	Entries int `json:"entries"`
 	// Bytes is the estimated retained analysis memory.
 	Bytes int64 `json:"bytes"`
+	// HybridFamilyRows sums per-family bound row counts across the
+	// cached hybrid plans, keyed by family name ("MSA", "MaskedBit",
+	// ...); omitted when no cached plan carries a per-row binding.
+	HybridFamilyRows map[string]int64 `json:"hybrid_family_rows,omitempty"`
 }
 
 // poolStatsJSON is the wire form of PoolStats.
@@ -362,12 +366,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, statsResponse{
 		Session: sessionStatsJSON{
 			Cache: cacheStatsJSON{
-				Hits:            st.Cache.Hits,
-				Misses:          st.Cache.Misses,
-				CoalescedMisses: st.Cache.CoalescedMisses,
-				Evictions:       st.Cache.Evictions,
-				Entries:         st.Cache.Entries,
-				Bytes:           st.Cache.Bytes,
+				Hits:             st.Cache.Hits,
+				Misses:           st.Cache.Misses,
+				CoalescedMisses:  st.Cache.CoalescedMisses,
+				Evictions:        st.Cache.Evictions,
+				Entries:          st.Cache.Entries,
+				Bytes:            st.Cache.Bytes,
+				HybridFamilyRows: st.Cache.HybridFamilyRows,
 			},
 			Pool: poolStatsJSON{
 				Created:   st.Pool.Created,

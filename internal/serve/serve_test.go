@@ -327,6 +327,40 @@ func TestServeWarmThenMultiplyHits(t *testing.T) {
 	}
 }
 
+// TestServeStatsHybridFamilyRows checks the operator view of per-row
+// family adoption: after a hybrid multiply, /stats carries
+// hybrid_family_rows summing to the mask's row count; uniform-scheme
+// traffic reports none.
+func TestServeStatsHybridFamilyRows(t *testing.T) {
+	g := maskedspgemm.ErdosRenyi(80, 6, 45)
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	body := encodeSerial(t, g)
+
+	resp, out := post(t, ts.Client(), ts.URL+"/v1/multiply?algorithm=msa", body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("msa multiply: status %d: %s", resp.StatusCode, out)
+	}
+	if rows := getStats(t, ts.Client(), ts.URL).Session.Cache.HybridFamilyRows; rows != nil {
+		t.Fatalf("uniform traffic reported family rows %v", rows)
+	}
+	resp, out = post(t, ts.Client(), ts.URL+"/v1/multiply?algorithm=hybrid", body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hybrid multiply: status %d: %s", resp.StatusCode, out)
+	}
+	rows := getStats(t, ts.Client(), ts.URL).Session.Cache.HybridFamilyRows
+	if len(rows) == 0 {
+		t.Fatal("hybrid plan reported no family rows")
+	}
+	var total int64
+	for _, n := range rows {
+		total += n
+	}
+	if total != 80 {
+		t.Fatalf("family rows %v sum to %d, want the mask's 80", rows, total)
+	}
+}
+
 // TestServeSaturation is the admission-control acceptance test: with
 // pool size P and 8·P concurrent clients, at most P products execute
 // concurrently, excess queues up to the bound, everything beyond is

@@ -70,6 +70,11 @@ const (
 	// Complemented masks bind among the complement-capable families
 	// (never MCA). Restrict the menu with WithHybridFamilies.
 	Hybrid = core.AlgoHybrid
+	// MaskedBit is the bitmap-state MSA variant (DESIGN.md §12): the
+	// state byte per column collapsed into allowed/set bits over a
+	// values array kept at the semiring zero, making insert a fused
+	// add gated by one bit test. Fastest where mask rows are dense.
+	MaskedBit = core.AlgoMaskedBit
 )
 
 // Family identifies one accumulator family the Hybrid per-row
@@ -89,6 +94,10 @@ const (
 	FamilyHeap = core.FamHeap
 	// FamilyPull is the pull-based inner-product algorithm (§4.1).
 	FamilyPull = core.FamPull
+	// FamilyMaskedBit is the bitmap-state accumulator family
+	// (DESIGN.md §12); preferred where mask rows are dense relative to
+	// the flops that land on them.
+	FamilyMaskedBit = core.FamMaskedBit
 )
 
 // Option configures Multiply.
