@@ -5,11 +5,17 @@
 //
 //	mspgemm-serve -addr :8080 -max-inflight 8 -max-queue 32
 //
-// Endpoints: POST /v1/multiply, POST /v1/warm, GET /stats,
-// GET /healthz. Try it with curl:
+// Endpoints: POST /v1/multiply, PUT /v1/operands, POST /v1/warm,
+// GET /stats, GET /healthz. Try it with curl:
 //
 //	mtxgen -kind er -n 1024 -degree 8 -out g.mtx
 //	curl --data-binary @g.mtx 'localhost:8080/v1/multiply?algorithm=hash&format=summary'
+//
+// Recurring operands can be uploaded once and multiplied by reference
+// afterwards — see the README's serving walkthrough:
+//
+//	REF=$(curl -sT g.mtx localhost:8080/v1/operands | jq -r '.operands[0].ref')
+//	curl -X POST "localhost:8080/v1/multiply?a=$REF&format=summary"
 //
 // On SIGINT/SIGTERM the server drains: new and queued requests are
 // rejected with 503, in-flight products finish, then the process
@@ -43,6 +49,7 @@ func main() {
 		maxWarm      = flag.Int("max-warm", 0, "concurrent /v1/warm planning bound (0 = default 2)")
 		cacheEntries = flag.Int("cache-entries", 0, "plan-cache entry bound (0 = default 128)")
 		cacheBytes   = flag.Int64("cache-bytes", 0, "plan-cache byte bound (0 = unbounded)")
+		memBudget    = flag.Int64("memory-budget", 0, "shared byte budget over cached plans and stored operands (0 = default 1GiB)")
 		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight work")
 	)
 	flag.Parse()
@@ -53,6 +60,9 @@ func main() {
 	}
 	if *cacheBytes > 0 {
 		sopts = append(sopts, maskedspgemm.WithPlanCacheBytes(*cacheBytes))
+	}
+	if *memBudget > 0 {
+		sopts = append(sopts, maskedspgemm.WithMemoryBudget(*memBudget))
 	}
 	front := serve.New(serve.Config{
 		MaxInFlight:     *maxInFlight,

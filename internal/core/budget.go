@@ -1,0 +1,116 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// MemBudget is one byte budget shared by several LRU caches — in the
+// serving stack, the plan cache and the operand store draw from a
+// single budget, so analysis memory and resident operands exert
+// eviction pressure on each other instead of each hoarding a private
+// bound (DESIGN.md §13).
+//
+// Members register once and then account their bytes with Reserve and
+// Release (lock-free atomics, safe to call while holding the member's
+// own lock). When the total exceeds the budget, Rebalance evicts the
+// globally least-recently-used entry across all members — each member
+// exposes the age of its LRU tail via stamps drawn from the budget's
+// shared clock — until the total fits or no member will yield.
+//
+// Lock ordering: the budget's rebalance lock is taken strictly above
+// member locks (Rebalance calls into members; members never call
+// Rebalance while holding their own lock). Reserve, Release, and
+// Stamp take no locks at all, so members may account from anywhere.
+type MemBudget struct {
+	max   int64
+	used  atomic.Int64
+	clock atomic.Uint64
+
+	// mu guards the member registry and serializes rebalances (a
+	// thundering herd of over-budget inserts should evict once, not
+	// race each other over the same tails).
+	mu      sync.Mutex
+	members []BudgetMember
+}
+
+// BudgetMember is one cache participating in a shared MemBudget. Its
+// methods are called by Rebalance with the budget's rebalance lock
+// held and the member's own lock not held; implementations take their
+// own lock internally and must not call Rebalance.
+type BudgetMember interface {
+	// BudgetTail reports the stamp of the member's least-recently-used
+	// evictable entry; ok is false when the member has nothing it is
+	// willing to evict (empty, or down to an entry it protects).
+	BudgetTail() (stamp uint64, ok bool)
+	// BudgetEvict evicts the member's least-recently-used evictable
+	// entry, releases its bytes from the budget, and returns the bytes
+	// freed (0 when nothing was evictable — e.g. a racing lookup just
+	// emptied the member).
+	BudgetEvict() int64
+}
+
+// DefaultMemoryBudgetBytes is the shared budget used when none is
+// configured: 1 GiB across cached plans and stored operands.
+const DefaultMemoryBudgetBytes = 1 << 30
+
+// NewMemBudget returns a budget of max bytes (<= 0 means
+// DefaultMemoryBudgetBytes) with no members.
+func NewMemBudget(max int64) *MemBudget {
+	if max <= 0 {
+		max = DefaultMemoryBudgetBytes
+	}
+	return &MemBudget{max: max}
+}
+
+// Register adds a member. Members are never unregistered: budgets and
+// their members share a lifetime (one serving session).
+func (b *MemBudget) Register(m BudgetMember) {
+	b.mu.Lock()
+	b.members = append(b.members, m)
+	b.mu.Unlock()
+}
+
+// Stamp returns the next tick of the shared LRU clock. Members stamp
+// entries on insert and on hit, so stamps order recency globally
+// across every member.
+func (b *MemBudget) Stamp() uint64 { return b.clock.Add(1) }
+
+// Reserve accounts n bytes against the budget. It never blocks and
+// never evicts — call Rebalance afterwards, outside any member lock.
+func (b *MemBudget) Reserve(n int64) { b.used.Add(n) }
+
+// Release returns n bytes to the budget.
+func (b *MemBudget) Release(n int64) { b.used.Add(-n) }
+
+// Used returns the bytes currently accounted by all members.
+func (b *MemBudget) Used() int64 { return b.used.Load() }
+
+// Max returns the budget bound.
+func (b *MemBudget) Max() int64 { return b.max }
+
+// Rebalance evicts globally least-recently-used entries across the
+// members until the accounted total fits the budget or no member
+// yields. Callers must not hold any member lock.
+func (b *MemBudget) Rebalance() {
+	if b.used.Load() <= b.max {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.used.Load() > b.max {
+		var victim BudgetMember
+		var oldest uint64
+		for _, m := range b.members {
+			if stamp, ok := m.BudgetTail(); ok && (victim == nil || stamp < oldest) {
+				victim, oldest = m, stamp
+			}
+		}
+		if victim == nil || victim.BudgetEvict() == 0 {
+			// Nothing anyone will yield: every member is empty or down
+			// to its protected newest entry. Over-budget but stable —
+			// the alternative is evicting entries mid-use.
+			return
+		}
+	}
+}

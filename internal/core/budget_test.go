@@ -1,0 +1,156 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// fakeMember is a minimal BudgetMember: a stack of (stamp, bytes)
+// entries that yields its oldest on demand.
+type fakeMember struct {
+	budget *MemBudget
+
+	mu      sync.Mutex
+	entries []fakeEntry // oldest first
+	evicted int
+}
+
+type fakeEntry struct {
+	stamp uint64
+	bytes int64
+}
+
+func (f *fakeMember) add(bytes int64) {
+	f.mu.Lock()
+	f.entries = append(f.entries, fakeEntry{stamp: f.budget.Stamp(), bytes: bytes})
+	f.mu.Unlock()
+	f.budget.Reserve(bytes)
+	f.budget.Rebalance()
+}
+
+func (f *fakeMember) BudgetTail() (uint64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.entries) == 0 {
+		return 0, false
+	}
+	return f.entries[0].stamp, true
+}
+
+func (f *fakeMember) BudgetEvict() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.entries) == 0 {
+		return 0
+	}
+	freed := f.entries[0].bytes
+	f.entries = f.entries[1:]
+	f.evicted++
+	f.budget.Release(freed)
+	return freed
+}
+
+// TestMemBudgetAccounting pins the arithmetic: Reserve and Release
+// move Used, the default applies, and Rebalance is a no-op under the
+// ceiling.
+func TestMemBudgetAccounting(t *testing.T) {
+	b := NewMemBudget(0)
+	if b.Max() != DefaultMemoryBudgetBytes {
+		t.Fatalf("default max = %d", b.Max())
+	}
+	b = NewMemBudget(1000)
+	b.Reserve(600)
+	b.Reserve(300)
+	b.Release(100)
+	if b.Used() != 800 {
+		t.Fatalf("Used = %d, want 800", b.Used())
+	}
+	b.Rebalance() // under budget: must not touch members (none registered anyway)
+	if b.Used() != 800 {
+		t.Fatalf("no-op Rebalance changed Used to %d", b.Used())
+	}
+}
+
+// TestMemBudgetRebalanceGlobalLRU pins victim selection: with two
+// members over one budget, Rebalance evicts strictly oldest-first
+// across both, interleaved by stamp rather than by member.
+func TestMemBudgetRebalanceGlobalLRU(t *testing.T) {
+	b := NewMemBudget(250)
+	m1 := &fakeMember{budget: b}
+	m2 := &fakeMember{budget: b}
+	b.Register(m1)
+	b.Register(m2)
+
+	// Stamps interleave: m1(1), m2(2), m1(3), m2(4). 4×100 bytes over a
+	// 250-byte budget → the two oldest must go, one from each member.
+	m1.add(100)
+	m2.add(100)
+	m1.add(100)
+	m2.add(100)
+
+	if b.Used() != 200 {
+		t.Fatalf("Used = %d after rebalance, want 200", b.Used())
+	}
+	if m1.evicted != 1 || m2.evicted != 1 {
+		t.Fatalf("evictions m1=%d m2=%d, want oldest-first across members (1 each)", m1.evicted, m2.evicted)
+	}
+	s1, _ := m1.BudgetTail()
+	s2, _ := m2.BudgetTail()
+	if s1 != 3 || s2 != 4 {
+		t.Fatalf("surviving tails stamped %d,%d — the old entries should have yielded", s1, s2)
+	}
+}
+
+// TestMemBudgetRebalanceTerminates pins the refusal path: when every
+// member declines to yield, Rebalance returns over-budget rather than
+// spinning.
+func TestMemBudgetRebalanceTerminates(t *testing.T) {
+	b := NewMemBudget(10)
+	m := &fakeMember{budget: b}
+	b.Register(m)
+	b.Reserve(100) // bytes nobody owns an entry for
+	b.Rebalance()  // must return: the member has no tail to offer
+	if b.Used() != 100 {
+		t.Fatalf("Used = %d, want the unyieldable 100", b.Used())
+	}
+}
+
+// TestMemBudgetConcurrentRebalance pins thread-safety: concurrent
+// over-budget inserts across two members settle to a consistent,
+// under-budget state.
+func TestMemBudgetConcurrentRebalance(t *testing.T) {
+	b := NewMemBudget(1 << 10)
+	m1 := &fakeMember{budget: b}
+	m2 := &fakeMember{budget: b}
+	b.Register(m1)
+	b.Register(m2)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m := m1
+			if w%2 == 1 {
+				m = m2
+			}
+			for i := 0; i < 200; i++ {
+				m.add(64)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if b.Used() > b.Max() {
+		t.Fatalf("ended over budget: %d > %d", b.Used(), b.Max())
+	}
+	var held int64
+	for _, m := range []*fakeMember{m1, m2} {
+		m.mu.Lock()
+		for _, e := range m.entries {
+			held += e.bytes
+		}
+		m.mu.Unlock()
+	}
+	if held != b.Used() {
+		t.Fatalf("members hold %d, budget accounts %d", held, b.Used())
+	}
+}

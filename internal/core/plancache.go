@@ -61,6 +61,11 @@ type PlanCache[T any, S semiring.Semiring[T]] struct {
 	misses    uint64
 	coalesced uint64
 	evicted   uint64
+
+	// budget, when attached, is the shared byte budget this cache
+	// accounts its footprint against; entries then carry stamps from
+	// the budget's clock so cross-member eviction is globally LRU.
+	budget *MemBudget
 }
 
 // planCall is one in-flight planning operation coalescing concurrent
@@ -86,6 +91,9 @@ type planEntry[T any, S semiring.Semiring[T]] struct {
 	key   planKey
 	plan  *Plan[T, S]
 	bytes int64
+	// stamp is the shared-budget LRU tick of the entry's last touch;
+	// meaningful only while a MemBudget is attached.
+	stamp uint64
 }
 
 // DefaultPlanCacheEntries is the entry bound used when NewPlanCache is
@@ -107,6 +115,59 @@ func NewPlanCache[T any, S semiring.Semiring[T]](sr S, maxEntries int, maxBytes 
 		lru:        list.New(),
 		table:      make(map[planKey]*list.Element),
 		inflight:   make(map[planKey]*planCall[T, S]),
+	}
+}
+
+// AttachBudget makes the cache account its retained bytes against the
+// shared budget b (DESIGN.md §13): current and future entries are
+// reserved from it, hits refresh their global-LRU stamps, and the
+// cache yields its LRU tail to cross-member eviction pressure via the
+// BudgetMember methods. Attach before concurrent use; the local
+// maxEntries/maxBytes bounds keep applying on top of the shared one.
+func (c *PlanCache[T, S]) AttachBudget(b *MemBudget) {
+	c.mu.Lock()
+	c.budget = b
+	b.Reserve(c.bytes)
+	c.mu.Unlock()
+	b.Register(c)
+	b.Rebalance()
+}
+
+// BudgetTail implements BudgetMember: the stamp of the LRU entry, if
+// the cache holds more than one (the newest entry is never yielded,
+// mirroring evictLocked's floor).
+func (c *PlanCache[T, S]) BudgetTail() (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lru.Len() <= 1 {
+		return 0, false
+	}
+	return c.lru.Back().Value.(*planEntry[T, S]).stamp, true
+}
+
+// BudgetEvict implements BudgetMember: drops the LRU entry, releases
+// its bytes from the budget, and reports them.
+func (c *PlanCache[T, S]) BudgetEvict() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lru.Len() <= 1 {
+		return 0
+	}
+	el := c.lru.Back()
+	entry := el.Value.(*planEntry[T, S])
+	c.removeLocked(el, entry)
+	return entry.bytes
+}
+
+// removeLocked evicts one entry, maintaining counters and the shared
+// budget's accounting.
+func (c *PlanCache[T, S]) removeLocked(el *list.Element, entry *planEntry[T, S]) {
+	c.lru.Remove(el)
+	delete(c.table, entry.key)
+	c.bytes -= entry.bytes
+	c.evicted++
+	if c.budget != nil {
+		c.budget.Release(entry.bytes)
 	}
 }
 
@@ -168,7 +229,11 @@ func (c *PlanCache[T, S]) GetOrPlanObserved(mask *sparse.Pattern, a, b *sparse.C
 	if el, ok := c.table[key]; ok {
 		c.lru.MoveToFront(el)
 		c.hits++
-		plan := el.Value.(*planEntry[T, S]).plan
+		entry := el.Value.(*planEntry[T, S])
+		if c.budget != nil {
+			entry.stamp = c.budget.Stamp()
+		}
+		plan := entry.plan
 		c.mu.Unlock()
 		return plan, true, nil
 	}
@@ -231,10 +296,19 @@ func (c *PlanCache[T, S]) GetOrPlanObserved(mask *sparse.Pattern, a, b *sparse.C
 		plan = el.Value.(*planEntry[T, S]).plan
 		c.mu.Unlock()
 	} else {
+		if c.budget != nil {
+			entry.stamp = c.budget.Stamp()
+			c.budget.Reserve(entry.bytes)
+		}
 		c.table[key] = c.lru.PushFront(entry)
 		c.bytes += entry.bytes
 		c.evictLocked()
 		c.mu.Unlock()
+		if c.budget != nil {
+			// Shared-budget pressure is resolved outside the cache lock:
+			// Rebalance may evict from any member, including this cache.
+			c.budget.Rebalance()
+		}
 	}
 	call.plan = plan
 	close(call.done)
@@ -247,11 +321,7 @@ func (c *PlanCache[T, S]) GetOrPlanObserved(mask *sparse.Pattern, a, b *sparse.C
 func (c *PlanCache[T, S]) evictLocked() {
 	for c.lru.Len() > 1 && (c.lru.Len() > c.maxEntries || (c.maxBytes > 0 && c.bytes > c.maxBytes)) {
 		el := c.lru.Back()
-		entry := el.Value.(*planEntry[T, S])
-		c.lru.Remove(el)
-		delete(c.table, entry.key)
-		c.bytes -= entry.bytes
-		c.evicted++
+		c.removeLocked(el, el.Value.(*planEntry[T, S]))
 	}
 }
 
@@ -267,6 +337,9 @@ func (c *PlanCache[T, S]) Len() int {
 func (c *PlanCache[T, S]) Clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.budget != nil {
+		c.budget.Release(c.bytes)
+	}
 	c.lru.Init()
 	clear(c.table)
 	c.bytes = 0

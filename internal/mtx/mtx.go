@@ -19,6 +19,15 @@ import (
 	"maskedspgemm/internal/sparse"
 )
 
+const (
+	// maxDim bounds declared matrix dimensions; beyond it the row-pointer
+	// array alone exceeds a gigabyte, which no text-format input warrants.
+	maxDim = 1 << 27
+	// preallocEntries caps how much COO capacity the declared nnz may
+	// reserve before any entry has parsed.
+	preallocEntries = 1 << 20
+)
+
 // Header describes a Matrix Market file's declared type.
 type Header struct {
 	// Object is "matrix" (the only supported object).
@@ -76,18 +85,38 @@ func Read(r io.Reader) (*sparse.CSR[float64], *Header, error) {
 		if s == "" || strings.HasPrefix(s, "%") {
 			continue
 		}
-		if _, err := fmt.Sscan(s, &rows, &cols, &nnz); err != nil {
-			return nil, nil, fmt.Errorf("mtx: bad size line %q: %v", s, err)
+		parts := strings.Fields(s)
+		if len(parts) != 3 {
+			return nil, nil, fmt.Errorf("mtx: bad size line %q: want rows cols nnz", s)
+		}
+		var err1, err2, err3 error
+		rows, err1 = strconv.Atoi(parts[0])
+		cols, err2 = strconv.Atoi(parts[1])
+		nnz, err3 = strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, nil, fmt.Errorf("mtx: bad size line %q", s)
 		}
 		break
 	}
 	if rows < 0 || cols < 0 || nnz < 0 {
 		return nil, nil, fmt.Errorf("mtx: negative dimensions in size line")
 	}
+	// The size line is untrusted input: CSR conversion allocates rows+1
+	// row pointers up front, so an implausible declared dimension must be
+	// rejected here rather than honoured with a multi-gigabyte make.
+	if rows > maxDim || cols > maxDim {
+		return nil, nil, fmt.Errorf("mtx: dimensions %dx%d exceed the %d limit", rows, cols, maxDim)
+	}
 
+	// The capacity hint is only a hint — clamp it so a hostile nnz can
+	// reserve at most a bounded buffer; real entries grow it by append
+	// as they actually parse.
 	capHint := nnz
 	if h.Symmetry != "general" {
 		capHint *= 2
+	}
+	if capHint > preallocEntries {
+		capHint = preallocEntries
 	}
 	coo := sparse.NewCOO[float64](rows, cols, capHint)
 	read := 0

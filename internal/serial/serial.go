@@ -80,40 +80,80 @@ func Read(r io.Reader) (*sparse.CSR[float64], error) {
 	if rows > sanity || cols > sanity || nnz > sanity {
 		return nil, fmt.Errorf("serial: implausible header rows=%d cols=%d nnz=%d", rows, cols, nnz)
 	}
+	// The arrays are grown as bytes actually arrive, never allocated to
+	// the header's declared size up front: a hostile (or fuzzed) header
+	// promising 2^39 rows against a 40-byte body must fail with a short
+	// read, not attempt a terabyte allocation.
 	m := &sparse.CSR[float64]{
 		Pattern: sparse.Pattern{
 			Rows:   int(rows),
 			Cols:   int(cols),
-			RowPtr: make([]int64, rows+1),
-			ColIdx: make([]int32, nnz),
+			RowPtr: make([]int64, 0, prealloc(rows+1)),
+			ColIdx: make([]int32, 0, prealloc(nnz)),
 		},
-		Val: make([]float64, nnz),
+		Val: make([]float64, 0, prealloc(nnz)),
 	}
-	buf := make([]byte, 8*(rows+1))
-	if _, err := io.ReadFull(br, buf); err != nil {
-		return nil, fmt.Errorf("serial: short rowptr: %w", err)
+	err := readChunked(br, rows+1, 8, "rowptr", func(chunk []byte) {
+		for off := 0; off < len(chunk); off += 8 {
+			m.RowPtr = append(m.RowPtr, int64(binary.LittleEndian.Uint64(chunk[off:])))
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	for i := range m.RowPtr {
-		m.RowPtr[i] = int64(binary.LittleEndian.Uint64(buf[8*i:]))
+	err = readChunked(br, nnz, 4, "colidx", func(chunk []byte) {
+		for off := 0; off < len(chunk); off += 4 {
+			m.ColIdx = append(m.ColIdx, int32(binary.LittleEndian.Uint32(chunk[off:])))
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	buf = make([]byte, 4*nnz)
-	if _, err := io.ReadFull(br, buf); err != nil {
-		return nil, fmt.Errorf("serial: short colidx: %w", err)
-	}
-	for i := range m.ColIdx {
-		m.ColIdx[i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
-	}
-	buf = make([]byte, 8*nnz)
-	if _, err := io.ReadFull(br, buf); err != nil {
-		return nil, fmt.Errorf("serial: short values: %w", err)
-	}
-	for i := range m.Val {
-		m.Val[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	err = readChunked(br, nnz, 8, "values", func(chunk []byte) {
+		for off := 0; off < len(chunk); off += 8 {
+			m.Val = append(m.Val, math.Float64frombits(binary.LittleEndian.Uint64(chunk[off:])))
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("serial: corrupt matrix: %w", err)
 	}
 	return m, nil
+}
+
+// preallocWords caps how much array capacity a header's declared size
+// may reserve before any payload bytes have been read (1 Mi words;
+// larger matrices grow by append as their bytes arrive).
+const preallocWords = 1 << 20
+
+// prealloc clamps a declared element count to the pre-read capacity cap.
+func prealloc(n uint64) int {
+	if n > preallocWords {
+		return preallocWords
+	}
+	return int(n)
+}
+
+// readChunked streams count fixed-width words through emit in bounded
+// chunks, so decode memory tracks delivered bytes rather than declared
+// counts. The chunk size is a multiple of every word width used here.
+func readChunked(br io.Reader, count uint64, width int, what string, emit func(chunk []byte)) error {
+	buf := make([]byte, 1<<16)
+	remaining := count * uint64(width)
+	for remaining > 0 {
+		n := uint64(len(buf))
+		if n > remaining {
+			n = remaining
+		}
+		if _, err := io.ReadFull(br, buf[:n]); err != nil {
+			return fmt.Errorf("serial: short %s: %w", what, err)
+		}
+		emit(buf[:n])
+		remaining -= n
+	}
+	return nil
 }
 
 // WriteFile writes a matrix to disk.

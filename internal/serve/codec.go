@@ -23,6 +23,11 @@ import (
 type operands struct {
 	mask *maskedspgemm.Pattern
 	a, b *maskedspgemm.Matrix
+	// maskM is the matrix the mask part decoded from, when it was a
+	// distinct upload (nil when the mask defaulted to A's pattern); the
+	// store-through path files it so later requests can reference the
+	// mask structure by fingerprint.
+	maskM *maskedspgemm.Matrix
 }
 
 // decodeMatrix reads one matrix in either wire format, sniffing the
@@ -88,6 +93,7 @@ func decodeMultipart(mr *multipart.Reader) (*operands, error) {
 		switch name {
 		case "mask":
 			ops.mask = m.PatternView()
+			ops.maskM = m
 		case "a":
 			ops.a = m
 		case "b":

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"bytes"
+	"mime/multipart"
+	"net/http"
+	"testing"
+
+	maskedspgemm "maskedspgemm"
+	"maskedspgemm/internal/serve/servetest"
+)
+
+// fuzzSeeds are the corpus of body prefixes the sniffing codec must
+// survive: both wire-format magics (whole and truncated), near-misses,
+// and plain junk. Valid bodies are appended by the fuzz targets.
+func fuzzSeeds() [][]byte {
+	return [][]byte{
+		[]byte("MSPG"),
+		[]byte("MSPG\x01\x00\x00\x00"),
+		[]byte("MSP"),
+		[]byte("MSPX full of garbage"),
+		[]byte("%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1.0\n2 2 2.0\n"),
+		[]byte("%%MatrixMarket matrix coordinate real general\n"),
+		[]byte("%% almost a banner"),
+		[]byte("%"),
+		[]byte("junk body"),
+		{},
+		{0x00, 0xff, 0x00, 0xff},
+	}
+}
+
+// fuzzStatusOK reports whether a decode failure mapped to a status the
+// codec contract allows: client errors only — a malformed body must
+// never surface as a 5xx.
+func fuzzStatusOK(status int) bool {
+	switch status {
+	case http.StatusBadRequest, http.StatusRequestTimeout, http.StatusRequestEntityTooLarge:
+		return true
+	}
+	return false
+}
+
+// FuzzDecodeMatrix drives the sniffing single-matrix decoder with
+// arbitrary prefixes: it must never panic, and every failure must map
+// to a client-error status.
+func FuzzDecodeMatrix(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Add(servetest.EncodeSerial(f, maskedspgemm.ErdosRenyi(16, 3, 1)))
+	f.Add(servetest.EncodeMTX(f, maskedspgemm.ErdosRenyi(16, 3, 2)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeMatrix(bytes.NewReader(data))
+		if err != nil {
+			if status := operandStatus(err, nil); !fuzzStatusOK(status) {
+				t.Fatalf("decode error mapped to status %d: %v", status, err)
+			}
+			return
+		}
+		if m == nil {
+			t.Fatal("nil matrix without an error")
+		}
+	})
+}
+
+// FuzzDecodeOperands drives the full request decoder — content-type
+// dispatch included, so the multipart path is in scope — with
+// arbitrary bodies and content types. Same contract: no panic, client
+// errors only.
+func FuzzDecodeOperands(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add("", seed)
+	}
+	serialBody := servetest.EncodeSerial(f, maskedspgemm.ErdosRenyi(16, 3, 3))
+	f.Add("application/x-mspgemm", serialBody)
+
+	var mbody bytes.Buffer
+	mw := multipart.NewWriter(&mbody)
+	fw, err := mw.CreateFormField("a")
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := fw.Write(serialBody); err != nil {
+		f.Fatal(err)
+	}
+	mw.Close()
+	f.Add(mw.FormDataContentType(), mbody.Bytes())
+	f.Add(mw.FormDataContentType(), []byte("--not-the-boundary\r\njunk"))
+	f.Add("multipart/form-data", []byte("missing boundary parameter"))
+	f.Add("multipart/form-data; boundary=x", []byte("--x\r\nContent-Disposition: form-data; name=\"q\"\r\n\r\nMSPG\r\n--x--\r\n"))
+
+	f.Fuzz(func(t *testing.T, contentType string, data []byte) {
+		req, err := http.NewRequest(http.MethodPost, "/v1/multiply", bytes.NewReader(data))
+		if err != nil {
+			t.Skip()
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		ops, err := decodeOperands(req)
+		if err != nil {
+			if status := operandStatus(err, nil); !fuzzStatusOK(status) {
+				t.Fatalf("decode error mapped to status %d: %v", status, err)
+			}
+			return
+		}
+		if ops.a == nil || ops.b == nil || ops.mask == nil {
+			t.Fatalf("decoded operands with a hole: %+v", ops)
+		}
+	})
+}
+
+// FuzzDecodeUploads covers the PUT /v1/operands decoder the same way:
+// any-name multipart parts and raw bodies, never a panic, client
+// errors only.
+func FuzzDecodeUploads(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add("", seed)
+	}
+	f.Add("", servetest.EncodeMTX(f, maskedspgemm.ErdosRenyi(16, 3, 4)))
+	f.Fuzz(func(t *testing.T, contentType string, data []byte) {
+		req, err := http.NewRequest(http.MethodPut, "/v1/operands", bytes.NewReader(data))
+		if err != nil {
+			t.Skip()
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		ups, err := decodeUploads(req)
+		if err != nil {
+			if status := operandStatus(err, nil); !fuzzStatusOK(status) {
+				t.Fatalf("decode error mapped to status %d: %v", status, err)
+			}
+			return
+		}
+		for _, up := range ups {
+			if up.m == nil {
+				t.Fatal("nil upload without an error")
+			}
+		}
+	})
+}
+
+// TestDecodeMatrixTruncations replays every prefix of a valid body
+// through the decoder — the systematic version of what fuzzing samples:
+// truncation at any byte is a clean client error, not a panic and not
+// a phantom success.
+func TestDecodeMatrixTruncations(t *testing.T) {
+	for name, body := range map[string][]byte{
+		"serial": servetest.EncodeSerial(t, maskedspgemm.ErdosRenyi(24, 4, 5)),
+		"mtx":    servetest.EncodeMTX(t, maskedspgemm.ErdosRenyi(24, 4, 5)),
+	} {
+		for cut := 0; cut < len(body); cut++ {
+			m, err := decodeMatrix(bytes.NewReader(body[:cut]))
+			if err == nil {
+				// Matrix Market tolerates a truncated final line only when
+				// the entry count still matches; anything the decoder
+				// accepts must at least be a well-formed matrix.
+				if m == nil {
+					t.Fatalf("%s cut at %d: nil matrix without error", name, cut)
+				}
+				continue
+			}
+			if status := operandStatus(err, nil); !fuzzStatusOK(status) {
+				t.Fatalf("%s cut at %d: status %d: %v", name, cut, status, err)
+			}
+		}
+	}
+}
+
+// TestDecodeMatrixOversizedHeader pins the decoder against a header
+// that promises absurd sizes: the serial reader must refuse declared
+// dimensions it cannot hold rather than attempt the allocation.
+func TestDecodeMatrixOversizedHeader(t *testing.T) {
+	// MSPG | version 1 | rows 2^60 | cols 2^60 | nnz 2^60.
+	body := []byte("MSPG\x01\x00\x00\x00")
+	huge := bytes.Repeat([]byte{0, 0, 0, 0, 0, 0, 0, 0x10}, 3)
+	body = append(body, huge...)
+	m, err := decodeMatrix(bytes.NewReader(body))
+	if err == nil {
+		t.Fatalf("oversized header decoded into %v", m)
+	}
+	if status := operandStatus(err, nil); status != http.StatusBadRequest {
+		t.Fatalf("oversized header: status %d, want 400", status)
+	}
+}

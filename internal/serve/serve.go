@@ -10,9 +10,19 @@
 //
 //	POST /v1/multiply  — compute C = M ⊙ (A·B); operands in the body
 //	                     (MSPG binary or Matrix Market, raw single
-//	                     matrix or multipart mask/a/b parts), options
-//	                     as query parameters, result as MSPG binary,
-//	                     Matrix Market, or a JSON summary.
+//	                     matrix or multipart mask/a/b parts) or named
+//	                     by reference (?a=, ?b=, ?mask= fingerprints
+//	                     of stored operands; dangling refs → 404
+//	                     naming what's missing), options as query
+//	                     parameters, result as MSPG binary, Matrix
+//	                     Market, or a JSON summary. Inline operands
+//	                     are stored through; the response's
+//	                     X-Operand-* headers carry their refs.
+//	PUT  /v1/operands  — upload operands once for later reference;
+//	                     idempotent, content-addressed. With
+//	                     ?values_for=<pattern-fp>, a values-only
+//	                     delta re-keys fresh numbers under a
+//	                     resident structure.
 //	POST /v1/warm      — plan the operands' structure without
 //	                     executing, pre-populating the plan cache.
 //	GET  /stats        — JSON session + admission counters and the
@@ -146,6 +156,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/multiply", s.handleMultiply)
+	s.mux.HandleFunc("/v1/operands", s.handleOperands)
 	s.mux.HandleFunc("/v1/warm", s.handleWarm)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -187,6 +198,13 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// The reference form is recognized (and rejected if malformed)
+	// before the request queues for a slot: a bad ref is a cheap 400.
+	refs, err := parseRefForm(r.URL.Query())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	wait, err := queueDeadline(r, s.cfg.QueueTimeout)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
@@ -213,6 +231,23 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	if s.execGate != nil {
 		s.execGate()
 	}
+	if refs != nil {
+		// Reference form: no body to read — the operands are already
+		// resident, the request cost is the envelope. A dangling ref is
+		// a 404 that names every missing operand.
+		out, err := s.session.MultiplyRefs(refs.maskFP, refs.aRef, refs.bRef, opts...)
+		var missing *maskedspgemm.MissingOperandsError
+		switch {
+		case errors.As(err, &missing):
+			writeMissing(w, missing)
+			return
+		case err != nil:
+			httpError(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+		s.writeResult(w, format, out)
+		return
+	}
 	// The body is decoded while holding the slot — deliberately, so at
 	// most MaxInFlight bodies are ever in memory at once — but under
 	// BodyReadTimeout, so a slow-trickling upload surrenders the slot at
@@ -222,6 +257,10 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 		httpError(w, status, err.Error())
 		return
 	}
+	// Inline operands are stored through on the way in, and the refs
+	// they landed under ride back on X-Operand-* headers: the upload a
+	// client just paid buys its next request the reference form.
+	s.storeThrough(w, ops)
 	out, err := s.session.Multiply(ops.mask, ops.a, ops.b, opts...)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err.Error())
@@ -308,10 +347,57 @@ type statsResponse struct {
 type sessionStatsJSON struct {
 	// Cache is the plan-cache snapshot.
 	Cache cacheStatsJSON `json:"cache"`
+	// Store is the operand-store snapshot.
+	Store storeStatsJSON `json:"store"`
+	// Budget is the shared memory budget the cache and store draw from.
+	Budget budgetStatsJSON `json:"budget"`
 	// Pool is the executor-pool snapshot.
 	Pool poolStatsJSON `json:"pool"`
 	// Sched is the cumulative scheduler telemetry.
 	Sched schedStatsJSON `json:"sched"`
+}
+
+// storeStatsJSON is the wire form of StoreStats.
+type storeStatsJSON struct {
+	// Hits counts reference resolutions answered by a resident operand.
+	Hits uint64 `json:"hits"`
+	// Misses counts resolutions of absent content — the dangling refs.
+	Misses uint64 `json:"misses"`
+	// Puts counts uploads that created a resident operand.
+	Puts uint64 `json:"puts"`
+	// Reputs counts idempotent re-uploads of resident content.
+	Reputs uint64 `json:"reputs"`
+	// Evictions counts operands dropped under budget pressure.
+	Evictions uint64 `json:"evictions"`
+	// Operands is the current number of resident matrices.
+	Operands int `json:"operands"`
+	// Patterns is the current number of resident structures (shared
+	// across value sets, so Patterns ≤ Operands).
+	Patterns int `json:"patterns"`
+	// Bytes is the store's share of the memory budget.
+	Bytes int64 `json:"bytes"`
+}
+
+// storeStatsWire converts a StoreStats snapshot to its wire form.
+func storeStatsWire(st maskedspgemm.StoreStats) storeStatsJSON {
+	return storeStatsJSON{
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Puts:      st.Puts,
+		Reputs:    st.Reputs,
+		Evictions: st.Evictions,
+		Operands:  st.Operands,
+		Patterns:  st.Patterns,
+		Bytes:     st.Bytes,
+	}
+}
+
+// budgetStatsJSON is the wire form of BudgetStats.
+type budgetStatsJSON struct {
+	// UsedBytes is the budget's current charge (plan cache + store).
+	UsedBytes int64 `json:"used_bytes"`
+	// MaxBytes is the configured ceiling.
+	MaxBytes int64 `json:"max_bytes"`
 }
 
 // cacheStatsJSON is the wire form of CacheStats.
@@ -374,6 +460,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				Bytes:            st.Cache.Bytes,
 				HybridFamilyRows: st.Cache.HybridFamilyRows,
 			},
+			Store: storeStatsWire(st.Store),
+			Budget: budgetStatsJSON{
+				UsedBytes: st.Budget.UsedBytes,
+				MaxBytes:  st.Budget.MaxBytes,
+			},
 			Pool: poolStatsJSON{
 				Created:   st.Pool.Created,
 				Reused:    st.Pool.Reused,
@@ -404,12 +495,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// readOperands decodes the request body under the configured size cap
+// readGuarded decodes a request body under the configured size cap
 // (over it → 413) and read deadline (a body still trickling in at
 // BodyReadTimeout → 408, and the slot or warm token the caller holds
 // frees). On failure the returned status is the HTTP code the caller
-// should answer with.
-func (s *Server) readOperands(w http.ResponseWriter, r *http.Request) (*operands, int, error) {
+// should answer with. Every body-reading endpoint goes through here so
+// the guards can't drift apart per handler.
+func readGuarded[T any](s *Server, w http.ResponseWriter, r *http.Request, decode func(*http.Request) (T, error)) (T, int, error) {
 	rc := http.NewResponseController(w)
 	// SetReadDeadline is unsupported on some wrapped writers; a request
 	// that can't be deadlined still gets the size cap.
@@ -420,9 +512,10 @@ func (s *Server) readOperands(w http.ResponseWriter, r *http.Request) (*operands
 	// parse confusion without wrapping the cause.
 	body := &trackedBody{ReadCloser: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)}
 	r.Body = body
-	ops, err := decodeOperands(r)
+	out, err := decode(r)
 	if err != nil {
-		return nil, operandStatus(err, body.readErr), err
+		var zero T
+		return zero, operandStatus(err, body.readErr), err
 	}
 	if deadlined {
 		// Decoded fully: stop the deadline from bleeding into the next
@@ -432,7 +525,12 @@ func (s *Server) readOperands(w http.ResponseWriter, r *http.Request) (*operands
 		// or a stalled upload would block the error response itself.
 		_ = rc.SetReadDeadline(time.Time{})
 	}
-	return ops, http.StatusOK, nil
+	return out, http.StatusOK, nil
+}
+
+// readOperands is readGuarded specialized to multiply/warm bodies.
+func (s *Server) readOperands(w http.ResponseWriter, r *http.Request) (*operands, int, error) {
+	return readGuarded(s, w, r, decodeOperands)
 }
 
 // trackedBody records the first non-EOF error a body read surfaces.
@@ -525,7 +623,14 @@ func httpError(w http.ResponseWriter, code int, msg string) {
 
 // writeJSON writes v as an indented JSON response.
 func writeJSON(w http.ResponseWriter, v any) {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+// writeJSONStatus writes v as an indented JSON response under an
+// explicit status code.
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)

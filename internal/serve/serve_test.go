@@ -5,11 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
-	"mime/multipart"
-	"net"
 	"net/http"
-	"net/http/httptest"
 	"runtime"
 	"strings"
 	"sync"
@@ -20,61 +16,19 @@ import (
 	maskedspgemm "maskedspgemm"
 	"maskedspgemm/internal/mtx"
 	"maskedspgemm/internal/serial"
+	"maskedspgemm/internal/serve/servetest"
 	"maskedspgemm/internal/sparse"
 )
 
-// encodeSerial renders a matrix in the MSPG wire format.
-func encodeSerial(t testing.TB, m *maskedspgemm.Matrix) []byte {
+// getStats fetches and decodes /stats into the typed response.
+func getStats(t testing.TB, h *servetest.Server) statsResponse {
 	t.Helper()
-	var buf bytes.Buffer
-	if err := serial.Write(&buf, m); err != nil {
-		t.Fatal(err)
+	resp := h.Get("/stats")
+	if resp.Status != http.StatusOK {
+		t.Fatalf("/stats: status %d: %s", resp.Status, resp.Body)
 	}
-	return buf.Bytes()
-}
-
-// encodeMTX renders a matrix in Matrix Market format.
-func encodeMTX(t testing.TB, m *maskedspgemm.Matrix) []byte {
-	t.Helper()
-	var buf bytes.Buffer
-	if err := mtx.Write(&buf, m); err != nil {
-		t.Fatal(err)
-	}
-	return buf.Bytes()
-}
-
-// post issues one request against the test server.
-func post(t testing.TB, client *http.Client, url string, body []byte, hdr map[string]string) (*http.Response, []byte) {
-	t.Helper()
-	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	for k, v := range hdr {
-		req.Header.Set(k, v)
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	data, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if err != nil {
-		t.Fatal(err)
-	}
-	return resp, data
-}
-
-// getStats fetches and decodes /stats.
-func getStats(t testing.TB, client *http.Client, base string) statsResponse {
-	t.Helper()
-	resp, err := client.Get(base + "/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
 	var st statsResponse
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+	if err := json.Unmarshal(resp.Body, &st); err != nil {
 		t.Fatal(err)
 	}
 	return st
@@ -96,7 +50,7 @@ func TestAdmissionStateMachine(t *testing.T) {
 	// Third request queues; it should be admitted once a slot frees.
 	admittedCh := make(chan admitOutcome, 1)
 	go func() { admittedCh <- a.acquire(ctx, time.Minute) }()
-	waitFor(t, func() bool { return a.stats().QueueDepth == 1 })
+	servetest.WaitFor(t, func() bool { return a.stats().QueueDepth == 1 })
 
 	// Fourth request finds the queue full: shed.
 	if got := a.acquire(ctx, 0); got != admitShed {
@@ -123,7 +77,7 @@ func TestAdmissionStateMachine(t *testing.T) {
 	cctx, cancel := context.WithCancel(ctx)
 	outcomeCh := make(chan admitOutcome, 1)
 	go func() { outcomeCh <- a.acquire(cctx, time.Minute) }()
-	waitFor(t, func() bool { return a.stats().QueueDepth == 1 })
+	servetest.WaitFor(t, func() bool { return a.stats().QueueDepth == 1 })
 	cancel()
 	if got := <-outcomeCh; got != admitCanceled {
 		t.Fatalf("canceled request: %v", got)
@@ -146,7 +100,7 @@ func TestAdmissionDrain(t *testing.T) {
 	}
 	queuedCh := make(chan admitOutcome, 1)
 	go func() { queuedCh <- a.acquire(ctx, time.Minute) }()
-	waitFor(t, func() bool { return a.stats().QueueDepth == 1 })
+	servetest.WaitFor(t, func() bool { return a.stats().QueueDepth == 1 })
 
 	done := a.beginDrain()
 	if got := <-queuedCh; got != admitDraining {
@@ -171,18 +125,6 @@ func TestAdmissionDrain(t *testing.T) {
 	}
 }
 
-// waitFor polls cond until it holds or the deadline passes.
-func waitFor(t testing.TB, cond func() bool) {
-	t.Helper()
-	deadline := time.Now().Add(2 * time.Second)
-	for !cond() {
-		if time.Now().After(deadline) {
-			t.Fatal("condition not reached")
-		}
-		time.Sleep(time.Millisecond)
-	}
-}
-
 // TestServeMultiplyFormats checks the wire contract end to end: raw
 // serial and Matrix Market bodies, multipart operands, and all three
 // response formats agree with the library computed locally.
@@ -192,15 +134,14 @@ func TestServeMultiplyFormats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(Config{}))
-	defer ts.Close()
+	h := servetest.Start(t, New(Config{}))
 
 	// Raw serial body, serial response.
-	resp, body := post(t, ts.Client(), ts.URL+"/v1/multiply?algorithm=hash", encodeSerial(t, g), nil)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("serial: status %d: %s", resp.StatusCode, body)
+	resp := h.Post("/v1/multiply?algorithm=hash", servetest.EncodeSerial(t, g), nil)
+	if resp.Status != http.StatusOK {
+		t.Fatalf("serial: status %d: %s", resp.Status, resp.Body)
 	}
-	got, err := serial.Read(bytes.NewReader(body))
+	got, err := serial.Read(bytes.NewReader(resp.Body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,11 +150,11 @@ func TestServeMultiplyFormats(t *testing.T) {
 	}
 
 	// Raw Matrix Market body, mtx response.
-	resp, body = post(t, ts.Client(), ts.URL+"/v1/multiply?algorithm=hash&format=mtx", encodeMTX(t, g), nil)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("mtx: status %d: %s", resp.StatusCode, body)
+	resp = h.Post("/v1/multiply?algorithm=hash&format=mtx", servetest.EncodeMTX(t, g), nil)
+	if resp.Status != http.StatusOK {
+		t.Fatalf("mtx: status %d: %s", resp.Status, resp.Body)
 	}
-	got, _, err = mtx.Read(bytes.NewReader(body))
+	got, _, err = mtx.Read(bytes.NewReader(resp.Body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,12 +163,12 @@ func TestServeMultiplyFormats(t *testing.T) {
 	}
 
 	// Summary response: shape, nnz, and value sum.
-	resp, body = post(t, ts.Client(), ts.URL+"/v1/multiply?algorithm=hash&format=summary", encodeSerial(t, g), nil)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("summary: status %d: %s", resp.StatusCode, body)
+	resp = h.Post("/v1/multiply?algorithm=hash&format=summary", servetest.EncodeSerial(t, g), nil)
+	if resp.Status != http.StatusOK {
+		t.Fatalf("summary: status %d: %s", resp.Status, resp.Body)
 	}
 	var sum resultSummary
-	if err := json.Unmarshal(body, &sum); err != nil {
+	if err := json.Unmarshal(resp.Body, &sum); err != nil {
 		t.Fatal(err)
 	}
 	wantSum := summarize(want)
@@ -237,36 +178,21 @@ func TestServeMultiplyFormats(t *testing.T) {
 
 	// Multipart operands in mixed formats: mask as Matrix Market, a and
 	// b as serial. Use an asymmetric product so operand routing matters.
-	h := maskedspgemm.ErdosRenyi(96, 4, 43)
-	wantMulti, err := maskedspgemm.Multiply(h.PatternView(), g, h)
+	hm := maskedspgemm.ErdosRenyi(96, 4, 43)
+	wantMulti, err := maskedspgemm.Multiply(hm.PatternView(), g, hm)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var mbody bytes.Buffer
-	mw := multipart.NewWriter(&mbody)
-	for _, part := range []struct {
-		name string
-		data []byte
-	}{
-		{"mask", encodeMTX(t, h)},
-		{"a", encodeSerial(t, g)},
-		{"b", encodeSerial(t, h)},
-	} {
-		fw, err := mw.CreateFormField(part.name)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if _, err := fw.Write(part.data); err != nil {
-			t.Fatal(err)
-		}
+	mbody, ctype := servetest.Multipart(t,
+		servetest.Part{Name: "mask", Data: servetest.EncodeMTX(t, hm)},
+		servetest.Part{Name: "a", Data: servetest.EncodeSerial(t, g)},
+		servetest.Part{Name: "b", Data: servetest.EncodeSerial(t, hm)},
+	)
+	resp = h.Post("/v1/multiply", mbody, map[string]string{"Content-Type": ctype})
+	if resp.Status != http.StatusOK {
+		t.Fatalf("multipart: status %d: %s", resp.Status, resp.Body)
 	}
-	mw.Close()
-	resp, body = post(t, ts.Client(), ts.URL+"/v1/multiply", mbody.Bytes(),
-		map[string]string{"Content-Type": mw.FormDataContentType()})
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("multipart: status %d: %s", resp.StatusCode, body)
-	}
-	got, err = serial.Read(bytes.NewReader(body))
+	got, err = serial.Read(bytes.NewReader(resp.Body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,25 +206,24 @@ func TestServeMultiplyFormats(t *testing.T) {
 // on must hit it — one miss, one hit, one cache entry.
 func TestServeWarmThenMultiplyHits(t *testing.T) {
 	g := maskedspgemm.ErdosRenyi(80, 6, 44)
-	ts := httptest.NewServer(New(Config{}))
-	defer ts.Close()
-	body := encodeSerial(t, g)
+	h := servetest.Start(t, New(Config{}))
+	body := servetest.EncodeSerial(t, g)
 
-	resp, out := post(t, ts.Client(), ts.URL+"/v1/warm?algorithm=msa", body, nil)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("warm: status %d: %s", resp.StatusCode, out)
+	resp := h.Post("/v1/warm?algorithm=msa", body, nil)
+	if resp.Status != http.StatusOK {
+		t.Fatalf("warm: status %d: %s", resp.Status, resp.Body)
 	}
-	murl := ts.URL + "/v1/multiply?algorithm=msa&sched_stats=1"
+	murl := "/v1/multiply?algorithm=msa&sched_stats=1"
 	if runtime.GOMAXPROCS(0) > 1 {
 		// threads is clamped to the host's parallelism; only widen where
 		// the host allows it.
 		murl += "&threads=2"
 	}
-	resp, out = post(t, ts.Client(), murl, body, nil)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("multiply: status %d: %s", resp.StatusCode, out)
+	resp = h.Post(murl, body, nil)
+	if resp.Status != http.StatusOK {
+		t.Fatalf("multiply: status %d: %s", resp.Status, resp.Body)
 	}
-	st := getStats(t, ts.Client(), ts.URL)
+	st := getStats(t, h)
 	c := st.Session.Cache
 	if c.Hits != 1 || c.Misses != 2 || c.Entries != 2 {
 		// threads=2 is plan-affecting (partition layout), so the warmed
@@ -310,15 +235,14 @@ func TestServeWarmThenMultiplyHits(t *testing.T) {
 
 	// The precise regression: identical plan-affecting options, telemetry
 	// differing. Fresh server for clean counters.
-	ts2 := httptest.NewServer(New(Config{}))
-	defer ts2.Close()
-	if resp, out := post(t, ts2.Client(), ts2.URL+"/v1/warm", body, nil); resp.StatusCode != http.StatusOK {
-		t.Fatalf("warm: status %d: %s", resp.StatusCode, out)
+	h2 := servetest.Start(t, New(Config{}))
+	if resp := h2.Post("/v1/warm", body, nil); resp.Status != http.StatusOK {
+		t.Fatalf("warm: status %d: %s", resp.Status, resp.Body)
 	}
-	if resp, out := post(t, ts2.Client(), ts2.URL+"/v1/multiply?sched_stats=1", body, nil); resp.StatusCode != http.StatusOK {
-		t.Fatalf("multiply: status %d: %s", resp.StatusCode, out)
+	if resp := h2.Post("/v1/multiply?sched_stats=1", body, nil); resp.Status != http.StatusOK {
+		t.Fatalf("multiply: status %d: %s", resp.Status, resp.Body)
 	}
-	st2 := getStats(t, ts2.Client(), ts2.URL)
+	st2 := getStats(t, h2)
 	if c := st2.Session.Cache; c.Hits != 1 || c.Misses != 1 || c.Entries != 1 {
 		t.Fatalf("cache = %+v, want Hits == 1, Misses == 1, Entries == 1 (warm → stats-multiply must hit)", c)
 	}
@@ -333,22 +257,21 @@ func TestServeWarmThenMultiplyHits(t *testing.T) {
 // traffic reports none.
 func TestServeStatsHybridFamilyRows(t *testing.T) {
 	g := maskedspgemm.ErdosRenyi(80, 6, 45)
-	ts := httptest.NewServer(New(Config{}))
-	defer ts.Close()
-	body := encodeSerial(t, g)
+	h := servetest.Start(t, New(Config{}))
+	body := servetest.EncodeSerial(t, g)
 
-	resp, out := post(t, ts.Client(), ts.URL+"/v1/multiply?algorithm=msa", body, nil)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("msa multiply: status %d: %s", resp.StatusCode, out)
+	resp := h.Post("/v1/multiply?algorithm=msa", body, nil)
+	if resp.Status != http.StatusOK {
+		t.Fatalf("msa multiply: status %d: %s", resp.Status, resp.Body)
 	}
-	if rows := getStats(t, ts.Client(), ts.URL).Session.Cache.HybridFamilyRows; rows != nil {
+	if rows := getStats(t, h).Session.Cache.HybridFamilyRows; rows != nil {
 		t.Fatalf("uniform traffic reported family rows %v", rows)
 	}
-	resp, out = post(t, ts.Client(), ts.URL+"/v1/multiply?algorithm=hybrid", body, nil)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("hybrid multiply: status %d: %s", resp.StatusCode, out)
+	resp = h.Post("/v1/multiply?algorithm=hybrid", body, nil)
+	if resp.Status != http.StatusOK {
+		t.Fatalf("hybrid multiply: status %d: %s", resp.Status, resp.Body)
 	}
-	rows := getStats(t, ts.Client(), ts.URL).Session.Cache.HybridFamilyRows
+	rows := getStats(t, h).Session.Cache.HybridFamilyRows
 	if len(rows) == 0 {
 		t.Fatal("hybrid plan reported no family rows")
 	}
@@ -388,12 +311,11 @@ func TestServeSaturation(t *testing.T) {
 		<-gate
 		cur.Add(-1)
 	}
-	ts := httptest.NewServer(srv)
-	ts.Client().Timeout = time.Minute
+	h := servetest.Start(t, srv)
+	h.Client.Timeout = time.Minute
 
 	g := maskedspgemm.ErdosRenyi(64, 4, 45)
-	body := encodeSerial(t, g)
-	url := ts.URL + "/v1/multiply"
+	body := servetest.EncodeSerial(t, g)
 
 	// Fill every execution slot, then every queue seat.
 	var wg sync.WaitGroup
@@ -403,31 +325,31 @@ func TestServeSaturation(t *testing.T) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				resp, _ := post(t, ts.Client(), url, body, nil)
-				if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
+				resp := h.Post("/v1/multiply", body, nil)
+				if resp.Status == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
 					t.Error("429 without Retry-After")
 				}
-				codes <- resp.StatusCode
+				codes <- resp.Status
 			}()
 		}
 	}
 	launch(pool)
-	waitFor(t, func() bool { return srv.adm.stats().InFlight == pool })
+	servetest.WaitFor(t, func() bool { return srv.adm.stats().InFlight == pool })
 
 	// With slots full but queue room free, a request with its own short
 	// deadline queues, expires, and gets 503.
-	resp, _ := post(t, ts.Client(), url, body, map[string]string{"X-Queue-Deadline-Ms": "1"})
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("expired request: status %d, want 503", resp.StatusCode)
+	resp := h.Post("/v1/multiply", body, map[string]string{"X-Queue-Deadline-Ms": "1"})
+	if resp.Status != http.StatusServiceUnavailable {
+		t.Fatalf("expired request: status %d, want 503", resp.Status)
 	}
 
 	launch(queue)
-	waitFor(t, func() bool { return srv.adm.stats().QueueDepth == queue })
+	servetest.WaitFor(t, func() bool { return srv.adm.stats().QueueDepth == queue })
 
 	// Every further client must be shed immediately: slots and queue are
 	// both full and nothing can free while the gate is closed.
 	launch(clients - pool - queue)
-	waitFor(t, func() bool { return srv.adm.stats().Shed == clients-pool-queue })
+	servetest.WaitFor(t, func() bool { return srv.adm.stats().Shed == clients-pool-queue })
 
 	// Open the gate: the P in-flight and Q queued requests all finish.
 	close(gate)
@@ -463,112 +385,96 @@ func TestServeSaturation(t *testing.T) {
 	case <-time.After(time.Second):
 		t.Fatal("drain did not complete with no requests in flight")
 	}
-	resp, _ = post(t, ts.Client(), url, body, nil)
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("post-drain request: status %d, want 503", resp.StatusCode)
+	resp = h.Post("/v1/multiply", body, nil)
+	if resp.Status != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain request: status %d, want 503", resp.Status)
 	}
-	resp, _ = post(t, ts.Client(), ts.URL+"/v1/warm", body, nil)
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("post-drain warm: status %d, want 503 (warming must not delay shutdown)", resp.StatusCode)
+	resp = h.Post("/v1/warm", body, nil)
+	if resp.Status != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain warm: status %d, want 503 (warming must not delay shutdown)", resp.Status)
 	}
-	if hresp, err := ts.Client().Get(ts.URL + "/healthz"); err != nil {
-		t.Fatal(err)
-	} else {
-		hresp.Body.Close()
-		if hresp.StatusCode != http.StatusServiceUnavailable {
-			t.Fatalf("healthz while draining: %d, want 503", hresp.StatusCode)
-		}
+	if hresp := h.Get("/healthz"); hresp.Status != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d, want 503", hresp.Status)
 	}
 
 	// Zero goroutine leak once the listener closes: every queued waiter,
 	// timer, and handler goroutine must be gone.
-	ts.Close()
-	waitFor(t, func() bool { return runtime.NumGoroutine() <= baseline+2 })
+	h.Close()
+	servetest.WaitFor(t, func() bool { return runtime.NumGoroutine() <= baseline+2 })
 }
 
 // TestServeBadRequests pins the failure-mode statuses: bad options,
 // undecodable bodies, wrong methods, and invalid operand shapes.
 func TestServeBadRequests(t *testing.T) {
-	ts := httptest.NewServer(New(Config{}))
-	defer ts.Close()
+	h := servetest.Start(t, New(Config{}))
 	g := maskedspgemm.ErdosRenyi(32, 4, 46)
 
-	resp, _ := post(t, ts.Client(), ts.URL+"/v1/multiply?algorithm=nope", encodeSerial(t, g), nil)
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("unknown algorithm: %d", resp.StatusCode)
+	resp := h.Post("/v1/multiply?algorithm=nope", servetest.EncodeSerial(t, g), nil)
+	if resp.Status != http.StatusBadRequest {
+		t.Fatalf("unknown algorithm: %d", resp.Status)
 	}
 	// A typo'd format is rejected up front, before a slot or a
 	// multiplication is spent on it.
-	resp, _ = post(t, ts.Client(), ts.URL+"/v1/multiply?format=json", encodeSerial(t, g), nil)
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("unknown format: %d", resp.StatusCode)
+	resp = h.Post("/v1/multiply?format=json", servetest.EncodeSerial(t, g), nil)
+	if resp.Status != http.StatusBadRequest {
+		t.Fatalf("unknown format: %d", resp.Status)
 	}
-	resp, _ = post(t, ts.Client(), ts.URL+"/v1/multiply", []byte("junk body"), nil)
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("junk body: %d", resp.StatusCode)
+	resp = h.Post("/v1/multiply", []byte("junk body"), nil)
+	if resp.Status != http.StatusBadRequest {
+		t.Fatalf("junk body: %d", resp.Status)
 	}
 	// threads is clamped to the host's parallelism: a giant value must
 	// be a 400, not a per-thread allocation storm (and not a fresh
 	// plan-cache key per count).
-	resp, body := post(t, ts.Client(), ts.URL+"/v1/multiply?threads=1000000000", encodeSerial(t, g), nil)
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("oversized threads: %d: %s", resp.StatusCode, body)
+	resp = h.Post("/v1/multiply?threads=1000000000", servetest.EncodeSerial(t, g), nil)
+	if resp.Status != http.StatusBadRequest {
+		t.Fatalf("oversized threads: %d: %s", resp.Status, resp.Body)
 	}
 	// Trailing garbage no longer parses (Sscanf would have taken "2x" as 2).
-	resp, _ = post(t, ts.Client(), ts.URL+"/v1/multiply?threads=2x", encodeSerial(t, g), nil)
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("malformed threads: %d", resp.StatusCode)
+	resp = h.Post("/v1/multiply?threads=2x", servetest.EncodeSerial(t, g), nil)
+	if resp.Status != http.StatusBadRequest {
+		t.Fatalf("malformed threads: %d", resp.Status)
 	}
-	hresp, err := ts.Client().Get(ts.URL + "/v1/multiply")
-	if err != nil {
-		t.Fatal(err)
-	}
-	hresp.Body.Close()
-	if hresp.StatusCode != http.StatusMethodNotAllowed {
-		t.Fatalf("GET multiply: %d", hresp.StatusCode)
+	if hresp := h.Get("/v1/multiply"); hresp.Status != http.StatusMethodNotAllowed {
+		t.Fatalf("GET multiply: %d", hresp.Status)
 	}
 
 	// Shape mismatch (mask 32×32, A 16×16) is a planning error: 422.
 	small := maskedspgemm.ErdosRenyi(16, 4, 47)
-	var mbody bytes.Buffer
-	mw := multipart.NewWriter(&mbody)
-	for _, part := range []struct {
-		name string
-		data []byte
-	}{{"mask", encodeSerial(t, g)}, {"a", encodeSerial(t, small)}} {
-		fw, _ := mw.CreateFormField(part.name)
-		fw.Write(part.data)
+	mbody, ctype := servetest.Multipart(t,
+		servetest.Part{Name: "mask", Data: servetest.EncodeSerial(t, g)},
+		servetest.Part{Name: "a", Data: servetest.EncodeSerial(t, small)},
+	)
+	resp = h.Post("/v1/multiply", mbody, map[string]string{"Content-Type": ctype})
+	if resp.Status != http.StatusUnprocessableEntity {
+		t.Fatalf("shape mismatch: %d: %s", resp.Status, resp.Body)
 	}
-	mw.Close()
-	resp, body = post(t, ts.Client(), ts.URL+"/v1/multiply", mbody.Bytes(),
-		map[string]string{"Content-Type": mw.FormDataContentType()})
-	if resp.StatusCode != http.StatusUnprocessableEntity {
-		t.Fatalf("shape mismatch: %d: %s", resp.StatusCode, body)
-	}
-	if !strings.Contains(string(body), "mask is") {
-		t.Fatalf("shape mismatch error lost: %s", body)
+	if !strings.Contains(string(resp.Body), "mask is") {
+		t.Fatalf("shape mismatch error lost: %s", resp.Body)
 	}
 }
 
 // TestServeBodyTooLarge pins the size-cap status: a body over
-// MaxBodyBytes is 413 Content Too Large on both endpoints, not a
-// generic 400 that hides the cap from clients.
+// MaxBodyBytes is 413 Content Too Large on all body-reading endpoints,
+// not a generic 400 that hides the cap from clients.
 func TestServeBodyTooLarge(t *testing.T) {
-	ts := httptest.NewServer(New(Config{MaxBodyBytes: 64}))
-	defer ts.Close()
+	h := servetest.Start(t, New(Config{MaxBodyBytes: 64}))
 	g := maskedspgemm.ErdosRenyi(64, 4, 48)
 	// Both wire formats: the Matrix Market decoder reports truncation as
 	// a parse error without wrapping the cause, so the 413 must come
 	// from the tracked transport error, not the decoder's message.
-	for name, body := range map[string][]byte{"serial": encodeSerial(t, g), "mtx": encodeMTX(t, g)} {
+	for name, body := range map[string][]byte{"serial": servetest.EncodeSerial(t, g), "mtx": servetest.EncodeMTX(t, g)} {
 		if len(body) <= 64 {
 			t.Fatalf("%s test body must exceed the 64-byte cap, got %d bytes", name, len(body))
 		}
 		for _, ep := range []string{"/v1/multiply", "/v1/warm"} {
-			resp, out := post(t, ts.Client(), ts.URL+ep, body, nil)
-			if resp.StatusCode != http.StatusRequestEntityTooLarge {
-				t.Fatalf("%s %s oversized body: status %d: %s", name, ep, resp.StatusCode, out)
+			resp := h.Post(ep, body, nil)
+			if resp.Status != http.StatusRequestEntityTooLarge {
+				t.Fatalf("%s %s oversized body: status %d: %s", name, ep, resp.Status, resp.Body)
 			}
+		}
+		if resp := h.Put("/v1/operands", body, nil); resp.Status != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s PUT /v1/operands oversized body: status %d: %s", name, resp.Status, resp.Body)
 		}
 	}
 }
@@ -581,21 +487,18 @@ func TestServeZeroQueueDeadline(t *testing.T) {
 	srv := New(Config{MaxInFlight: 1, MaxQueue: 4, QueueTimeout: 30 * time.Second})
 	gate := make(chan struct{})
 	srv.execGate = func() { <-gate }
-	ts := httptest.NewServer(srv)
-	defer ts.Close()
-	body := encodeSerial(t, maskedspgemm.ErdosRenyi(64, 4, 49))
+	h := servetest.Start(t, srv)
+	body := servetest.EncodeSerial(t, maskedspgemm.ErdosRenyi(64, 4, 49))
 
 	done := make(chan int, 1)
 	go func() {
-		resp, _ := post(t, ts.Client(), ts.URL+"/v1/multiply", body, nil)
-		done <- resp.StatusCode
+		done <- h.Post("/v1/multiply", body, nil).Status
 	}()
-	waitFor(t, func() bool { return srv.adm.stats().InFlight == 1 })
+	servetest.WaitFor(t, func() bool { return srv.adm.stats().InFlight == 1 })
 
-	resp, out := post(t, ts.Client(), ts.URL+"/v1/multiply", body,
-		map[string]string{"X-Queue-Deadline-Ms": "0"})
-	if resp.StatusCode != http.StatusTooManyRequests {
-		t.Fatalf("zero-deadline request: status %d: %s (want immediate 429)", resp.StatusCode, out)
+	resp := h.Post("/v1/multiply", body, map[string]string{"X-Queue-Deadline-Ms": "0"})
+	if resp.Status != http.StatusTooManyRequests {
+		t.Fatalf("zero-deadline request: status %d: %s (want immediate 429)", resp.Status, resp.Body)
 	}
 	if st := srv.adm.stats(); st.Shed != 1 || st.QueueDepth != 0 {
 		t.Fatalf("admission stats = %+v, want one shed and nothing queued", st)
@@ -614,20 +517,18 @@ func TestServeWarmBounded(t *testing.T) {
 	srv := New(Config{MaxWarmInFlight: 1, QueueTimeout: 30 * time.Millisecond})
 	gate := make(chan struct{})
 	srv.planGate = func() { <-gate }
-	ts := httptest.NewServer(srv)
-	defer ts.Close()
-	body := encodeSerial(t, maskedspgemm.ErdosRenyi(64, 4, 52))
+	h := servetest.Start(t, srv)
+	body := servetest.EncodeSerial(t, maskedspgemm.ErdosRenyi(64, 4, 52))
 
 	done := make(chan int, 1)
 	go func() {
-		resp, _ := post(t, ts.Client(), ts.URL+"/v1/warm", body, nil)
-		done <- resp.StatusCode
+		done <- h.Post("/v1/warm", body, nil).Status
 	}()
-	waitFor(t, func() bool { return len(srv.warmGate) == 1 })
+	servetest.WaitFor(t, func() bool { return len(srv.warmGate) == 1 })
 
-	resp, out := post(t, ts.Client(), ts.URL+"/v1/warm", body, nil)
-	if resp.StatusCode != http.StatusTooManyRequests {
-		t.Fatalf("second warm: status %d: %s (want 429 at the planning bound)", resp.StatusCode, out)
+	resp := h.Post("/v1/warm", body, nil)
+	if resp.Status != http.StatusTooManyRequests {
+		t.Fatalf("second warm: status %d: %s (want 429 at the planning bound)", resp.Status, resp.Body)
 	}
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatal("shed warm missing Retry-After")
@@ -646,18 +547,16 @@ func TestServeWarmDrainRace(t *testing.T) {
 	srv := New(Config{MaxWarmInFlight: 1})
 	gate := make(chan struct{})
 	srv.planGate = func() { <-gate }
-	ts := httptest.NewServer(srv)
-	defer ts.Close()
-	body := encodeSerial(t, maskedspgemm.ErdosRenyi(64, 4, 54))
+	h := servetest.Start(t, srv)
+	body := servetest.EncodeSerial(t, maskedspgemm.ErdosRenyi(64, 4, 54))
 
 	done := make(chan int, 1)
 	go func() {
-		resp, _ := post(t, ts.Client(), ts.URL+"/v1/warm", body, nil)
-		done <- resp.StatusCode
+		done <- h.Post("/v1/warm", body, nil).Status
 	}()
 	// The warm holds its token and is paused just before the re-check;
 	// drain begins, then the warm resumes.
-	waitFor(t, func() bool { return len(srv.warmGate) == 1 })
+	servetest.WaitFor(t, func() bool { return len(srv.warmGate) == 1 })
 	srv.Drain()
 	close(gate)
 	if code := <-done; code != http.StatusServiceUnavailable {
@@ -671,14 +570,9 @@ func TestServeWarmDrainRace(t *testing.T) {
 // gets 408, and the slot frees for the waiting request.
 func TestServeSlowBodyTimeout(t *testing.T) {
 	srv := New(Config{MaxInFlight: 1, BodyReadTimeout: 100 * time.Millisecond})
-	ts := httptest.NewServer(srv)
-	defer ts.Close()
+	h := servetest.Start(t, srv)
 
-	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer conn.Close()
+	conn := h.Dial()
 	// Headers complete, body stalls after the format sniff bytes.
 	fmt.Fprintf(conn, "POST /v1/multiply HTTP/1.1\r\nHost: x\r\nContent-Length: 100000\r\n\r\nMSPG")
 	reply := make([]byte, 64)
@@ -694,9 +588,9 @@ func TestServeSlowBodyTimeout(t *testing.T) {
 	}
 	// The slot freed: a healthy request is served.
 	g := maskedspgemm.ErdosRenyi(64, 4, 53)
-	resp, out := post(t, ts.Client(), ts.URL+"/v1/multiply?format=summary", encodeSerial(t, g), nil)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("request after stalled upload: status %d: %s", resp.StatusCode, out)
+	resp := h.Post("/v1/multiply?format=summary", servetest.EncodeSerial(t, g), nil)
+	if resp.Status != http.StatusOK {
+		t.Fatalf("request after stalled upload: status %d: %s", resp.Status, resp.Body)
 	}
 }
 
@@ -714,8 +608,7 @@ func TestServeConcurrentMixedTraffic(t *testing.T) {
 		url  string
 		want resultSummary
 	}
-	ts := httptest.NewServer(New(Config{MaxInFlight: 4, MaxQueue: 64, QueueTimeout: 30 * time.Second}))
-	defer ts.Close()
+	h := servetest.Start(t, New(Config{MaxInFlight: 4, MaxQueue: 64, QueueTimeout: 30 * time.Second}))
 	var queries []query
 	for _, g := range graphs {
 		for _, algo := range algos {
@@ -724,8 +617,8 @@ func TestServeConcurrentMixedTraffic(t *testing.T) {
 				t.Fatal(err)
 			}
 			queries = append(queries, query{
-				body: encodeSerial(t, g),
-				url:  fmt.Sprintf("%s/v1/multiply?algorithm=%s&format=summary", ts.URL, algo),
+				body: servetest.EncodeSerial(t, g),
+				url:  fmt.Sprintf("/v1/multiply?algorithm=%s&format=summary", algo),
 				want: summarize(want),
 			})
 		}
@@ -739,13 +632,13 @@ func TestServeConcurrentMixedTraffic(t *testing.T) {
 			defer wg.Done()
 			for r := 0; r < rounds; r++ {
 				q := queries[(worker+r)%len(queries)]
-				resp, body := post(t, ts.Client(), q.url, q.body, nil)
-				if resp.StatusCode != http.StatusOK {
-					t.Errorf("worker %d: status %d: %s", worker, resp.StatusCode, body)
+				resp := h.Post(q.url, q.body, nil)
+				if resp.Status != http.StatusOK {
+					t.Errorf("worker %d: status %d: %s", worker, resp.Status, resp.Body)
 					return
 				}
 				var got resultSummary
-				if err := json.Unmarshal(body, &got); err != nil {
+				if err := json.Unmarshal(resp.Body, &got); err != nil {
 					t.Error(err)
 					return
 				}
@@ -757,7 +650,7 @@ func TestServeConcurrentMixedTraffic(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	st := getStats(t, ts.Client(), ts.URL)
+	st := getStats(t, h)
 	if st.Session.Cache.Hits == 0 {
 		t.Fatal("recurring traffic produced no cache hits")
 	}

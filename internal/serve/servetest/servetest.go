@@ -1,0 +1,327 @@
+// Package servetest is the reusable harness behind the serve-layer
+// tests: an in-process HTTP server with cleanup wired to the test, a
+// tiny request client, matrix wire-format encoders, a dependency-free
+// JSON path navigator (the in-test replacement for jq), and a
+// raw-socket client that counts request bytes on the wire — the
+// measurement tool behind the reference-form transfer-size pin.
+//
+// The harness takes an http.Handler, not a serve.Server: it must not
+// import the package under test (serve's own internal tests import
+// this package, and a cycle would follow), and staying
+// handler-agnostic keeps it usable for any front-end the repo grows.
+package servetest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	maskedspgemm "maskedspgemm"
+	"maskedspgemm/internal/mtx"
+	"maskedspgemm/internal/serial"
+)
+
+// Server wraps an in-process httptest server around a handler. Start
+// registers shutdown with t.Cleanup; tests that need to observe the
+// post-close state (goroutine counts) may call Close early.
+type Server struct {
+	t  testing.TB
+	ts *httptest.Server
+
+	// URL is the server's base URL ("http://127.0.0.1:port").
+	URL string
+	// Client is the server's HTTP client; tests may adjust its Timeout.
+	Client *http.Client
+}
+
+// Start serves h on a loopback listener for the duration of the test.
+func Start(t testing.TB, h http.Handler) *Server {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return &Server{t: t, ts: ts, URL: ts.URL, Client: ts.Client()}
+}
+
+// Close shuts the listener down now (httptest makes a later cleanup
+// Close a no-op). For tests that assert on the post-close state.
+func (s *Server) Close() { s.ts.Close() }
+
+// Addr is the listener's host:port, for tests that speak raw TCP.
+func (s *Server) Addr() string { return s.ts.Listener.Addr().String() }
+
+// Dial opens a raw TCP connection to the server, closed with the test.
+func (s *Server) Dial() net.Conn {
+	s.t.Helper()
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	s.t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// Response is one exchange's outcome, body fully read.
+type Response struct {
+	// Status is the response status code.
+	Status int
+	// Header holds the response headers.
+	Header http.Header
+	// Body is the full response body.
+	Body []byte
+}
+
+// JSON parses the body and returns the path navigator.
+func (r Response) JSON(t testing.TB) *Doc {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(r.Body, &v); err != nil {
+		t.Fatalf("servetest: response is not JSON: %v\n%s", err, r.Body)
+	}
+	return &Doc{t: t, root: v}
+}
+
+// Do issues one request with an optional header map and returns the
+// drained response. Transport failures fail the test.
+func (s *Server) Do(method, path string, body []byte, hdr map[string]string) Response {
+	s.t.Helper()
+	req, err := http.NewRequest(method, s.URL+path, bytes.NewReader(body))
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := s.Client.Do(req)
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	return Response{Status: resp.StatusCode, Header: resp.Header, Body: data}
+}
+
+// Post issues a POST.
+func (s *Server) Post(path string, body []byte, hdr map[string]string) Response {
+	s.t.Helper()
+	return s.Do(http.MethodPost, path, body, hdr)
+}
+
+// Put issues a PUT.
+func (s *Server) Put(path string, body []byte, hdr map[string]string) Response {
+	s.t.Helper()
+	return s.Do(http.MethodPut, path, body, hdr)
+}
+
+// Get issues a GET.
+func (s *Server) Get(path string) Response {
+	s.t.Helper()
+	return s.Do(http.MethodGet, path, nil, nil)
+}
+
+// RawRequest hand-serializes one HTTP/1.1 request, writes it over a
+// fresh TCP connection, and returns the exact number of request bytes
+// that crossed the wire alongside the response — request-size ground
+// truth no client library's hidden headers can distort.
+func (s *Server) RawRequest(method, target string, hdr map[string]string, body []byte) (int, Response) {
+	s.t.Helper()
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s %s HTTP/1.1\r\nHost: servetest\r\nContent-Length: %d\r\nConnection: close\r\n", method, target, len(body))
+	for k, v := range hdr {
+		fmt.Fprintf(&buf, "%s: %s\r\n", k, v)
+	}
+	buf.WriteString("\r\n")
+	buf.Write(body)
+	wire := buf.Len()
+
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(30 * time.Second)); err != nil {
+		s.t.Fatal(err)
+	}
+	if _, err := conn.Write(buf.Bytes()); err != nil {
+		s.t.Fatal(err)
+	}
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	return wire, Response{Status: resp.StatusCode, Header: resp.Header, Body: data}
+}
+
+// EncodeSerial renders a matrix in the MSPG wire format.
+func EncodeSerial(t testing.TB, m *maskedspgemm.Matrix) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := serial.Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// EncodeMTX renders a matrix in Matrix Market format.
+func EncodeMTX(t testing.TB, m *maskedspgemm.Matrix) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := mtx.Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// Part is one named piece of a multipart request body.
+type Part struct {
+	// Name is the form-field name ("mask", "a", "b").
+	Name string
+	// Data is the part's payload.
+	Data []byte
+}
+
+// Multipart assembles a multipart/form-data body from parts, returning
+// the body and its Content-Type header value.
+func Multipart(t testing.TB, parts ...Part) ([]byte, string) {
+	t.Helper()
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	for _, p := range parts {
+		fw, err := mw.CreateFormField(p.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fw.Write(p.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return body.Bytes(), mw.FormDataContentType()
+}
+
+// WaitFor polls cond until it holds or two seconds pass.
+func WaitFor(t testing.TB, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("servetest: condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Doc navigates parsed JSON by dotted path — "session.cache.hits",
+// "operands.0.ref" — the jq of the test suite. Lookups that miss fail
+// the test with the path that broke.
+type Doc struct {
+	t    testing.TB
+	root any
+}
+
+// at walks the dotted path: map keys by name, array elements by index.
+func (d *Doc) at(path string) (any, bool) {
+	v := d.root
+	if path == "" {
+		return v, true
+	}
+	for _, seg := range strings.Split(path, ".") {
+		switch node := v.(type) {
+		case map[string]any:
+			var ok bool
+			if v, ok = node[seg]; !ok {
+				return nil, false
+			}
+		case []any:
+			i, err := strconv.Atoi(seg)
+			if err != nil || i < 0 || i >= len(node) {
+				return nil, false
+			}
+			v = node[i]
+		default:
+			return nil, false
+		}
+	}
+	return v, true
+}
+
+// get resolves the path or fails the test.
+func (d *Doc) get(path string) any {
+	d.t.Helper()
+	v, ok := d.at(path)
+	if !ok {
+		d.t.Fatalf("servetest: JSON path %q not found", path)
+	}
+	return v
+}
+
+// Has reports whether the path resolves.
+func (d *Doc) Has(path string) bool {
+	_, ok := d.at(path)
+	return ok
+}
+
+// Num returns the number at path.
+func (d *Doc) Num(path string) float64 {
+	d.t.Helper()
+	n, ok := d.get(path).(float64)
+	if !ok {
+		d.t.Fatalf("servetest: JSON path %q is not a number", path)
+	}
+	return n
+}
+
+// Int returns the number at path as an int64.
+func (d *Doc) Int(path string) int64 {
+	d.t.Helper()
+	return int64(d.Num(path))
+}
+
+// Str returns the string at path.
+func (d *Doc) Str(path string) string {
+	d.t.Helper()
+	s, ok := d.get(path).(string)
+	if !ok {
+		d.t.Fatalf("servetest: JSON path %q is not a string", path)
+	}
+	return s
+}
+
+// Bool returns the boolean at path.
+func (d *Doc) Bool(path string) bool {
+	d.t.Helper()
+	b, ok := d.get(path).(bool)
+	if !ok {
+		d.t.Fatalf("servetest: JSON path %q is not a boolean", path)
+	}
+	return b
+}
+
+// Len returns the length of the array at path.
+func (d *Doc) Len(path string) int {
+	d.t.Helper()
+	a, ok := d.get(path).([]any)
+	if !ok {
+		d.t.Fatalf("servetest: JSON path %q is not an array", path)
+	}
+	return len(a)
+}

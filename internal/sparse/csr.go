@@ -85,6 +85,12 @@ func (p *Pattern) Validate() error {
 		if lo > hi {
 			return fmt.Errorf("sparse: RowPtr not monotone at row %d (%d > %d)", i, lo, hi)
 		}
+		// Range before slicing: a decoded RowPtr can point anywhere, and
+		// Validate is the guard untrusted input crosses — it must report
+		// corruption, never index by it.
+		if lo < 0 || hi > int64(len(p.ColIdx)) {
+			return fmt.Errorf("sparse: RowPtr range [%d,%d) at row %d exceeds %d stored entries", lo, hi, i, len(p.ColIdx))
+		}
 		prev := int32(-1)
 		for _, j := range p.ColIdx[lo:hi] {
 			if j < 0 || int(j) >= p.Cols {

@@ -1,5 +1,7 @@
 package sparse
 
+import "math"
+
 // Structure fingerprints. A fingerprint is a 64-bit hash of everything
 // that defines a pattern's *structure* — dimensions, row pointers, and
 // column indices — and of nothing else: values never enter, so a matrix
@@ -133,5 +135,35 @@ func (p *Pattern) Fingerprint() uint64 {
 	l.word(uint64(p.Cols))
 	l.int64s(p.RowPtr)
 	l.int32s(p.ColIdx)
+	return l.sum()
+}
+
+// ValuesFingerprint returns the 64-bit hash of a float64 value slice —
+// the complement of Pattern.Fingerprint: structure plays no part, so
+// together the pair (pattern fingerprint, values fingerprint)
+// content-addresses a CSR matrix (DESIGN.md §13). Values are absorbed
+// by their IEEE-754 bit patterns, so +0 and −0 differ and every NaN
+// payload is distinct — identity here means "same stored words", not
+// numeric equality. The same four-lane mixer as the structural hash;
+// one linear pass at near memory bandwidth.
+func ValuesFingerprint(v []float64) uint64 {
+	l := newFPLanes()
+	h0, h1, h2, h3 := l.h0, l.h1, l.h2, l.h3
+	l.n += uint64(len(v) &^ 3)
+	for len(v) >= 4 {
+		x0 := math.Float64bits(v[0]) * fpMul1
+		x1 := math.Float64bits(v[1]) * fpMul1
+		x2 := math.Float64bits(v[2]) * fpMul1
+		x3 := math.Float64bits(v[3]) * fpMul1
+		h0 = (h0 ^ (x0 ^ (x0 >> 29))) * fpMul2
+		h1 = (h1 ^ (x1 ^ (x1 >> 29))) * fpMul2
+		h2 = (h2 ^ (x2 ^ (x2 >> 29))) * fpMul2
+		h3 = (h3 ^ (x3 ^ (x3 >> 29))) * fpMul2
+		v = v[4:]
+	}
+	l.h0, l.h1, l.h2, l.h3 = h0, h1, h2, h3
+	for _, x := range v {
+		l.word(math.Float64bits(x))
+	}
 	return l.sum()
 }

@@ -1,6 +1,7 @@
 package sparse
 
 import (
+	"math"
 	"testing"
 )
 
@@ -135,5 +136,60 @@ func BenchmarkFingerprint(b *testing.B) {
 		if p.Fingerprint() == 0 {
 			b.Fatal("implausible zero fingerprint")
 		}
+	}
+}
+
+// TestValuesFingerprintDeterminism: equal value slices — same backing
+// array or an independent copy — fingerprint identically. This is the
+// "values" half of the operand store's content address.
+func TestValuesFingerprintDeterminism(t *testing.T) {
+	v := []float64{1.5, -2.25, 0, 3e100, -0.0}
+	if ValuesFingerprint(v) != ValuesFingerprint(v) {
+		t.Fatal("not deterministic")
+	}
+	if ValuesFingerprint(v) != ValuesFingerprint(append([]float64(nil), v...)) {
+		t.Fatal("copy fingerprints differently")
+	}
+}
+
+// TestValuesFingerprintSensitivity: any element change, reorder, or
+// length change re-keys the content address.
+func TestValuesFingerprintSensitivity(t *testing.T) {
+	base := []float64{1, 2, 3, 4, 5, 6, 7}
+	fp := ValuesFingerprint(base)
+	bumped := append([]float64(nil), base...)
+	bumped[3] += 1e-12
+	if ValuesFingerprint(bumped) == fp {
+		t.Fatal("tiny value change did not re-key")
+	}
+	swapped := append([]float64(nil), base...)
+	swapped[0], swapped[6] = swapped[6], swapped[0]
+	if ValuesFingerprint(swapped) == fp {
+		t.Fatal("reorder did not re-key")
+	}
+	if ValuesFingerprint(base[:6]) == fp {
+		t.Fatal("truncation did not re-key")
+	}
+	// +0.0 and -0.0 have distinct bit patterns, so they are distinct
+	// content — the fingerprint hashes bits, not numeric equality.
+	if ValuesFingerprint([]float64{0.0}) == ValuesFingerprint([]float64{math.Copysign(0, -1)}) {
+		t.Fatal("signed zeros collide")
+	}
+}
+
+// TestValuesFingerprintTailLanes walks lengths across the 4-wide
+// unrolled boundary so every tail path is exercised and distinct.
+func TestValuesFingerprintTailLanes(t *testing.T) {
+	seen := map[uint64]int{}
+	for n := 0; n <= 12; n++ {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64(i + 1)
+		}
+		fp := ValuesFingerprint(v)
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("lengths %d and %d collide", prev, n)
+		}
+		seen[fp] = n
 	}
 }

@@ -1,11 +1,14 @@
 package maskedspgemm
 
 import (
+	"fmt"
+	"strings"
 	"sync"
 
 	"maskedspgemm/internal/core"
 	"maskedspgemm/internal/parallel"
 	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/store"
 )
 
 // arith is the facade's fixed semiring: float64 ⟨+,×⟩.
@@ -38,6 +41,12 @@ type arith = semiring.PlusTimes[float64]
 type Session struct {
 	cache *core.PlanCache[float64, arith]
 	pool  *core.ExecutorPool[float64, arith]
+	// operands is the content-addressed operand store; it shares budget
+	// with the plan cache, so resident operands and cached plans evict
+	// under one global-LRU byte bound (DESIGN.md §13).
+	operands *store.Store
+	// budget is the shared byte budget cache and store draw from.
+	budget *core.MemBudget
 	// onMiss holds the observers installed via WithMissObserver, each
 	// called after every plan-cache miss that planned successfully.
 	onMiss []func(PlanMiss)
@@ -53,6 +62,7 @@ type SessionOption func(*sessionConfig)
 type sessionConfig struct {
 	cacheEntries int
 	cacheBytes   int64
+	budgetBytes  int64
 	maxIdle      int
 	onMiss       []func(PlanMiss)
 }
@@ -105,6 +115,16 @@ func WithPlanCacheBytes(n int64) SessionOption {
 	return func(c *sessionConfig) { c.cacheBytes = n }
 }
 
+// WithMemoryBudget bounds the one byte budget the plan cache and the
+// operand store share (default core.DefaultMemoryBudgetBytes, 1 GiB):
+// cached analyses and resident operands evict globally least recently
+// used against it, so a burst of uploads squeezes cold plans out and
+// vice versa. WithPlanCacheEntries/WithPlanCacheBytes remain local
+// caps applied on top.
+func WithMemoryBudget(n int64) SessionOption {
+	return func(c *sessionConfig) { c.budgetBytes = n }
+}
+
 // WithMaxIdleExecutors bounds how many idle executors the session
 // retains between requests (default GOMAXPROCS). Each idle executor
 // holds accumulators sized by the largest product it has executed, so
@@ -121,11 +141,16 @@ func NewSession(opts ...SessionOption) *Session {
 		f(&cfg)
 	}
 	sr := arith{}
-	return &Session{
-		cache:  core.NewPlanCache[float64](sr, cfg.cacheEntries, cfg.cacheBytes),
-		pool:   core.NewExecutorPool[float64](sr, cfg.maxIdle),
-		onMiss: cfg.onMiss,
+	budget := core.NewMemBudget(cfg.budgetBytes)
+	s := &Session{
+		cache:    core.NewPlanCache[float64](sr, cfg.cacheEntries, cfg.cacheBytes),
+		pool:     core.NewExecutorPool[float64](sr, cfg.maxIdle),
+		operands: store.New(budget),
+		budget:   budget,
+		onMiss:   cfg.onMiss,
 	}
+	s.cache.AttachBudget(budget)
+	return s
 }
 
 // observeMiss reports a plan-cache miss to the installed observer. The
@@ -214,6 +239,129 @@ func (s *Session) Warm(mask *Pattern, a, b *Matrix, opts ...Option) error {
 	return nil
 }
 
+// OperandRef content-addresses a stored operand: its structure
+// fingerprint paired with its values fingerprint (store.Ref). Obtain
+// one from PutOperand and spend it in MultiplyRefs.
+type OperandRef = store.Ref
+
+// PutOperand files a matrix in the session's content-addressed
+// operand store and returns its reference, taking ownership of m: the
+// caller must not mutate it afterwards (resident operands are shared
+// with concurrent readers and executions). Re-putting identical
+// content is idempotent — created reports false and the resident
+// entry is refreshed, not duplicated. Resident operands are evicted
+// least-recently-used under the session's shared memory budget.
+func (s *Session) PutOperand(m *Matrix) (ref OperandRef, created bool) {
+	return s.operands.Put(m)
+}
+
+// PutOperandValues files a fresh value set under an already-resident
+// structure — the values-only delta for iterative workloads whose
+// pattern is fixed. Only vals is supplied (ownership transfers); the
+// structure is named by its fingerprint and must be resident, or a
+// *store.ErrUnknownPattern is returned. Because the returned ref
+// shares the resident structure byte for byte, a MultiplyRefs through
+// it hits any plan the structure already has cached.
+func (s *Session) PutOperandValues(patternFP uint64, vals []float64) (ref OperandRef, created bool, err error) {
+	return s.operands.PutValues(patternFP, vals)
+}
+
+// Operand resolves a reference to its resident matrix (shared,
+// read-only), refreshing its eviction recency. ok is false when the
+// content is not (or no longer) resident.
+func (s *Session) Operand(ref OperandRef) (*Matrix, bool) {
+	return s.operands.Get(ref)
+}
+
+// OperandPattern resolves a structure fingerprint to its resident
+// pattern — the mask form of a reference (masks are structure-only,
+// so they resolve without a values half and stay resident while any
+// value set shares the structure).
+func (s *Session) OperandPattern(fp uint64) (*Pattern, bool) {
+	return s.operands.GetPattern(fp)
+}
+
+// MissingOperand names one operand a reference-based multiply could
+// not resolve.
+type MissingOperand struct {
+	// Operand is the request role: "mask", "a", or "b".
+	Operand string
+	// Pattern is the unresolved structure fingerprint.
+	Pattern uint64
+	// Values is the unresolved values fingerprint; zero for masks,
+	// which are referenced by structure alone.
+	Values uint64
+}
+
+// String renders "a 0123…:89ab…" / "mask 0123…" for error messages.
+func (m MissingOperand) String() string {
+	if m.Values == 0 && m.Operand == "mask" {
+		return fmt.Sprintf("%s %016x", m.Operand, m.Pattern)
+	}
+	return fmt.Sprintf("%s %016x:%016x", m.Operand, m.Pattern, m.Values)
+}
+
+// MissingOperandsError reports which operands of a MultiplyRefs were
+// not resident — the caller learns exactly what to re-upload. The
+// serving layer maps it to 404 with the missing fingerprints named.
+type MissingOperandsError struct {
+	// Missing lists the unresolved operands in mask, a, b order.
+	Missing []MissingOperand
+}
+
+// Error implements error.
+func (e *MissingOperandsError) Error() string {
+	parts := make([]string, len(e.Missing))
+	for i, m := range e.Missing {
+		parts[i] = m.String()
+	}
+	return "maskedspgemm: operands not resident: " + strings.Join(parts, ", ")
+}
+
+// MultiplyRefs is Multiply with every operand named by reference
+// instead of carried by value: the mask by its structure fingerprint,
+// A and B by full content references from PutOperand. Resolution
+// failures return a *MissingOperandsError listing every dangling
+// operand (not just the first), so one round trip tells the caller
+// everything to re-upload. A resolved request proceeds exactly as
+// Multiply — same plan cache, same pooled executors — and since
+// resident operands have stable structure, warm traffic by reference
+// is a guaranteed plan-cache hit.
+func (s *Session) MultiplyRefs(maskFP uint64, aRef, bRef OperandRef, opts ...Option) (*Matrix, error) {
+	a, aOK := s.operands.Get(aRef)
+	var b *Matrix
+	bOK := true
+	if bRef == aRef {
+		b = a
+	} else {
+		b, bOK = s.operands.Get(bRef)
+	}
+	// Resolve the mask from A's own pattern when the fingerprints
+	// agree (the self-mask graph shape): pointer identity lets the
+	// plan-cache key hash one structure instead of three.
+	var mask *Pattern
+	maskOK := true
+	if aOK && maskFP == aRef.Pattern {
+		mask = a.PatternView()
+	} else {
+		mask, maskOK = s.operands.GetPattern(maskFP)
+	}
+	if !maskOK || !aOK || !bOK {
+		err := &MissingOperandsError{}
+		if !maskOK {
+			err.Missing = append(err.Missing, MissingOperand{Operand: "mask", Pattern: maskFP})
+		}
+		if !aOK {
+			err.Missing = append(err.Missing, MissingOperand{Operand: "a", Pattern: aRef.Pattern, Values: aRef.Values})
+		}
+		if !bOK {
+			err.Missing = append(err.Missing, MissingOperand{Operand: "b", Pattern: bRef.Pattern, Values: bRef.Values})
+		}
+		return nil, err
+	}
+	return s.Multiply(mask, a, b, opts...)
+}
+
 // CacheStats re-exports the plan cache counters (see SessionStats).
 type CacheStats = core.PlanCacheStats
 
@@ -225,14 +373,32 @@ type PoolStats = core.ExecutorPoolStats
 // claimed and stolen, and the worst per-execution imbalance.
 type SchedSummary = parallel.SchedSummary
 
+// StoreStats re-exports the operand store counters (see SessionStats).
+type StoreStats = store.Stats
+
+// BudgetStats reports the shared memory budget cached plans and
+// resident operands draw from.
+type BudgetStats struct {
+	// UsedBytes is the accounted total across cache and store.
+	UsedBytes int64
+	// MaxBytes is the configured budget (WithMemoryBudget).
+	MaxBytes int64
+}
+
 // SessionStats is a point-in-time snapshot of a session's cache, pool,
-// and scheduler behaviour, for dashboards and capacity tuning.
+// store, and scheduler behaviour, for dashboards and capacity tuning.
 type SessionStats struct {
 	// Cache reports plan-cache hits, misses (including coalesced
 	// misses), evictions, and footprint.
 	Cache CacheStats
 	// Pool reports executor creations, reuses, discards, and idle count.
 	Pool PoolStats
+	// Store reports operand-store hits, misses, puts, evictions, and
+	// residency.
+	Store StoreStats
+	// Budget reports the shared byte budget cache and store evict
+	// against.
+	Budget BudgetStats
 	// Sched accumulates scheduler telemetry over every Multiply issued
 	// with WithSchedStats; zero when the option is never used.
 	Sched SchedSummary
@@ -243,5 +409,11 @@ func (s *Session) Stats() SessionStats {
 	s.schedMu.Lock()
 	sched := s.sched
 	s.schedMu.Unlock()
-	return SessionStats{Cache: s.cache.Stats(), Pool: s.pool.Stats(), Sched: sched}
+	return SessionStats{
+		Cache:  s.cache.Stats(),
+		Pool:   s.pool.Stats(),
+		Store:  s.operands.StatsSnapshot(),
+		Budget: BudgetStats{UsedBytes: s.budget.Used(), MaxBytes: s.budget.Max()},
+		Sched:  sched,
+	}
 }

@@ -1,6 +1,7 @@
 package maskedspgemm
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -345,5 +346,93 @@ func TestSessionMissObserversCompose(t *testing.T) {
 	}
 	if first != 1 || second != 1 {
 		t.Fatalf("observers fired %d/%d times, want 1/1", first, second)
+	}
+}
+
+// TestSessionOperandStore pins the facade's reference path end to end:
+// PutOperand files content idempotently, MultiplyRefs resolves it and
+// matches the by-value result, missing operands come back as one typed
+// error naming every dangling reference, and a values-only delta is a
+// guaranteed plan-cache hit.
+func TestSessionOperandStore(t *testing.T) {
+	s := NewSession()
+	g := ErdosRenyi(96, 6, 40)
+	want, err := Multiply(g.PatternView(), g, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref, created := s.PutOperand(g)
+	if !created {
+		t.Fatal("first PutOperand must create")
+	}
+	if ref2, created := s.PutOperand(ErdosRenyi(96, 6, 40)); created || ref2 != ref {
+		t.Fatal("re-put of identical content must be idempotent")
+	}
+
+	got, err := s.MultiplyRefs(ref.Pattern, ref, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.EqualFunc(want, got, func(x, y float64) bool { return x == y }) {
+		t.Fatal("by-reference result differs from by-value Multiply")
+	}
+
+	// Every dangling operand is named, in mask, a, b order.
+	bogus := OperandRef{Pattern: 0x1111, Values: 0x2222}
+	_, err = s.MultiplyRefs(0x3333, bogus, ref)
+	var missing *MissingOperandsError
+	if !errors.As(err, &missing) {
+		t.Fatalf("want MissingOperandsError, got %v", err)
+	}
+	if len(missing.Missing) != 2 ||
+		missing.Missing[0] != (MissingOperand{Operand: "mask", Pattern: 0x3333}) ||
+		missing.Missing[1] != (MissingOperand{Operand: "a", Pattern: 0x1111, Values: 0x2222}) {
+		t.Fatalf("missing = %v", missing.Missing)
+	}
+
+	// Values delta: same structure, fresh numbers — plan already cached.
+	scaled := make([]float64, len(g.Val))
+	for i, v := range g.Val {
+		scaled[i] = 3 * v
+	}
+	dref, created, err := s.PutOperandValues(ref.Pattern, scaled)
+	if err != nil || !created {
+		t.Fatalf("values delta: %v created=%v", err, created)
+	}
+	before := s.Stats().Cache
+	if _, err := s.MultiplyRefs(dref.Pattern, dref, dref); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats().Cache
+	if after.Misses != before.Misses || after.Hits != before.Hits+1 {
+		t.Fatalf("values-delta multiply must hit the cached plan: %+v → %+v", before, after)
+	}
+}
+
+// TestSessionMemoryBudget pins WithMemoryBudget as the single bound
+// over plans and operands: pressure from puts evicts, the budget never
+// ends above its ceiling, and Stats reconciles the shared accounting.
+func TestSessionMemoryBudget(t *testing.T) {
+	s := NewSession(WithMemoryBudget(96 << 10))
+	for seed := uint64(50); seed < 58; seed++ {
+		g := ErdosRenyi(128, 6, seed)
+		ref, _ := s.PutOperand(g)
+		if _, err := s.MultiplyRefs(ref.Pattern, ref, ref); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	st := s.Stats()
+	if st.Budget.MaxBytes != 96<<10 {
+		t.Fatalf("budget max = %d", st.Budget.MaxBytes)
+	}
+	if st.Budget.UsedBytes > st.Budget.MaxBytes {
+		t.Fatalf("over budget: %+v", st.Budget)
+	}
+	if st.Budget.UsedBytes != st.Store.Bytes+st.Cache.Bytes {
+		t.Fatalf("budget %d != store %d + cache %d", st.Budget.UsedBytes, st.Store.Bytes, st.Cache.Bytes)
+	}
+	if st.Store.Evictions == 0 && st.Cache.Evictions == 0 {
+		t.Fatalf("eight working sets under 96KiB evicted nothing: %+v", st)
 	}
 }
