@@ -1,0 +1,86 @@
+package calibrate
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"maskedspgemm/internal/core"
+)
+
+// TestFitScale pins the least-squares-through-origin math on exact
+// inputs: t = 3x recovers 3 regardless of scale mix, and degenerate
+// inputs report unfitted (0).
+func TestFitScale(t *testing.T) {
+	cases := []struct {
+		name string
+		x, y []float64
+		want float64
+	}{
+		{"exact", []float64{1, 2, 10}, []float64{3, 6, 30}, 3},
+		{"noisy", []float64{1, 1}, []float64{2, 4}, 3},
+		{"single", []float64{5}, []float64{10}, 2},
+		{"empty", nil, nil, 0},
+		{"mismatched", []float64{1}, []float64{1, 2}, 0},
+		{"zero-x", []float64{0, 0}, []float64{1, 2}, 0},
+		{"negative-fit", []float64{1, 2}, []float64{-3, -6}, 0},
+	}
+	for _, c := range cases {
+		got := fitScale(c.x, c.y)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: fitScale = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestFitProducesNormalizedCoeffs runs the real micro-benchmark on a
+// reduced workload and checks the structural contract: MSA is exactly
+// 1.0, every family holds a positive coefficient, and the wall bound
+// holds (with slack for the workload in flight when it expires).
+func TestFitProducesNormalizedCoeffs(t *testing.T) {
+	cfg := Config{N: 512, Reps: 2, MaxDuration: 10 * time.Second}
+	res := Fit(cfg)
+	if res.Coeffs.IsZero() {
+		t.Fatalf("Fit returned uncalibrated coeffs; samples %v", res.Samples)
+	}
+	if res.Coeffs[core.FamMSA] != 1.0 {
+		t.Errorf("MSA coefficient = %v, want exactly 1.0 (normalization anchor)", res.Coeffs[core.FamMSA])
+	}
+	for f := core.Family(0); f < core.NumFamilies; f++ {
+		c := res.Coeffs[f]
+		if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			t.Errorf("family %v: coefficient %v not positive finite", f, c)
+		}
+	}
+	if res.Samples[core.FamMSA] == 0 {
+		t.Errorf("MSA fitted from 0 samples")
+	}
+	if res.Elapsed > cfg.MaxDuration+5*time.Second {
+		t.Errorf("fit ran %v, far beyond the %v bound", res.Elapsed, cfg.MaxDuration)
+	}
+}
+
+// TestFitHonorsDeadline: an already-expired budget must return fast
+// and uncalibrated — the startup path can never wedge a server boot.
+func TestFitHonorsDeadline(t *testing.T) {
+	start := time.Now()
+	res := Fit(Config{N: 4096, MaxDuration: time.Nanosecond})
+	if !res.Coeffs.IsZero() {
+		t.Errorf("expected uncalibrated result under an expired budget, got %v", res.Coeffs)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("expired-budget fit took %v", elapsed)
+	}
+}
+
+// BenchmarkCalibrate times one full startup fit — the latency a
+// -calibrate=startup server boot pays before serving. Run by the CI
+// bench smoke.
+func BenchmarkCalibrate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := Fit(Config{N: 512})
+		if res.Coeffs.IsZero() {
+			b.Fatal("calibration produced no coefficients")
+		}
+	}
+}

@@ -28,7 +28,29 @@ const (
 	// mean row cost. Below it, fixed-grain blocks already balance well
 	// and their lower bookkeeping wins.
 	autoSkewFactor = 8
+	// profileMinRows is the row count beyond which even a serial
+	// (Threads == 1) plan measures and retains its cost profile: a
+	// serial sweep cannot use it, but the replanner can — a structure
+	// warmed serially and later re-bound to more threads needs the
+	// profile to cost-partition (DESIGN.md §14). Below it the profile
+	// would be planning overhead on products too small to ever matter.
+	profileMinRows = 256
 )
+
+// costProfile is the compact structural picture a plan retains so the
+// replanner can re-partition or fully re-bind it later without
+// touching the caller-owned A and B — which may be mutated, or gone,
+// by then (plans only ever retain the mask; §8 ownership). rowCost
+// and total alone re-split partition bounds; rowFlops, rowANNZ, and
+// avgBCol — captured only by Hybrid plans — are the RowCostContext
+// inputs a full per-row re-selection needs.
+type costProfile struct {
+	rowCost  []int64
+	total    int64
+	rowFlops []int64
+	rowANNZ  []int32
+	avgBCol  float64
+}
 
 // rowSched is the resolved descriptor the engine drivers schedule row
 // passes with: a mode that is never SchedAuto, the partition bounds
@@ -82,12 +104,12 @@ func (p *Plan[T, S]) planSchedule(a, b *sparse.CSR[T], rowCost []int64) {
 		return
 	}
 	rows := p.mask.Rows
-	if rows == 0 || p.opt.Threads == 1 {
+	if rows == 0 || (p.opt.Threads == 1 && rows < profileMinRows && rowCost == nil) {
 		// Serial execution (Threads is normalized, so 1 means truly
-		// one worker): every strategy degenerates to the same in-order
-		// sweep, so measuring a cost profile would be pure planning
-		// overhead. Resolves to FixedGrain even under an explicit
-		// SchedCostPartition request.
+		// one worker) of a small structure: every strategy degenerates
+		// to the same in-order sweep and the product is too small for
+		// a later re-bind to matter, so measuring a cost profile would
+		// be pure planning overhead.
 		p.sched = SchedFixedGrain
 		return
 	}
@@ -102,8 +124,21 @@ func (p *Plan[T, S]) planSchedule(a, b *sparse.CSR[T], rowCost []int64) {
 			max = c
 		}
 	}
+	if p.profile == nil {
+		p.profile = &costProfile{}
+	}
+	p.profile.rowCost, p.profile.total = cost, total
 	if total > 0 {
 		p.costSkew = float64(max) * float64(rows) / float64(total)
+	}
+	if p.opt.Threads == 1 {
+		// One worker schedules as one in-order sweep regardless of
+		// strategy — but the profile above is retained, so a later
+		// re-bind to more threads (warm serially, serve wide) lays out
+		// cost partitions without re-analyzing A and B. Resolves to
+		// FixedGrain even under an explicit SchedCostPartition request.
+		p.sched = SchedFixedGrain
+		return
 	}
 	if p.opt.Schedule == SchedAuto && (total == 0 || p.costSkew < autoSkewFactor) {
 		p.sched = SchedFixedGrain

@@ -69,6 +69,11 @@ type Plan[T any, S semiring.Semiring[T]] struct {
 	sched      Schedule
 	partBounds []int
 	costSkew   float64
+	// profile is the retained per-row cost picture the replanner
+	// re-splits or re-binds from (DESIGN.md §14); nil when scheduling
+	// analysis was skipped (cost-blind schedules, small serial plans,
+	// direct schemes).
+	profile *costProfile
 	// heapNInspect is the resolved NInspect for the heap schemes.
 	heapNInspect int
 	// maxMaskRow / maxARow size the hash/MCA and heap accumulators.
@@ -139,8 +144,11 @@ func newDetachedPlan[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, 
 			p.heapNInspect = resolveHeapNInspect(opt)
 		case AlgoHybrid:
 			// The chosen costs feed planSchedule; skip the vector when
-			// its early returns would discard it (mirrors its policy).
-			needCost := opt.Schedule != SchedFixedGrain && opt.Schedule != SchedWorkSteal && opt.Threads > 1
+			// its early returns would discard it (mirrors its policy:
+			// serial plans still profile once the structure is big
+			// enough for a later re-bind to matter).
+			needCost := opt.Schedule != SchedFixedGrain && opt.Schedule != SchedWorkSteal &&
+				(opt.Threads > 1 || mask.Rows >= profileMinRows)
 			polyCost = p.planHybrid(a, b, needCost)
 			// Sizing hints only for the families some run actually
 			// bound — unused families must stay costless. Only the
@@ -223,6 +231,10 @@ func (p *Plan[T, S]) footprintBytes() int64 {
 	bytes += int64(len(p.btPtr))*8 + int64(len(p.btIdx))*4 + int64(len(p.btPerm))*8
 	bytes += int64(len(p.runEnds))*4 + int64(len(p.runFam))
 	bytes += int64(len(p.partBounds)) * 8
+	if p.profile != nil {
+		bytes += int64(len(p.profile.rowCost))*8 + int64(len(p.profile.rowFlops))*8 +
+			int64(len(p.profile.rowANNZ))*4
+	}
 	return bytes
 }
 

@@ -61,6 +61,19 @@ type PlanCache[T any, S semiring.Semiring[T]] struct {
 	misses    uint64
 	coalesced uint64
 	evicted   uint64
+	replans   uint64
+
+	// index maps each cached plan pointer to its entry, so
+	// ObserveExecution resolves a plan a caller executed back to the
+	// entry that handed it out in O(1) — and, because re-binding
+	// removes the replaced pointer, observations of a swapped-out or
+	// evicted plan fall through harmlessly.
+	index map[*Plan[T, S]]*list.Element
+	// replan, when non-nil, is the online feedback policy installed by
+	// EnableReplan; launch overrides how background re-binds start
+	// (nil = one goroutine per job).
+	replan *ReplanPolicy
+	launch func(func())
 
 	// budget, when attached, is the shared byte budget this cache
 	// accounts its footprint against; entries then carry stamps from
@@ -94,6 +107,9 @@ type planEntry[T any, S semiring.Semiring[T]] struct {
 	// stamp is the shared-budget LRU tick of the entry's last touch;
 	// meaningful only while a MemBudget is attached.
 	stamp uint64
+	// fb is the replanner's measured record for the entry's current
+	// plan (DESIGN.md §14); zero until observations flow.
+	fb planFeedback
 }
 
 // DefaultPlanCacheEntries is the entry bound used when NewPlanCache is
@@ -115,6 +131,7 @@ func NewPlanCache[T any, S semiring.Semiring[T]](sr S, maxEntries int, maxBytes 
 		lru:        list.New(),
 		table:      make(map[planKey]*list.Element),
 		inflight:   make(map[planKey]*planCall[T, S]),
+		index:      make(map[*Plan[T, S]]*list.Element),
 	}
 }
 
@@ -164,6 +181,7 @@ func (c *PlanCache[T, S]) BudgetEvict() int64 {
 func (c *PlanCache[T, S]) removeLocked(el *list.Element, entry *planEntry[T, S]) {
 	c.lru.Remove(el)
 	delete(c.table, entry.key)
+	delete(c.index, entry.plan)
 	c.bytes -= entry.bytes
 	c.evicted++
 	if c.budget != nil {
@@ -300,7 +318,9 @@ func (c *PlanCache[T, S]) GetOrPlanObserved(mask *sparse.Pattern, a, b *sparse.C
 			entry.stamp = c.budget.Stamp()
 			c.budget.Reserve(entry.bytes)
 		}
-		c.table[key] = c.lru.PushFront(entry)
+		el := c.lru.PushFront(entry)
+		c.table[key] = el
+		c.index[entry.plan] = el
 		c.bytes += entry.bytes
 		c.evictLocked()
 		c.mu.Unlock()
@@ -342,6 +362,7 @@ func (c *PlanCache[T, S]) Clear() {
 	}
 	c.lru.Init()
 	clear(c.table)
+	clear(c.index)
 	c.bytes = 0
 }
 
@@ -368,6 +389,14 @@ type PlanCacheStats struct {
 	// view of per-family adoption. Nil when no cached plan carries a
 	// per-row binding.
 	HybridFamilyRows map[string]int64
+	// Replans counts background re-binds that swapped a cached plan
+	// (DESIGN.md §14); zero until EnableReplan.
+	Replans uint64
+	// Drift lists the measured record of every cached plan the
+	// replanner has observed — EWMA imbalance and wall time, sample
+	// count, and how often the entry's plan was re-bound. Nil when no
+	// observations have flowed.
+	Drift []PlanDrift
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -375,8 +404,21 @@ func (c *PlanCache[T, S]) Stats() PlanCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var famRows map[string]int64
+	var drift []PlanDrift
 	for el := c.lru.Front(); el != nil; el = el.Next() {
-		p := el.Value.(*planEntry[T, S]).plan
+		entry := el.Value.(*planEntry[T, S])
+		p := entry.plan
+		if entry.fb.samples > 0 || entry.fb.replans > 0 {
+			drift = append(drift, PlanDrift{
+				Scheme:        p.opt.SchemeName(),
+				Rows:          p.mask.Rows,
+				Schedule:      p.sched.String(),
+				EwmaImbalance: entry.fb.ewmaImbalance,
+				EwmaWallNanos: int64(entry.fb.ewmaWall),
+				Samples:       entry.fb.samples,
+				Replans:       entry.fb.replans,
+			})
+		}
 		if p.polyFams == 0 {
 			continue
 		}
@@ -401,5 +443,7 @@ func (c *PlanCache[T, S]) Stats() PlanCacheStats {
 		Entries:          c.lru.Len(),
 		Bytes:            c.bytes,
 		HybridFamilyRows: famRows,
+		Replans:          c.replans,
+		Drift:            drift,
 	}
 }

@@ -1,0 +1,431 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"maskedspgemm/internal/semiring"
+	"maskedspgemm/internal/sparse"
+)
+
+// syncLauncher runs re-bind jobs inline on the observing goroutine,
+// making swaps deterministic for tests: the Kth ObserveExecution
+// returns only after the swap completed.
+func syncLauncher(job func()) { job() }
+
+// observeN feeds n identical fake measurements for plan.
+func observeN[T any, S semiring.Semiring[T]](c *PlanCache[T, S], p *Plan[T, S], n int, imbalance float64) {
+	for i := 0; i < n; i++ {
+		c.ObserveExecution(p, imbalance, time.Millisecond)
+	}
+}
+
+// TestReplanKHitSwap pins the acceptance path end to end with fake
+// measurements and no sleeps: a plan that measures imbalanced for K
+// consecutive observed hits is re-bound in the background (here:
+// synchronously, via the injected launcher), the cache entry swaps to
+// the new immutable plan, subsequent hits return it, and the swapped
+// plan still computes the same product.
+func TestReplanKHitSwap(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	// Uniform structure + Threads=4 resolves to FixedGrain with a
+	// retained profile — the ladder's first rung re-partitions it.
+	mask, a, b := buildCase(caseSpec{"", 512, 512, 512, 8, 8, 8, 5})
+	opt := Options{Algorithm: AlgoMSA, Threads: 4}
+
+	c := NewPlanCache[float64](sr, 8, 0)
+	c.SetReplanLauncher(syncLauncher)
+	c.EnableReplan(ReplanPolicy{ImbalanceThreshold: 1.2, ConsecutiveHits: 3})
+
+	p0, err := c.GetOrPlan(mask, a, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0.ResolvedSchedule() != SchedFixedGrain {
+		t.Fatalf("precondition: uniform plan resolved %v, want FixedGrain", p0.ResolvedSchedule())
+	}
+	if p0.profile == nil {
+		t.Fatal("precondition: profiled plan retained no profile")
+	}
+	want, err := p0.ExecuteOn(NewExecutor[float64](sr), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// K-1 over-threshold observations: no swap yet.
+	observeN(c, p0, 2, 2.0)
+	if p1, _ := c.GetOrPlan(mask, a, b, opt); p1 != p0 {
+		t.Fatal("plan swapped before K consecutive over-threshold hits")
+	}
+	// The Kth triggers the (synchronous) re-bind.
+	observeN(c, p0, 1, 2.0)
+	p1, err := c.GetOrPlan(mask, a, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p0 {
+		t.Fatal("plan not swapped after K over-threshold hits")
+	}
+	if p1.ResolvedSchedule() != SchedCostPartition {
+		t.Errorf("first rung resolved %v, want CostPartition", p1.ResolvedSchedule())
+	}
+	if len(p1.partBounds) < 2 || p1.partBounds[0] != 0 || p1.partBounds[len(p1.partBounds)-1] != mask.Rows {
+		t.Errorf("re-partitioned bounds do not tile rows: %v", p1.partBounds)
+	}
+	got, err := p1.ExecuteOn(NewExecutor[float64](sr), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.Equal(want, got) {
+		t.Error("re-bound plan computes a different product")
+	}
+	st := c.Stats()
+	if st.Replans != 1 {
+		t.Errorf("Replans = %d, want 1", st.Replans)
+	}
+	if len(st.Drift) != 1 || st.Drift[0].Replans != 1 || st.Drift[0].Schedule != "CostPartition" {
+		t.Errorf("drift record %+v, want one entry with Replans=1 Schedule=CostPartition", st.Drift)
+	}
+
+	// Observations against the replaced pointer are dropped: the
+	// successor's fresh record must stay untouched.
+	observeN(c, p0, 10, 9.9)
+	if st := c.Stats(); st.Replans != 1 || st.Drift[0].Samples != 0 {
+		t.Errorf("stale-plan observations leaked into the successor: %+v", st.Drift)
+	}
+
+	// Escalation: slack doubles (4→8→16 partitions per worker), then
+	// the ladder terminates at WorkSteal and stays there.
+	prev := p1
+	for rung, wantSched := range []Schedule{SchedCostPartition, SchedCostPartition, SchedWorkSteal} {
+		observeN(c, prev, 3, 2.0)
+		next, _ := c.GetOrPlan(mask, a, b, opt)
+		if next == prev {
+			t.Fatalf("rung %d: no swap", rung)
+		}
+		if next.ResolvedSchedule() != wantSched {
+			t.Fatalf("rung %d: resolved %v, want %v", rung, next.ResolvedSchedule(), wantSched)
+		}
+		got, err := next.ExecuteOn(NewExecutor[float64](sr), a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sparse.Equal(want, got) {
+			t.Fatalf("rung %d: wrong product", rung)
+		}
+		prev = next
+	}
+	// Terminal: further pressure never swaps again.
+	observeN(c, prev, 10, 9.0)
+	if final, _ := c.GetOrPlan(mask, a, b, opt); final != prev {
+		t.Error("exhausted ladder still swapped")
+	}
+	if st := c.Stats(); st.Replans != 4 {
+		t.Errorf("Replans = %d, want 4", st.Replans)
+	}
+}
+
+// TestReplanBelowThresholdNeverFires: balanced measurements keep the
+// plan, and a streak broken before K resets.
+func TestReplanBelowThresholdNeverFires(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	mask, a, b := buildCase(caseSpec{"", 256, 256, 256, 8, 8, 8, 6})
+	c := NewPlanCache[float64](sr, 8, 0)
+	c.SetReplanLauncher(syncLauncher)
+	c.EnableReplan(ReplanPolicy{ImbalanceThreshold: 1.5, ConsecutiveHits: 3})
+	opt := Options{Algorithm: AlgoMSA, Threads: 4}
+	p0, err := c.GetOrPlan(mask, a, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observeN(c, p0, 50, 1.05)
+	// Streak broken at 2: 2 over, 1 under, repeatedly. The EWMA is
+	// dragged under threshold by the alternation, so no swap fires.
+	for i := 0; i < 6; i++ {
+		observeN(c, p0, 2, 1.6)
+		observeN(c, p0, 2, 1.0)
+	}
+	if p1, _ := c.GetOrPlan(mask, a, b, opt); p1 != p0 {
+		t.Error("balanced plan was re-bound")
+	}
+	if st := c.Stats(); st.Replans != 0 {
+		t.Errorf("Replans = %d, want 0", st.Replans)
+	}
+}
+
+// TestReplanSerialPlanExempt: a Threads==1 plan has nothing to
+// balance — the ladder reports exhausted instead of churning.
+func TestReplanSerialPlanExempt(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	mask, a, b := buildCase(caseSpec{"", 512, 512, 512, 8, 8, 8, 7})
+	c := NewPlanCache[float64](sr, 8, 0)
+	c.SetReplanLauncher(syncLauncher)
+	c.EnableReplan(ReplanPolicy{ImbalanceThreshold: 1.2, ConsecutiveHits: 2})
+	opt := Options{Algorithm: AlgoMSA, Threads: 1}
+	p0, err := c.GetOrPlan(mask, a, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observeN(c, p0, 10, 5.0)
+	if p1, _ := c.GetOrPlan(mask, a, b, opt); p1 != p0 {
+		t.Error("serial plan was re-bound")
+	}
+}
+
+// TestReplanCoeffsRebind pins the full re-bind rung: a Hybrid plan
+// bound under literal costs, measuring imbalanced, is re-selected
+// with the policy's calibrated coefficients — the run encoding
+// changes, the product does not, and the rung never refires once the
+// plan carries the coefficients.
+func TestReplanCoeffsRebind(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	mask, a, b := buildCase(caseSpec{"", 512, 512, 512, 8, 8, 8, 320})
+	// Explicit CostPartition: starts past the first rung, so the next
+	// escalation for an un-calibrated Hybrid plan is the coeffs rebind.
+	opt := Options{Algorithm: AlgoHybrid, Threads: 4, Schedule: SchedCostPartition}
+
+	// Coefficients that make every family but Heap look expensive:
+	// the re-bound encoding must shift rows toward Heap.
+	coeffs := CostCoeffs{}
+	for f := range coeffs {
+		coeffs[f] = 50
+	}
+	coeffs[FamHeap] = 0.001
+
+	c := NewPlanCache[float64](sr, 8, 0)
+	c.SetReplanLauncher(syncLauncher)
+	c.EnableReplan(ReplanPolicy{ImbalanceThreshold: 1.2, ConsecutiveHits: 2, Coeffs: coeffs})
+
+	p0, err := c.GetOrPlan(mask, a, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0.profile == nil || p0.profile.rowFlops == nil {
+		t.Fatal("precondition: hybrid plan retained no selector profile")
+	}
+	want, err := p0.ExecuteOn(NewExecutor[float64](sr), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows0 := p0.FamilyRows()
+
+	observeN(c, p0, 2, 3.0)
+	p1, _ := c.GetOrPlan(mask, a, b, opt)
+	if p1 == p0 {
+		t.Fatal("no swap after K hits")
+	}
+	if p1.opt.CostCoeffs != coeffs {
+		t.Fatalf("re-bound plan carries coeffs %v, want the policy's", p1.opt.CostCoeffs)
+	}
+	rows1 := p1.FamilyRows()
+	if rows1[FamHeap] <= rows0[FamHeap] {
+		t.Errorf("heap-favoring coefficients did not move rows to Heap: before %v after %v", rows0, rows1)
+	}
+	got, err := p1.ExecuteOn(NewExecutor[float64](sr), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.Equal(want, got) {
+		t.Error("coefficient re-bind changed the product")
+	}
+
+	// Once calibrated, the coeffs rung is spent: the next escalation
+	// is slack doubling, not another re-selection.
+	observeN(c, p1, 2, 3.0)
+	p2, _ := c.GetOrPlan(mask, a, b, opt)
+	if p2 == p1 {
+		t.Fatal("no slack escalation after the coeffs rebind")
+	}
+	if p2.opt.CostCoeffs != coeffs || p2.ResolvedSchedule() != SchedCostPartition {
+		t.Errorf("second rung: coeffs %v sched %v", p2.opt.CostCoeffs, p2.ResolvedSchedule())
+	}
+	if p2.FamilyRows() != rows1 {
+		t.Error("slack escalation re-ran the selector")
+	}
+}
+
+// TestRebindUnitCoeffsParity is the -calibrate=off criterion at the
+// core level: an all-ones coefficient array multiplies every model by
+// exactly 1.0, so the binding, the cost vector, and the partition
+// bounds must be bit-for-bit identical to the uncalibrated plan's.
+func TestRebindUnitCoeffsParity(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	mask, a, b := buildCase(caseSpec{"", 512, 512, 512, 8, 8, 8, 321})
+	base := Options{Algorithm: AlgoHybrid, Threads: 4, Schedule: SchedCostPartition}
+	p0, err := NewPlan(sr, mask, a, b, base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := base
+	for f := range unit.CostCoeffs {
+		unit.CostCoeffs[f] = 1.0
+	}
+	p1, err := NewPlan(sr, mask, a, b, unit, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(p0.runEnds) != fmt.Sprint(p1.runEnds) || fmt.Sprint(p0.runFam) != fmt.Sprint(p1.runFam) {
+		t.Error("unit coefficients changed the run encoding")
+	}
+	if fmt.Sprint(p0.partBounds) != fmt.Sprint(p1.partBounds) {
+		t.Errorf("unit coefficients changed partition bounds: %v vs %v", p0.partBounds, p1.partBounds)
+	}
+	if p0.profile != nil && p1.profile != nil {
+		if fmt.Sprint(p0.profile.rowCost) != fmt.Sprint(p1.profile.rowCost) {
+			t.Error("unit coefficients changed the cost vector")
+		}
+	}
+}
+
+// TestWarmThenWide pins the satellite fix: a Threads==1 plan over a
+// large structure retains its cost profile (pre-fix it skipped the
+// profile entirely), so re-binding it to more threads lays out cost
+// partitions from the retained vector — without ever touching A or B
+// again — and the wide plan computes the same product. Small serial
+// plans still skip the profile (pure planning overhead).
+func TestWarmThenWide(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	mask, a, b := skewedCase(512, 512, 4)
+
+	serial, err := NewPlan(sr, mask, a, b, Options{Algorithm: AlgoMSA, Threads: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.ResolvedSchedule() != SchedFixedGrain {
+		t.Fatalf("serial plan resolved %v, want FixedGrain", serial.ResolvedSchedule())
+	}
+	if serial.profile == nil || serial.profile.total == 0 {
+		t.Fatal("large serial plan retained no cost profile (warm-then-wide regression)")
+	}
+	want, err := serial.Execute(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wide := serial.rebind(rebindSpec{sched: SchedCostPartition, slack: costPartsPerWorker, threads: 4})
+	if wide == nil {
+		t.Fatal("rebind returned nil despite a retained profile")
+	}
+	if wide.ResolvedSchedule() != SchedCostPartition {
+		t.Fatalf("wide plan resolved %v, want CostPartition", wide.ResolvedSchedule())
+	}
+	if wide.opt.Threads != 4 {
+		t.Fatalf("wide plan threads = %d, want 4", wide.opt.Threads)
+	}
+	if n := len(wide.partBounds) - 1; n < 2 || n > 4*costPartsPerWorker {
+		t.Fatalf("wide plan laid out %d partitions, want in (1, %d]", n, 4*costPartsPerWorker)
+	}
+	got, err := wide.ExecuteOn(NewExecutor[float64](sr), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.Equal(want, got) {
+		t.Error("warm-then-wide plan computes a different product")
+	}
+
+	// Hybrid serial plans retain the full selector profile too.
+	hp, err := NewPlan(sr, mask, a, b, Options{Algorithm: AlgoHybrid, Threads: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp.profile == nil || hp.profile.rowFlops == nil {
+		t.Fatal("large serial hybrid plan retained no selector profile")
+	}
+
+	// Small structures keep the old economy: no profile.
+	smask, sa, sb := buildCase(caseSpec{"", 64, 64, 64, 8, 8, 8, 5})
+	small, err := NewPlan(sr, smask, sa, sb, Options{Algorithm: AlgoMSA, Threads: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.profile != nil {
+		t.Error("small serial plan measured a profile it can never use")
+	}
+}
+
+// TestReplanSwapKeepsAccounting: a swap adjusts the cache's byte
+// accounting to the new plan's footprint.
+func TestReplanSwapKeepsAccounting(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	mask, a, b := buildCase(caseSpec{"", 512, 512, 512, 8, 8, 8, 5})
+	c := NewPlanCache[float64](sr, 8, 0)
+	c.SetReplanLauncher(syncLauncher)
+	c.EnableReplan(ReplanPolicy{ImbalanceThreshold: 1.2, ConsecutiveHits: 2})
+	opt := Options{Algorithm: AlgoMSA, Threads: 4}
+	p0, err := c.GetOrPlan(mask, a, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observeN(c, p0, 2, 3.0)
+	p1, _ := c.GetOrPlan(mask, a, b, opt)
+	if p1 == p0 {
+		t.Fatal("no swap")
+	}
+	if got, want := c.Stats().Bytes, p1.footprintBytes(); got != want {
+		t.Errorf("cache bytes %d after swap, want the new plan's footprint %d", got, want)
+	}
+}
+
+// TestReplanConcurrentExecutions hammers a cache-shared plan with
+// concurrent executions while background re-binds (real goroutines,
+// default launcher) repeatedly swap the entry underneath them: every
+// execution must see a consistent plan — old or new, never torn — and
+// produce the exact product. Run with -race.
+func TestReplanConcurrentExecutions(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	mask, a, b := buildCase(caseSpec{"", 512, 512, 512, 8, 8, 8, 5})
+	opt := Options{Algorithm: AlgoHybrid, Threads: 4, Schedule: SchedCostPartition}
+	coeffs := CostCoeffs{10, 1, 1, 0.01, 1, 1}
+
+	c := NewPlanCache[float64](sr, 8, 0)
+	c.EnableReplan(ReplanPolicy{ImbalanceThreshold: 1.1, ConsecutiveHits: 2, Coeffs: coeffs})
+
+	p0, err := c.GetOrPlan(mask, a, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p0.ExecuteOn(NewExecutor[float64](sr), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	const iters = 30
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			exec := NewExecutor[float64](sr)
+			for i := 0; i < iters; i++ {
+				p, err := c.GetOrPlan(mask, a, b, opt)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := p.ExecuteOnOpts(exec, a, b, ExecOptions{CollectSchedStats: true})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !sparse.Equal(want, got) {
+					errs <- fmt.Errorf("iteration %d: wrong product under concurrent re-bind", i)
+					return
+				}
+				// Feed pressure so swaps keep firing mid-traffic.
+				c.ObserveExecution(p, 5.0, time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if c.Stats().Replans == 0 {
+		t.Error("stress run never triggered a re-bind")
+	}
+}

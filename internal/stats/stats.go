@@ -121,13 +121,23 @@ func DegreeHistogram[T any](a *sparse.CSR[T]) []int64 {
 // an aligned per-worker table plus the aggregate imbalance factor —
 // the diagnostic view of the load-balance skew this package's degree
 // statistics predict.
+// The share column decomposes the imbalance factor: each worker's
+// fraction of total busy time, where every participant at 1/P reads
+// imbalance 1.00 and one worker hoarding the row mass shows up
+// directly. This is the same max-busy / mean-busy signal the online
+// calibration loop feeds back per plan (DESIGN.md §14).
 func WriteSchedStats(w io.Writer, st parallel.SchedStats) {
-	fmt.Fprintf(w, "  %-8s %12s %10s %8s\n", "worker", "busy", "claimed", "stolen")
+	fmt.Fprintf(w, "  %-8s %12s %7s %10s %8s\n", "worker", "busy", "share", "claimed", "stolen")
+	total := st.Busy()
 	for tid, ws := range st.Workers {
-		fmt.Fprintf(w, "  %-8d %12s %10d %8d\n", tid, ws.Busy, ws.Claimed, ws.Stolen)
+		share := 0.0
+		if total > 0 {
+			share = float64(ws.Busy) / float64(total)
+		}
+		fmt.Fprintf(w, "  %-8d %12s %6.1f%% %10d %8d\n", tid, ws.Busy, 100*share, ws.Claimed, ws.Stolen)
 	}
 	fmt.Fprintf(w, "  total busy %s over %d blocks (%d stolen), imbalance %.2f\n",
-		st.Busy(), st.Claimed(), st.Stolen(), st.Imbalance())
+		total, st.Claimed(), st.Stolen(), st.Imbalance())
 }
 
 // MaskedWork summarizes Figure 1's argument for one masked product:

@@ -118,3 +118,42 @@ func TestWriteSchedStats(t *testing.T) {
 		}
 	}
 }
+
+// TestWriteSchedStatsGolden pins the full rendering — the per-worker
+// share column decomposing the imbalance factor, and the aggregate
+// line whose "imbalance %.2f" tail external tooling greps for. The
+// worker busy times are 3:1, so shares are 75%/25% and the imbalance
+// (max busy / mean busy) is 1.50.
+func TestWriteSchedStatsGolden(t *testing.T) {
+	st := parallel.SchedStats{Workers: []parallel.WorkerStats{
+		{Busy: 3 * time.Millisecond, Claimed: 10, Stolen: 1},
+		{Busy: time.Millisecond, Claimed: 4},
+	}}
+	var buf bytes.Buffer
+	WriteSchedStats(&buf, st)
+	want := "" +
+		"  worker           busy   share    claimed   stolen\n" +
+		"  0                 3ms   75.0%         10        1\n" +
+		"  1                 1ms   25.0%          4        0\n" +
+		"  total busy 4ms over 14 blocks (1 stolen), imbalance 1.50\n"
+	if got := buf.String(); got != want {
+		t.Errorf("WriteSchedStats rendering drifted.\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+// TestWriteSchedStatsGoldenIdle pins the degenerate cases the share
+// division must survive: an idle worker set renders 0% shares and
+// imbalance 0.
+func TestWriteSchedStatsGoldenIdle(t *testing.T) {
+	st := parallel.SchedStats{Workers: []parallel.WorkerStats{{}, {}}}
+	var buf bytes.Buffer
+	WriteSchedStats(&buf, st)
+	want := "" +
+		"  worker           busy   share    claimed   stolen\n" +
+		"  0                  0s    0.0%          0        0\n" +
+		"  1                  0s    0.0%          0        0\n" +
+		"  total busy 0s over 0 blocks (0 stolen), imbalance 0.00\n"
+	if got := buf.String(); got != want {
+		t.Errorf("WriteSchedStats idle rendering drifted.\ngot:\n%swant:\n%s", got, want)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"maskedspgemm/internal/core"
 	"maskedspgemm/internal/parallel"
@@ -50,6 +51,9 @@ type Session struct {
 	// onMiss holds the observers installed via WithMissObserver, each
 	// called after every plan-cache miss that planned successfully.
 	onMiss []func(PlanMiss)
+	// calib is the calibration state (WithCalibration): mode, fitted
+	// coefficients, and fit timing. Immutable after NewSession.
+	calib calibration
 
 	schedMu sync.Mutex
 	sched   parallel.SchedSummary
@@ -65,6 +69,7 @@ type sessionConfig struct {
 	budgetBytes  int64
 	maxIdle      int
 	onMiss       []func(PlanMiss)
+	calib        CalibrationConfig
 }
 
 // PlanMiss describes one plan-cache miss a session observed: a request
@@ -150,6 +155,7 @@ func NewSession(opts ...SessionOption) *Session {
 		onMiss:   cfg.onMiss,
 	}
 	s.cache.AttachBudget(budget)
+	s.setupCalibration(cfg.calib)
 	return s
 }
 
@@ -196,6 +202,13 @@ func (s *Session) observeMiss(mask *Pattern, a, b *Matrix, o core.Options, warm 
 // executor that produced it, so outputs are always freshly allocated.
 func (s *Session) Multiply(mask *Pattern, a, b *Matrix, opts ...Option) (*Matrix, error) {
 	o := buildOptions(opts)
+	// Startup calibration binds every plan under the fitted
+	// coefficients; online calibration keeps keys literal and feeds
+	// measurements back instead (see CalibrationMode).
+	if s.calib.mode == CalibrateStartup {
+		o.CostCoeffs = s.calib.coeffs
+	}
+	online := s.calib.mode == CalibrateOnline
 	plan, hit, err := s.cache.GetOrPlanObserved(mask, a, b, o)
 	if err != nil {
 		return nil, err
@@ -206,8 +219,12 @@ func (s *Session) Multiply(mask *Pattern, a, b *Matrix, opts ...Option) (*Matrix
 	exec := s.pool.Get()
 	defer s.pool.Put(exec)
 	// ReuseOutput stays off: the result must outlive the pooled executor.
-	eo := core.ExecOptions{CollectSchedStats: o.CollectSchedStats}
+	// Online calibration needs the scheduler telemetry every pass — the
+	// imbalance feedback is what drives re-binding.
+	eo := core.ExecOptions{CollectSchedStats: o.CollectSchedStats || online}
+	start := time.Now()
 	out, err := plan.ExecuteOnOpts(exec, a, b, eo)
+	elapsed := time.Since(start)
 	if eo.CollectSchedStats {
 		// Record telemetry even when the execution errored: dashboards
 		// must see the passes that misbehaved, not only the clean ones.
@@ -215,9 +232,14 @@ func (s *Session) Multiply(mask *Pattern, a, b *Matrix, opts ...Option) (*Matrix
 		// errored pass reads as empty rather than replaying the previous
 		// execution's record.
 		st := exec.SchedStats()
-		s.schedMu.Lock()
-		s.sched.Record(st)
-		s.schedMu.Unlock()
+		if o.CollectSchedStats {
+			s.schedMu.Lock()
+			s.sched.Record(st)
+			s.schedMu.Unlock()
+		}
+		if online && err == nil {
+			s.cache.ObserveExecution(plan, st.Imbalance(), elapsed)
+		}
 	}
 	return out, err
 }
@@ -229,6 +251,11 @@ func (s *Session) Multiply(mask *Pattern, a, b *Matrix, opts ...Option) (*Matrix
 // for any telemetry or output-ownership choice a later request makes.
 func (s *Session) Warm(mask *Pattern, a, b *Matrix, opts ...Option) error {
 	o := buildOptions(opts)
+	// Warming must key like serving, so startup calibration injects
+	// the same coefficients here.
+	if s.calib.mode == CalibrateStartup {
+		o.CostCoeffs = s.calib.coeffs
+	}
 	_, hit, err := s.cache.GetOrPlanObserved(mask, a, b, o)
 	if err != nil {
 		return err
@@ -402,6 +429,10 @@ type SessionStats struct {
 	// Sched accumulates scheduler telemetry over every Multiply issued
 	// with WithSchedStats; zero when the option is never used.
 	Sched SchedSummary
+	// Calibration reports the cost-model calibration state: mode,
+	// fitted coefficients, fit timing, and — online mode — re-bind
+	// counts and per-plan drift.
+	Calibration CalibrationStats
 }
 
 // Stats returns a snapshot of the session's counters.
@@ -409,11 +440,13 @@ func (s *Session) Stats() SessionStats {
 	s.schedMu.Lock()
 	sched := s.sched
 	s.schedMu.Unlock()
+	cache := s.cache.Stats()
 	return SessionStats{
-		Cache:  s.cache.Stats(),
-		Pool:   s.pool.Stats(),
-		Store:  s.operands.StatsSnapshot(),
-		Budget: BudgetStats{UsedBytes: s.budget.Used(), MaxBytes: s.budget.Max()},
-		Sched:  sched,
+		Cache:       cache,
+		Pool:        s.pool.Stats(),
+		Store:       s.operands.StatsSnapshot(),
+		Budget:      BudgetStats{UsedBytes: s.budget.Used(), MaxBytes: s.budget.Max()},
+		Sched:       sched,
+		Calibration: s.calibrationStats(cache),
 	}
 }
