@@ -13,6 +13,7 @@ import (
 	"maskedspgemm/internal/core"
 	"maskedspgemm/internal/gen"
 	"maskedspgemm/internal/graph"
+	"maskedspgemm/internal/parallel"
 	"maskedspgemm/internal/semiring"
 	"maskedspgemm/internal/sparse"
 )
@@ -511,6 +512,42 @@ func BenchmarkBitmapMix(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkCancelOverhead — the cost of cancellation-aware kernels
+// (DESIGN.md §15): the same plan on the same executor with no cancel
+// token versus a live, never-latched one, on the uniform ER self-mask
+// control where a fixed per-block polling cost cannot hide behind row
+// skew. `mspgemm-bench cancel` runs the same comparison with an
+// interleaved best-of-reps harness and emits BENCH_cancel.json, whose
+// ratio CI gates at the ≤2% checkpoint-overhead budget.
+func BenchmarkCancelOverhead(b *testing.B) {
+	sr := semiring.PlusTimes[float64]{}
+	const scale, ef = 12, 8
+	g := gen.Symmetrize(gen.ErdosRenyi(1<<scale, ef, 17))
+	opt := core.Options{Algorithm: core.AlgoMSA, ReuseOutput: true}
+	plan, err := core.NewPlan(sr, g.PatternView(), g, g, opt, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exec := core.NewExecutor[float64](sr)
+	arms := []struct {
+		name string
+		eo   core.ExecOptions
+	}{
+		{"no-token", core.ExecOptions{ReuseOutput: true}},
+		{"token", core.ExecOptions{ReuseOutput: true, Cancel: &parallel.CancelToken{}}},
+	}
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.ExecuteOnOpts(exec, g, g, arm.eo); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -51,6 +51,7 @@ func main() {
 		cacheBytes   = flag.Int64("cache-bytes", 0, "plan-cache byte bound (0 = unbounded)")
 		memBudget    = flag.Int64("memory-budget", 0, "shared byte budget over cached plans and stored operands (0 = default 1GiB)")
 		calibrateStr = flag.String("calibrate", "off", "cost-model calibration: off, startup (fit once, bind calibrated), or online (fit + re-bind misbehaving cached plans in the background)")
+		panicEvery   = flag.Duration("panic-log-every", time.Minute, "rate limit on kernel-panic log entries: the first contained panic of a kind logs its full stack and request fingerprints, repeats within the interval are counted instead of logged")
 		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight work")
 	)
 	flag.Parse()
@@ -81,6 +82,7 @@ func main() {
 		MaxBodyBytes:    *maxBody,
 		BodyReadTimeout: *bodyTimeout,
 		MaxWarmInFlight: *maxWarm,
+		PanicLogEvery:   *panicEvery,
 		SessionOptions:  sopts,
 	})
 	// ReadHeaderTimeout caps header trickling before a request reaches

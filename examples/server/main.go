@@ -203,6 +203,11 @@ func main() {
 				Operands int    `json:"operands"`
 				Bytes    int64  `json:"bytes"`
 			} `json:"store"`
+			Faults struct {
+				ExecCanceled       uint64 `json:"exec_canceled"`
+				KernelPanics       uint64 `json:"kernel_panics"`
+				ExecutorsDiscarded uint64 `json:"executors_discarded"`
+			} `json:"faults"`
 		} `json:"session"`
 		Admission struct {
 			Admitted uint64 `json:"admitted"`
@@ -219,6 +224,11 @@ func main() {
 		st.Session.Pool.Created, st.Session.Pool.Reused, st.Session.Pool.Idle)
 	fmt.Printf("admission: %d admitted, %d queued, %d shed\n",
 		st.Admission.Admitted, st.Admission.Queued, st.Admission.Shed)
+	// All zeros in a healthy run — the line is here because a nonzero
+	// kernel_panics on a dashboard means containment is working, not
+	// that the server is down.
+	fmt.Printf("faults: %d canceled, %d kernel panics, %d executors discarded\n",
+		st.Session.Faults.ExecCanceled, st.Session.Faults.KernelPanics, st.Session.Faults.ExecutorsDiscarded)
 	var inlineBytes int64
 	for _, q := range queries {
 		inlineBytes += int64(len(q.body))

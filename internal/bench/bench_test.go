@@ -295,6 +295,44 @@ func TestRunBitmapMixTiny(t *testing.T) {
 	}
 }
 
+// TestRunCancelOverheadTiny exercises the cancel-overhead experiment
+// end to end at a small scale: both arms time positively, the ratio is
+// their quotient, and the JSON document round-trips with the .ratio
+// field the CI gate reads.
+func TestRunCancelOverheadTiny(t *testing.T) {
+	cfg := CancelOverheadConfig{Scale: 8, EdgeFactor: 4, Threads: 2, Reps: 2, Seed: 17}
+	res, err := RunCancelOverhead(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaselineSeconds <= 0 || res.TokenSeconds <= 0 {
+		t.Fatalf("non-positive arm times: %+v", res)
+	}
+	if want := res.TokenSeconds / res.BaselineSeconds; res.Ratio != want {
+		t.Errorf("ratio = %v, want %v", res.Ratio, want)
+	}
+	var buf bytes.Buffer
+	WriteCancelOverhead(&buf, cfg, res)
+	if !strings.Contains(buf.String(), "token-never-latched") {
+		t.Errorf("table missing token arm:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := WriteCancelOverheadJSON(&buf, cfg, res); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Result struct {
+			Ratio float64 `json:"ratio"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("BENCH_cancel.json round-trip: %v", err)
+	}
+	if doc.Result.Ratio != res.Ratio {
+		t.Errorf("JSON ratio = %v, want %v", doc.Result.Ratio, res.Ratio)
+	}
+}
+
 // TestSkewedGraphIsSkewed pins the adversarial construction: after the
 // degree-ascending relabel the heaviest rows are adjacent at the tail,
 // so the last DefaultGrain-row blocks hold a disproportionate share of

@@ -70,7 +70,7 @@ func SpGEMM[T any, S semiring.Semiring[T]](sr S, a, b *sparse.CSR[T], opt Option
 		symbolic := func(tid, i int) int {
 			return unmaskedRowSymbolic(slots.get(tid), a.Row(i), b)
 		}
-		return twoPhase(a.Rows, b.Cols, sch, kernels[T]{numeric: numeric, symbolic: symbolic}, nil), nil
+		return twoPhase(a.Rows, b.Cols, sch, kernels[T]{numeric: numeric, symbolic: symbolic}, nil)
 	}
 	// One-phase slab: per-row flops bound.
 	offsets := make([]int64, a.Rows+1)
@@ -83,7 +83,7 @@ func SpGEMM[T any, S semiring.Semiring[T]](sr S, a, b *sparse.CSR[T], opt Option
 		offsets[i] = total
 		total += c
 	}
-	return onePhase(a.Rows, b.Cols, offsets, sch, kernels[T]{numeric: numeric}, nil), nil
+	return onePhase(a.Rows, b.Cols, offsets, sch, kernels[T]{numeric: numeric}, nil)
 }
 
 func errInnerDim[T any](a, b *sparse.CSR[T]) error {

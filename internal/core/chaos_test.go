@@ -1,0 +1,179 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"maskedspgemm/internal/faultinject"
+	"maskedspgemm/internal/parallel"
+	"maskedspgemm/internal/semiring"
+)
+
+// The core half of the chaos suite (DESIGN.md §15): fault injection
+// drives panics and cancellations through the engine's public surface
+// and the tests assert the typed-error contract — no partial results,
+// no dead process, correct pass attribution. Tests arm the process-
+// wide faultinject seam, so none of them run in parallel.
+
+// chaosFamilies are the six accumulator families the tentpole requires
+// panic containment for.
+var chaosFamilies = []Algorithm{AlgoMSA, AlgoHash, AlgoMCA, AlgoHeap, AlgoInner, AlgoMaskedBit}
+
+// TestChaosPanicEachFamily injects a row panic into every accumulator
+// family's numeric pass, serial and parallel, and checks the panic
+// surfaces as *KernelPanicError naming the family — and that a fresh
+// executor runs the same plan cleanly once disarmed.
+func TestChaosPanicEachFamily(t *testing.T) {
+	t.Cleanup(faultinject.Disarm)
+	sr := semiring.PlusTimes[float64]{}
+	mask, a, b := buildCase(caseSpec{"", 256, 256, 256, 8, 8, 8, 96})
+	for _, algo := range chaosFamilies {
+		for _, threads := range []int{1, 4} {
+			faultinject.Disarm()
+			plan, err := NewPlan(sr, mask, a, b, Options{Algorithm: algo, Threads: threads, Grain: 16}, nil)
+			if err != nil {
+				t.Fatalf("%v: %v", algo, err)
+			}
+			if _, err := plan.Execute(a, b); err != nil {
+				t.Fatalf("%v disarmed: %v", algo, err)
+			}
+			faultinject.Arm(faultinject.Hooks{PanicArmed: true, PanicRow: 3, PanicPass: faultinject.PassNumeric})
+			out, err := plan.Execute(a, b)
+			var kp *KernelPanicError
+			if !errors.As(err, &kp) {
+				t.Fatalf("%v/threads=%d: err = %v, want KernelPanicError", algo, threads, err)
+			}
+			if out != nil {
+				t.Errorf("%v/threads=%d: partial result escaped alongside the panic", algo, threads)
+			}
+			if !strings.HasPrefix(kp.Family, algo.String()) {
+				t.Errorf("%v: Family = %q", algo, kp.Family)
+			}
+			if len(kp.Stack) == 0 {
+				t.Errorf("%v: no stack captured", algo)
+			}
+			// The panicking executor is poisoned; a fresh one must run
+			// the same shared plan cleanly once the fault is disarmed.
+			faultinject.Disarm()
+			exec := NewExecutor[float64](sr)
+			if _, err := plan.ExecuteOn(exec, a, b); err != nil {
+				t.Fatalf("%v recovery run: %v", algo, err)
+			}
+		}
+	}
+}
+
+// TestChaosCancelAtEveryPass arms the cancel-at-checkpoint fault at
+// each of the engine's pass boundaries and checks the returned
+// *CanceledError names exactly the interrupted pass, matches
+// ErrCanceled, and lets no partial result escape.
+func TestChaosCancelAtEveryPass(t *testing.T) {
+	t.Cleanup(faultinject.Disarm)
+	sr := semiring.PlusTimes[float64]{}
+	mask, a, b := buildCase(caseSpec{"", 256, 256, 256, 8, 8, 8, 97})
+	for _, tc := range []struct {
+		phases Phases
+		pass   faultinject.Pass
+	}{
+		{OnePhase, faultinject.PassNumeric},
+		{OnePhase, faultinject.PassCompact},
+		{TwoPhase, faultinject.PassSymbolic},
+		{TwoPhase, faultinject.PassNumeric},
+	} {
+		for _, threads := range []int{1, 4} {
+			faultinject.Disarm()
+			plan, err := NewPlan(sr, mask, a, b, Options{Phases: tc.phases, Threads: threads}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			faultinject.Arm(faultinject.Hooks{CancelPass: tc.pass})
+			out, err := plan.Execute(a, b)
+			var ce *CanceledError
+			if !errors.As(err, &ce) {
+				t.Fatalf("%v@%s/threads=%d: err = %v, want CanceledError", tc.phases, tc.pass, threads, err)
+			}
+			if ce.Pass != string(tc.pass) {
+				t.Errorf("%v@%s: interrupted pass reported as %q", tc.phases, tc.pass, ce.Pass)
+			}
+			if !errors.Is(err, ErrCanceled) {
+				t.Errorf("%v@%s: CanceledError does not match ErrCanceled", tc.phases, tc.pass)
+			}
+			if out != nil {
+				t.Errorf("%v@%s: partial result escaped alongside cancellation", tc.phases, tc.pass)
+			}
+		}
+	}
+}
+
+// TestCancelPreLatchedToken checks the ExecOptions.Cancel plumbing
+// without fault injection: a pre-latched token stops the execution at
+// its first checkpoint.
+func TestCancelPreLatchedToken(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	mask, a, b := buildCase(caseSpec{"", 128, 128, 128, 8, 8, 8, 98})
+	plan, err := NewPlan(sr, mask, a, b, Options{Threads: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := NewExecutor[float64](sr)
+	tok := new(parallel.CancelToken)
+	tok.Cancel()
+	out, err := plan.ExecuteOnOpts(exec, a, b, ExecOptions{Cancel: tok})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if out != nil {
+		t.Error("result escaped a canceled execution")
+	}
+}
+
+// TestCancelExecuteOnCtx checks the context wiring: a canceled context
+// maps to ErrCanceled, an unobstructed context executes normally, and
+// the watcher goroutine is torn down either way (asserted by the
+// suite-wide goroutine checks under -race).
+func TestCancelExecuteOnCtx(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	mask, a, b := buildCase(caseSpec{"", 128, 128, 128, 8, 8, 8, 99})
+	plan, err := NewPlan(sr, mask, a, b, Options{Threads: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := NewExecutor[float64](sr)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := plan.ExecuteOnCtx(ctx, exec, a, b, ExecOptions{}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-canceled ctx: err = %v, want ErrCanceled", err)
+	}
+	exec2 := NewExecutor[float64](sr)
+	out, err := plan.ExecuteOnCtx(context.Background(), exec2, a, b, ExecOptions{})
+	if err != nil || out == nil {
+		t.Fatalf("live ctx: out=%v err=%v", out, err)
+	}
+}
+
+// TestExecutorPoolDiscard pins the poisoning rules: Discard ends
+// ownership without pooling the executor, counts into Poisoned, and
+// Get afterwards still serves (fresh construction — capacity refills
+// lazily).
+func TestExecutorPoolDiscard(t *testing.T) {
+	sr := semiring.PlusTimes[float64]{}
+	pool := NewExecutorPool[float64](sr, 2)
+	e := pool.Get()
+	pool.Discard(e)
+	st := pool.Stats()
+	if st.Poisoned != 1 {
+		t.Errorf("Poisoned = %d, want 1", st.Poisoned)
+	}
+	if st.Idle != 0 {
+		t.Errorf("discarded executor was pooled (idle=%d)", st.Idle)
+	}
+	pool.Discard(nil) // no-op
+	if pool.Stats().Poisoned != 1 {
+		t.Error("Discard(nil) counted")
+	}
+	if e2 := pool.Get(); e2 == e {
+		t.Error("Get returned a discarded executor")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"maskedspgemm/internal/faultinject"
 	"maskedspgemm/internal/parallel"
 	"maskedspgemm/internal/sparse"
 )
@@ -54,24 +55,48 @@ type costProfile struct {
 
 // rowSched is the resolved descriptor the engine drivers schedule row
 // passes with: a mode that is never SchedAuto, the partition bounds
-// when cost-partitioned, and an optional telemetry target.
+// when cost-partitioned, an optional telemetry target, and the
+// fault-containment hooks — the cancel token workers poll at block
+// claims and the fault-injection hooks loaded for this execution
+// (both usually nil; DESIGN.md §15).
 type rowSched struct {
 	threads, grain int
 	mode           Schedule
 	bounds         []int
 	stats          *parallel.SchedStats
+	cancel         *parallel.CancelToken
+	fi             *faultinject.Hooks
 }
 
 // run executes fn over [0, n) under the descriptor's strategy.
 func (s rowSched) run(n int, fn func(lo, hi, tid int)) {
 	switch s.mode {
 	case SchedCostPartition:
-		parallel.ForEachPartition(s.bounds, s.threads, s.stats, fn)
+		parallel.ForEachPartition(s.bounds, s.threads, s.stats, s.cancel, fn)
 	case SchedWorkSteal:
-		parallel.ForEachChunked(n, s.threads, s.grain, s.stats, fn)
+		parallel.ForEachChunked(n, s.threads, s.grain, s.stats, s.cancel, fn)
 	default:
-		parallel.ForEachBlockStats(n, s.threads, s.grain, s.stats, fn)
+		parallel.ForEachBlockStats(n, s.threads, s.grain, s.stats, s.cancel, fn)
 	}
+}
+
+// enterPass is the checkpoint at a pass's entry: it fires the armed
+// pass-granularity fault hooks, then reports cancellation so a
+// canceled execution stops before starting the pass at all.
+func (s rowSched) enterPass(p faultinject.Pass) error {
+	s.fi.AtPass(p, s.cancel)
+	return s.passCanceled(p)
+}
+
+// passCanceled is the checkpoint after a pass's row sweep: a latched
+// token means the schedulers broke out early and the pass's output is
+// partial, so the driver must discard it and surface which pass was
+// interrupted.
+func (s rowSched) passCanceled(p faultinject.Pass) error {
+	if s.cancel.Canceled() {
+		return &CanceledError{Pass: string(p)}
+	}
+	return nil
 }
 
 // unprofiledSched resolves a schedule for row passes that have no

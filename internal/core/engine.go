@@ -1,6 +1,7 @@
 package core
 
 import (
+	"maskedspgemm/internal/faultinject"
 	"maskedspgemm/internal/parallel"
 	"maskedspgemm/internal/sparse"
 )
@@ -77,27 +78,42 @@ func (k *kernels[T]) symbolicSegment(lo, hi int) (int, rowSymbolicFn) {
 // then compacts. Row passes are scheduled by sch (fixed-grain,
 // cost-partitioned, or work-stealing — DESIGN.md §9) and follow the
 // kernel binding's run boundaries. es supplies pooled scratch; nil
-// allocates fresh.
-func onePhase[T any](rows, cols int, offsets []int64, sch rowSched, k kernels[T], es *engineScratch[T]) *sparse.CSR[T] {
+// allocates fresh. Cancellation (sch.cancel) is checked at pass
+// checkpoints and block claims; an interrupted execution returns
+// *CanceledError and no partial result.
+func onePhase[T any](rows, cols int, offsets []int64, sch rowSched, k kernels[T], es *engineScratch[T]) (*sparse.CSR[T], error) {
+	if err := sch.enterPass(faultinject.PassNumeric); err != nil {
+		return nil, err
+	}
 	slab := offsets[rows]
 	tmpIdx, tmpVal := es.slab(slab)
 	counts := es.rowPtrBuf(rows + 1)
+	fi := sch.fi
 	sch.run(rows, func(lo, hi, tid int) {
 		for lo < hi {
 			seg, numeric := k.numericSegment(lo, hi)
 			for i := lo; i < seg; i++ {
+				if fi != nil {
+					fi.Row(faultinject.PassNumeric, i)
+				}
 				base, end := offsets[i], offsets[i+1]
 				counts[i] = int64(numeric(tid, i, tmpIdx[base:end], tmpVal[base:end]))
 			}
 			lo = seg
 		}
 	})
+	if err := sch.passCanceled(faultinject.PassNumeric); err != nil {
+		return nil, err
+	}
 	return compact(rows, cols, offsets, counts, tmpIdx, tmpVal, sch, es)
 }
 
 // compact gathers per-row segments (counts[i] entries starting at
 // offsets[i]) into a tight CSR result.
-func compact[T any](rows, cols int, offsets, counts []int64, tmpIdx []int32, tmpVal []T, sch rowSched, es *engineScratch[T]) *sparse.CSR[T] {
+func compact[T any](rows, cols int, offsets, counts []int64, tmpIdx []int32, tmpVal []T, sch rowSched, es *engineScratch[T]) (*sparse.CSR[T], error) {
+	if err := sch.enterPass(faultinject.PassCompact); err != nil {
+		return nil, err
+	}
 	rowPtr := counts // reuse: becomes the exclusive prefix sum
 	parallel.PrefixSumParallel(rowPtr[:rows+1], sch.threads)
 	colIdx, val := es.outBufs(rowPtr[rows])
@@ -118,24 +134,38 @@ func compact[T any](rows, cols int, offsets, counts []int64, tmpIdx []int32, tmp
 			copy(out.Val[rowPtr[i]:rowPtr[i+1]], tmpVal[src:src+n])
 		}
 	})
-	return out
+	if err := sch.passCanceled(faultinject.PassCompact); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // twoPhase runs the symbolic kernel to size every row, prefix-sums, and
 // lets the numeric kernel write directly into the exact-size result.
 // Both passes are scheduled by sch and follow the kernel binding's run
 // boundaries. es supplies pooled output buffers; nil allocates fresh.
-func twoPhase[T any](rows, cols int, sch rowSched, k kernels[T], es *engineScratch[T]) *sparse.CSR[T] {
+// Cancellation follows the onePhase contract.
+func twoPhase[T any](rows, cols int, sch rowSched, k kernels[T], es *engineScratch[T]) (*sparse.CSR[T], error) {
+	if err := sch.enterPass(faultinject.PassSymbolic); err != nil {
+		return nil, err
+	}
 	rowPtr := es.rowPtrBuf(rows + 1)
+	fi := sch.fi
 	sch.run(rows, func(lo, hi, tid int) {
 		for lo < hi {
 			seg, symbolic := k.symbolicSegment(lo, hi)
 			for i := lo; i < seg; i++ {
+				if fi != nil {
+					fi.Row(faultinject.PassSymbolic, i)
+				}
 				rowPtr[i] = int64(symbolic(tid, i))
 			}
 			lo = seg
 		}
 	})
+	if err := sch.passCanceled(faultinject.PassSymbolic); err != nil {
+		return nil, err
+	}
 	rowPtr[rows] = 0
 	parallel.PrefixSumParallel(rowPtr, sch.threads)
 	colIdx, val := es.outBufs(rowPtr[rows])
@@ -148,16 +178,25 @@ func twoPhase[T any](rows, cols int, sch rowSched, k kernels[T], es *engineScrat
 		},
 		Val: val,
 	}
+	if err := sch.enterPass(faultinject.PassNumeric); err != nil {
+		return nil, err
+	}
 	sch.run(rows, func(lo, hi, tid int) {
 		for lo < hi {
 			seg, numeric := k.numericSegment(lo, hi)
 			for i := lo; i < seg; i++ {
+				if fi != nil {
+					fi.Row(faultinject.PassNumeric, i)
+				}
 				numeric(tid, i, out.ColIdx[rowPtr[i]:rowPtr[i+1]], out.Val[rowPtr[i]:rowPtr[i+1]])
 			}
 			lo = seg
 		}
 	})
-	return out
+	if err := sch.passCanceled(faultinject.PassNumeric); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // lazySlots hands out one lazily-constructed scratch value per worker.

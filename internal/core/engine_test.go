@@ -24,7 +24,10 @@ func TestOnePhaseEngine(t *testing.T) {
 		}
 		return i + 1
 	}
-	out := onePhase(4, 8, offsets, rowSched{threads: 2, grain: 1, mode: SchedFixedGrain}, kernels[float64]{numeric: numeric}, nil)
+	out, err := onePhase(4, 8, offsets, rowSched{threads: 2, grain: 1, mode: SchedFixedGrain}, kernels[float64]{numeric: numeric}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := out.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +56,10 @@ func TestOnePhasePartialRows(t *testing.T) {
 		outVal[0] = float64(i)
 		return 1
 	}
-	out := onePhase(3, 8, offsets, rowSched{threads: 1, grain: 1, mode: SchedFixedGrain}, kernels[float64]{numeric: numeric}, nil)
+	out, err := onePhase(3, 8, offsets, rowSched{threads: 1, grain: 1, mode: SchedFixedGrain}, kernels[float64]{numeric: numeric}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if out.NNZ() != 2 || out.RowNNZ(1) != 0 {
 		t.Fatalf("compaction wrong: nnz=%d row1=%d", out.NNZ(), out.RowNNZ(1))
 	}
@@ -73,7 +79,10 @@ func TestTwoPhaseEngine(t *testing.T) {
 		}
 		return n
 	}
-	out := twoPhase(7, 5, rowSched{threads: 2, grain: 2, mode: SchedFixedGrain}, kernels[float64]{numeric: numeric, symbolic: symbolic}, nil)
+	out, err := twoPhase(7, 5, rowSched{threads: 2, grain: 2, mode: SchedFixedGrain}, kernels[float64]{numeric: numeric, symbolic: symbolic}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := out.Validate(); err != nil {
 		t.Fatal(err)
 	}

@@ -37,6 +37,7 @@ type ExecutorPool[T any, S semiring.Semiring[T]] struct {
 	created   uint64
 	reused    uint64
 	discarded uint64
+	poisoned  uint64
 }
 
 // NewExecutorPool returns an empty pool over the given semiring
@@ -97,6 +98,23 @@ func (p *ExecutorPool[T, S]) Put(e *Executor[T, S]) {
 	p.idle = append(p.idle, e)
 }
 
+// Discard drops a poisoned executor instead of returning it, ending
+// the caller's ownership exactly like Put but without pooling: an
+// execution interrupted mid-pass (kernel panic, cooperative
+// cancellation) leaves accumulator scratch half-mutated, and the MSA
+// family's correctness depends on scratch being clean between rows —
+// a poisoned executor must never serve another request. The executor
+// goes to the garbage collector; capacity refills lazily because Get
+// constructs fresh executors on demand. Discard(nil) is a no-op.
+func (p *ExecutorPool[T, S]) Discard(e *Executor[T, S]) {
+	if e == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.poisoned++
+}
+
 // ExecutorPoolStats is a point-in-time snapshot of pool behaviour.
 type ExecutorPoolStats struct {
 	// Created counts executors constructed because the pool was empty.
@@ -105,6 +123,10 @@ type ExecutorPoolStats struct {
 	Reused uint64
 	// Discarded counts returns dropped because maxIdle was reached.
 	Discarded uint64
+	// Poisoned counts executors dropped via Discard after an
+	// interrupted execution (kernel panic or cancellation) left their
+	// scratch unsafe to reuse.
+	Poisoned uint64
 	// Idle is the current number of retained executors.
 	Idle int
 }
@@ -117,6 +139,7 @@ func (p *ExecutorPool[T, S]) Stats() ExecutorPoolStats {
 		Created:   p.created,
 		Reused:    p.reused,
 		Discarded: p.discarded,
+		Poisoned:  p.poisoned,
 		Idle:      len(p.idle),
 	}
 }

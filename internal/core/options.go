@@ -230,6 +230,14 @@ type ExecOptions struct {
 	// ReuseOutput backs this execution's result with executor-owned
 	// pooled buffers (see Options.ReuseOutput).
 	ReuseOutput bool
+	// Cancel, when non-nil, is the cooperative cancellation token this
+	// execution polls at scheduler block claims and pass checkpoints: a
+	// latched token stops the execution and ExecuteOnOpts returns a
+	// *CanceledError. Execution-only by construction — a token never
+	// affects the analysis, so it has no Options counterpart and never
+	// enters plan identity. Plan.ExecuteOnCtx wires a context to this
+	// token.
+	Cancel *parallel.CancelToken
 }
 
 // ExecOnly extracts the execution-only fields of o — the defaults

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 
+	"maskedspgemm/internal/faultinject"
 	"maskedspgemm/internal/parallel"
 	"maskedspgemm/internal/semiring"
 	"maskedspgemm/internal/sparse"
@@ -296,7 +298,15 @@ func (p *Plan[T, S]) ExecuteOn(exec *Executor[T, S], a, b *sparse.CSR[T]) (*spar
 // or output ownership (ReuseOutput): those knobs never affect the
 // analysis, so they are not part of plan identity — they are decided
 // here, at execution time.
-func (p *Plan[T, S]) ExecuteOnOpts(exec *Executor[T, S], a, b *sparse.CSR[T], eo ExecOptions) (*sparse.CSR[T], error) {
+//
+// Fault containment (DESIGN.md §15): a latched eo.Cancel token stops
+// the execution at the next block claim or pass checkpoint and returns
+// a *CanceledError naming the interrupted pass; a panic anywhere in
+// the execution — kernel workers included — is recovered here and
+// returned as a *KernelPanicError. In both cases the executor's
+// scratch may be half-mutated, so pooled executors must be discarded
+// (ExecutorPool.Discard), not returned.
+func (p *Plan[T, S]) ExecuteOnOpts(exec *Executor[T, S], a, b *sparse.CSR[T], eo ExecOptions) (out *sparse.CSR[T], err error) {
 	if exec == nil {
 		return nil, errors.New("core: ExecuteOn requires an executor")
 	}
@@ -310,6 +320,18 @@ func (p *Plan[T, S]) ExecuteOnOpts(exec *Executor[T, S], a, b *sparse.CSR[T], eo
 	if err := p.checkArgs(a, b); err != nil {
 		return nil, err
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, asKernelPanic(p.opt.SchemeName(), r)
+		}
+	}()
+	fi := faultinject.Active()
+	cancel := eo.Cancel
+	if fi != nil && cancel == nil {
+		// The cancel-at-checkpoint fault needs a token to latch even
+		// when the caller supplied none.
+		cancel = new(parallel.CancelToken)
+	}
 	if p.reg.direct != nil {
 		return p.reg.direct(p, a, b)
 	}
@@ -318,14 +340,47 @@ func (p *Plan[T, S]) ExecuteOnOpts(exec *Executor[T, S], a, b *sparse.CSR[T], eo
 	k := exec.kernelsFor(p, a, b)
 	es := &exec.scratch
 	es.reuseOut = eo.ReuseOutput
-	sch := rowSched{threads: p.opt.Threads, grain: p.opt.Grain, mode: p.sched, bounds: p.partBounds}
+	sch := rowSched{threads: p.opt.Threads, grain: p.opt.Grain, mode: p.sched, bounds: p.partBounds,
+		cancel: cancel, fi: fi}
 	if eo.CollectSchedStats {
 		sch.stats = &exec.schedStats
 	}
 	if p.opt.Phases == TwoPhase {
-		return twoPhase(p.mask.Rows, p.mask.Cols, sch, k, es), nil
+		return twoPhase(p.mask.Rows, p.mask.Cols, sch, k, es)
 	}
-	return onePhase(p.mask.Rows, p.mask.Cols, p.offsets, sch, k, es), nil
+	return onePhase(p.mask.Rows, p.mask.Cols, p.offsets, sch, k, es)
+}
+
+// ExecuteOnCtx is ExecuteOnOpts bounded by a context: when ctx can be
+// canceled, a watcher goroutine latches the execution's cancel token
+// the moment ctx is done, and the execution returns *CanceledError at
+// its next checkpoint. The watcher is torn down before returning. A
+// caller-supplied eo.Cancel token is shared with the context watcher;
+// otherwise a fresh token is created for the call.
+func (p *Plan[T, S]) ExecuteOnCtx(ctx context.Context, exec *Executor[T, S], a, b *sparse.CSR[T], eo ExecOptions) (*sparse.CSR[T], error) {
+	if done := ctx.Done(); done != nil {
+		if eo.Cancel == nil {
+			eo.Cancel = new(parallel.CancelToken)
+		}
+		token := eo.Cancel
+		if ctx.Err() != nil {
+			// Already canceled: latch synchronously so the execution
+			// deterministically stops at its first checkpoint instead
+			// of racing the watcher goroutine.
+			token.Cancel()
+		} else {
+			stop := make(chan struct{})
+			defer close(stop)
+			go func() {
+				select {
+				case <-done:
+					token.Cancel()
+				case <-stop:
+				}
+			}()
+		}
+	}
+	return p.ExecuteOnOpts(exec, a, b, eo)
 }
 
 // SchedStats returns the default executor's scheduler telemetry from

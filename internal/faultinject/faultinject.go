@@ -1,0 +1,114 @@
+// Package faultinject is the deterministic fault-injection seam behind
+// the chaos suite (DESIGN.md §15). Production code loads the armed
+// hook set once per execution via Active — a single atomic pointer
+// load that returns nil unless a test armed something — and calls the
+// nil-safe hook methods at its fault sites:
+//
+//   - Row fires inside a pass's row loop (panic-on-row-N);
+//   - AtPass fires at pass entry checkpoints (delay-at-pass,
+//     cancel-at-checkpoint).
+//
+// Hooks are process-wide (one atomic slot, not per-execution) because
+// the chaos tests drive whole requests through the public stack and
+// need the fault to land inside whatever execution the request
+// triggers. Tests must therefore arm/disarm around their own traffic
+// and not run in parallel with other multiply-issuing tests.
+package faultinject
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"maskedspgemm/internal/parallel"
+)
+
+// Pass names one engine checkpoint site: the symbolic, numeric, or
+// compaction pass of a kernel driver.
+type Pass string
+
+// The engine's three pass sites. A two-phase execution visits
+// PassSymbolic then PassNumeric; a one-phase execution visits
+// PassNumeric then PassCompact.
+const (
+	// PassSymbolic is the two-phase size-counting pass.
+	PassSymbolic Pass = "symbolic"
+	// PassNumeric is the value-producing pass of either phase mode.
+	PassNumeric Pass = "numeric"
+	// PassCompact is the one-phase gather that squeezes over-allocated
+	// row slabs into the final CSR.
+	PassCompact Pass = "compact"
+)
+
+// Hooks describes the faults to inject. The zero value injects
+// nothing; each site is armed independently.
+type Hooks struct {
+	// PanicArmed enables the row-panic site: the row loop panics when
+	// it reaches row PanicRow of pass PanicPass.
+	PanicArmed bool
+	// PanicRow is the 0-based row index the armed panic fires at.
+	PanicRow int
+	// PanicPass restricts the row panic to one pass; empty means any
+	// row pass (symbolic or numeric).
+	PanicPass Pass
+	// Delay, when positive, sleeps at the entry checkpoint of pass
+	// DelayPass. The sleep is cancellation-aware: it polls the
+	// execution's cancel token every millisecond and returns early
+	// once latched, so a delayed pass models a long-running kernel
+	// that still honors cooperative cancellation.
+	Delay time.Duration
+	// DelayPass selects the checkpoint the delay fires at.
+	DelayPass Pass
+	// CancelPass, when non-empty, latches the execution's cancel token
+	// at the entry checkpoint of the named pass — the deterministic
+	// cancel-at-checkpoint fault.
+	CancelPass Pass
+}
+
+// armed is the process-wide hook slot. Production reads it once per
+// execution; only tests write it.
+var armed atomic.Pointer[Hooks]
+
+// Arm installs h process-wide until Disarm. The Hooks value is copied,
+// so the caller may reuse h afterwards.
+func Arm(h Hooks) { armed.Store(&h) }
+
+// Disarm clears the armed hooks; pair every Arm with a deferred or
+// t.Cleanup'd Disarm.
+func Disarm() { armed.Store(nil) }
+
+// Active returns the armed hooks, or nil when none are armed. Callers
+// load once per execution and hold the pointer, so an execution sees
+// one consistent hook set even if a test re-arms mid-flight.
+func Active() *Hooks { return armed.Load() }
+
+// Row is the row-granularity fault site: panics if the armed hooks
+// call for a panic at row i of pass p. Nil-safe; the armed==nil fast
+// path is one pointer comparison.
+func (h *Hooks) Row(p Pass, i int) {
+	if h == nil || !h.PanicArmed {
+		return
+	}
+	if i == h.PanicRow && (h.PanicPass == "" || h.PanicPass == p) {
+		panic(fmt.Sprintf("faultinject: injected panic at %s row %d", p, i))
+	}
+}
+
+// AtPass is the pass-granularity fault site, called at pass entry
+// checkpoints: applies the armed delay (interruptible by cancel) and
+// then the armed cancel-at-checkpoint latch. Nil-safe on both
+// receiver and token.
+func (h *Hooks) AtPass(p Pass, cancel *parallel.CancelToken) {
+	if h == nil {
+		return
+	}
+	if h.DelayPass == p && h.Delay > 0 {
+		deadline := time.Now().Add(h.Delay)
+		for time.Now().Before(deadline) && !cancel.Canceled() {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if h.CancelPass == p && cancel != nil {
+		cancel.Cancel()
+	}
+}

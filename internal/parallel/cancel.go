@@ -1,0 +1,78 @@
+package parallel
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+)
+
+// Fault containment at the scheduler layer (DESIGN.md §15). Two
+// concerns live here because they share one mechanism:
+//
+//   - cooperative cancellation: a CancelToken is polled at every block
+//     claim, so a canceled execution stops within one block's worth of
+//     work per worker instead of running the pass to completion;
+//   - panic isolation: every parallel worker runs under recover; the
+//     first panic latches the pass's cancel token so sibling workers
+//     quiesce at their next claim, and the captured panic is re-raised
+//     on the calling goroutine as a *PanicError once all workers have
+//     parked.
+//
+// The caller above the scheduler (the engine drivers, then
+// Plan.ExecuteOnOpts) turns the latched token into a typed error and
+// the re-raised PanicError into a KernelPanicError.
+
+// CancelToken is a lock-free cooperative cancellation flag shared
+// between an execution and its scheduled workers. Cancel may be called
+// from any goroutine, any number of times; workers observe it at block
+// boundaries (one atomic load per claim). A nil token never reads
+// canceled, so callers without a cancellation source pass nil for
+// free.
+type CancelToken struct {
+	flag atomic.Bool
+}
+
+// Cancel latches the token. Idempotent and safe from any goroutine.
+func (t *CancelToken) Cancel() { t.flag.Store(true) }
+
+// Canceled reports whether the token is latched; false on a nil token.
+func (t *CancelToken) Canceled() bool { return t != nil && t.flag.Load() }
+
+// PanicError is a worker panic captured by a scheduling function and
+// re-raised (via panic) on the calling goroutine after every worker
+// has parked. Value and Stack are from the worker that panicked first;
+// later sibling panics, if any, are dropped.
+type PanicError struct {
+	// Worker is the panicking worker's tid.
+	Worker int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking worker's stack at recovery.
+	Stack []byte
+}
+
+// Error implements error, so recover sites can treat the re-raised
+// panic uniformly.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: worker %d panicked: %v", e.Worker, e.Value)
+}
+
+// panicTrap collects the first worker panic of one scheduled pass.
+type panicTrap struct {
+	first atomic.Pointer[PanicError]
+}
+
+// capture records r as worker tid's panic (first capture wins) and
+// latches cancel so sibling workers stop claiming blocks.
+func (p *panicTrap) capture(tid int, cancel *CancelToken, r any) {
+	pe := &PanicError{Worker: tid, Value: r, Stack: debug.Stack()}
+	p.first.CompareAndSwap(nil, pe)
+	cancel.Cancel()
+}
+
+// rethrow re-raises the captured panic, if any, on the caller.
+func (p *panicTrap) rethrow() {
+	if pe := p.first.Load(); pe != nil {
+		panic(pe)
+	}
+}

@@ -37,7 +37,7 @@ func Threads(requested int) int {
 // ForEachBlockStats; for skew-absorbing alternatives see
 // ForEachPartition and ForEachChunked (sched.go).
 func ForEachBlock(n, threads, grain int, fn func(lo, hi, tid int)) {
-	ForEachBlockStats(n, threads, grain, nil, fn)
+	ForEachBlockStats(n, threads, grain, nil, nil, fn)
 }
 
 // ForEachRow runs fn once per index in [0, n) with dynamic block

@@ -152,10 +152,16 @@ func (s *SchedSummary) Record(st SchedStats) {
 	}
 }
 
-// ForEachBlockStats is ForEachBlock with optional telemetry: when stats
+// ForEachBlockStats is ForEachBlock with optional telemetry (when stats
 // is non-nil, each worker's busy time and claimed-block count are
-// recorded (costing two clock reads per block).
-func ForEachBlockStats(n, threads, grain int, stats *SchedStats, fn func(lo, hi, tid int)) {
+// recorded, costing two clock reads per block) and optional cooperative
+// cancellation: when cancel is non-nil and becomes latched, workers
+// stop claiming new blocks — a canceled pass wastes at most one
+// in-flight block per worker. A worker panic is captured, latches the
+// (possibly internal) cancel token so siblings quiesce, and is
+// re-raised on the calling goroutine as a *PanicError after all
+// workers park; on the serial path panics propagate unchanged.
+func ForEachBlockStats(n, threads, grain int, stats *SchedStats, cancel *CancelToken, fn func(lo, hi, tid int)) {
 	threads = Threads(threads)
 	if grain < 1 {
 		grain = DefaultGrain
@@ -167,18 +173,35 @@ func ForEachBlockStats(n, threads, grain int, stats *SchedStats, fn func(lo, hi,
 		stats.ensure(threads)
 	}
 	if threads == 1 || n <= grain {
-		runSerialBlocks(n, grain, stats, fn)
+		runSerialBlocks(n, grain, stats, cancel, fn)
 		return
 	}
+	// The parallel path lives in its own function so its escaping
+	// coordination state (counter, trap, wait group) is never
+	// heap-allocated on the serial fast path above.
+	forEachBlockParallel(n, threads, grain, stats, cancel, fn)
+}
+
+// forEachBlockParallel is ForEachBlockStats' multi-worker path.
+func forEachBlockParallel(n, threads, grain int, stats *SchedStats, cancel *CancelToken, fn func(lo, hi, tid int)) {
+	if cancel == nil {
+		cancel = new(CancelToken)
+	}
+	var trap panicTrap
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(threads)
 	for t := 0; t < threads; t++ {
 		go func(tid int) {
-			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					trap.capture(tid, cancel, r)
+				}
+				wg.Done()
+			}()
 			var busy time.Duration
 			claimed := 0
-			for {
+			for !cancel.Canceled() {
 				lo := int(next.Add(int64(grain))) - grain
 				if lo >= n {
 					break
@@ -202,14 +225,17 @@ func ForEachBlockStats(n, threads, grain int, stats *SchedStats, fn func(lo, hi,
 		}(t)
 	}
 	wg.Wait()
+	trap.rethrow()
 }
 
 // runSerialBlocks is the shared single-worker path: blocks of grain
-// items run inline on the calling goroutine as tid 0, in order.
-func runSerialBlocks(n, grain int, stats *SchedStats, fn func(lo, hi, tid int)) {
+// items run inline on the calling goroutine as tid 0, in order. cancel
+// is polled between blocks; panics propagate to the caller unchanged
+// (there is no sibling to quiesce).
+func runSerialBlocks(n, grain int, stats *SchedStats, cancel *CancelToken, fn func(lo, hi, tid int)) {
 	var busy time.Duration
 	claimed := 0
-	for lo := 0; lo < n; lo += grain {
+	for lo := 0; lo < n && !cancel.Canceled(); lo += grain {
 		hi := lo + grain
 		if hi > n {
 			hi = n
@@ -235,8 +261,9 @@ func runSerialBlocks(n, grain int, stats *SchedStats, fn func(lo, hi, tid int)) 
 // (scheduling slack) and empty partitions are skipped without a call.
 // This is the executor for plan-time equal-cost partitions: the caller
 // did the load balancing when it laid out bounds; the scheduler only
-// hands partitions out.
-func ForEachPartition(bounds []int, threads int, stats *SchedStats, fn func(lo, hi, tid int)) {
+// hands partitions out. cancel and panic containment follow the
+// ForEachBlockStats contract (cancellation polled per partition claim).
+func ForEachPartition(bounds []int, threads int, stats *SchedStats, cancel *CancelToken, fn func(lo, hi, tid int)) {
 	nparts := len(bounds) - 1
 	if nparts <= 0 {
 		return
@@ -248,7 +275,7 @@ func ForEachPartition(bounds []int, threads int, stats *SchedStats, fn func(lo, 
 	if threads == 1 || nparts == 1 {
 		var busy time.Duration
 		claimed := 0
-		for j := 0; j < nparts; j++ {
+		for j := 0; j < nparts && !cancel.Canceled(); j++ {
 			lo, hi := bounds[j], bounds[j+1]
 			if lo >= hi {
 				continue
@@ -267,15 +294,30 @@ func ForEachPartition(bounds []int, threads int, stats *SchedStats, fn func(lo, 
 		}
 		return
 	}
+	forEachPartitionParallel(bounds, nparts, threads, stats, cancel, fn)
+}
+
+// forEachPartitionParallel is ForEachPartition's multi-worker path,
+// split out so the serial path stays allocation-free.
+func forEachPartitionParallel(bounds []int, nparts, threads int, stats *SchedStats, cancel *CancelToken, fn func(lo, hi, tid int)) {
+	if cancel == nil {
+		cancel = new(CancelToken)
+	}
+	var trap panicTrap
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(threads)
 	for t := 0; t < threads; t++ {
 		go func(tid int) {
-			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					trap.capture(tid, cancel, r)
+				}
+				wg.Done()
+			}()
 			var busy time.Duration
 			claimed := 0
-			for {
+			for !cancel.Canceled() {
 				j := int(next.Add(1)) - 1
 				if j >= nparts {
 					break
@@ -299,6 +341,7 @@ func ForEachPartition(bounds []int, threads int, stats *SchedStats, fn func(lo, 
 		}(t)
 	}
 	wg.Wait()
+	trap.rethrow()
 }
 
 // wsRange is one worker's remaining index range packed into a single
@@ -375,8 +418,10 @@ func stealInto(ranges []wsRange, tid int) bool {
 // initial locality (each worker owns a contiguous span) while still
 // absorbing cost skew no fixed grain can predict; compared to
 // ForEachPartition it needs no cost profile. n must fit in 32 bits
-// (larger n falls back to the fixed-grain scheduler).
-func ForEachChunked(n, threads, grain int, stats *SchedStats, fn func(lo, hi, tid int)) {
+// (larger n falls back to the fixed-grain scheduler). cancel and panic
+// containment follow the ForEachBlockStats contract (cancellation
+// polled per pop/steal).
+func ForEachChunked(n, threads, grain int, stats *SchedStats, cancel *CancelToken, fn func(lo, hi, tid int)) {
 	threads = Threads(threads)
 	if grain < 1 {
 		grain = DefaultGrain
@@ -385,16 +430,26 @@ func ForEachChunked(n, threads, grain int, stats *SchedStats, fn func(lo, hi, ti
 		return
 	}
 	if n >= 1<<31 {
-		ForEachBlockStats(n, threads, grain, stats, fn)
+		ForEachBlockStats(n, threads, grain, stats, cancel, fn)
 		return
 	}
 	if stats != nil {
 		stats.ensure(threads)
 	}
 	if threads == 1 || n <= grain {
-		runSerialBlocks(n, grain, stats, fn)
+		runSerialBlocks(n, grain, stats, cancel, fn)
 		return
 	}
+	forEachChunkedParallel(n, threads, grain, stats, cancel, fn)
+}
+
+// forEachChunkedParallel is ForEachChunked's multi-worker path, split
+// out so the serial path stays allocation-free.
+func forEachChunkedParallel(n, threads, grain int, stats *SchedStats, cancel *CancelToken, fn func(lo, hi, tid int)) {
+	if cancel == nil {
+		cancel = new(CancelToken)
+	}
+	var trap panicTrap
 	ranges := make([]wsRange, threads)
 	for t := 0; t < threads; t++ {
 		ranges[t].r.Store(packRange(n*t/threads, n*(t+1)/threads))
@@ -403,11 +458,16 @@ func ForEachChunked(n, threads, grain int, stats *SchedStats, fn func(lo, hi, ti
 	wg.Add(threads)
 	for t := 0; t < threads; t++ {
 		go func(tid int) {
-			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					trap.capture(tid, cancel, r)
+				}
+				wg.Done()
+			}()
 			var busy time.Duration
 			claimed, stolen := 0, 0
 			self := &ranges[tid]
-			for {
+			for !cancel.Canceled() {
 				lo, hi, ok := popFront(self, grain)
 				if !ok {
 					if !stealInto(ranges, tid) {
@@ -431,4 +491,5 @@ func ForEachChunked(n, threads, grain int, stats *SchedStats, fn func(lo, hi, ti
 		}(t)
 	}
 	wg.Wait()
+	trap.rethrow()
 }

@@ -38,7 +38,7 @@ func TestForEachChunkedCoversAll(t *testing.T) {
 		threads := int(threadsRaw%8) + 1
 		grain := int(grainRaw%100) + 1
 		hits := make([]int32, n)
-		ForEachChunked(n, threads, grain, nil, func(lo, hi, tid int) {
+		ForEachChunked(n, threads, grain, nil, nil, func(lo, hi, tid int) {
 			for i := lo; i < hi; i++ {
 				atomic.AddInt32(&hits[i], 1)
 			}
@@ -60,8 +60,8 @@ func TestForEachChunkedCoversAll(t *testing.T) {
 // not divide the worker count.
 func TestForEachChunkedAdversarial(t *testing.T) {
 	called := false
-	ForEachChunked(0, 4, 16, nil, func(lo, hi, tid int) { called = true })
-	ForEachChunked(-3, 4, 16, nil, func(lo, hi, tid int) { called = true })
+	ForEachChunked(0, 4, 16, nil, nil, func(lo, hi, tid int) { called = true })
+	ForEachChunked(-3, 4, 16, nil, nil, func(lo, hi, tid int) { called = true })
 	if called {
 		t.Error("fn called for empty range")
 	}
@@ -73,7 +73,7 @@ func TestForEachChunkedAdversarial(t *testing.T) {
 		{65, 2, 64}, // one block per worker plus a remainder
 	} {
 		coverOnce(t, tc.n, tc.threads, func(fn func(lo, hi, tid int)) {
-			ForEachChunked(tc.n, tc.threads, tc.grain, nil, fn)
+			ForEachChunked(tc.n, tc.threads, tc.grain, nil, nil, fn)
 		})
 	}
 }
@@ -99,7 +99,7 @@ func TestForEachPartitionCoversAll(t *testing.T) {
 				n = tc.bounds[len(tc.bounds)-1]
 			}
 			coverOnce(t, n, tc.threads, func(fn func(lo, hi, tid int)) {
-				ForEachPartition(tc.bounds, tc.threads, nil, fn)
+				ForEachPartition(tc.bounds, tc.threads, nil, nil, fn)
 			})
 		})
 	}
@@ -110,7 +110,7 @@ func TestForEachPartitionCoversAll(t *testing.T) {
 // lo == hi).
 func TestForEachPartitionSkipsEmpty(t *testing.T) {
 	for _, threads := range []int{1, 4} {
-		ForEachPartition([]int{0, 0, 0, 5, 5}, threads, nil, func(lo, hi, tid int) {
+		ForEachPartition([]int{0, 0, 0, 5, 5}, threads, nil, nil, func(lo, hi, tid int) {
 			if lo >= hi {
 				t.Errorf("empty partition [%d,%d) reached fn", lo, hi)
 			}
@@ -135,7 +135,7 @@ func TestSchedStatsAccounting(t *testing.T) {
 
 	var st SchedStats
 	st.Reset(4)
-	ForEachBlockStats(256, 4, 16, &st, work)
+	ForEachBlockStats(256, 4, 16, &st, nil, work)
 	if got, want := st.Claimed(), 16; got != want {
 		t.Errorf("block: claimed = %d, want %d", got, want)
 	}
@@ -147,7 +147,7 @@ func TestSchedStatsAccounting(t *testing.T) {
 	}
 
 	st.Reset(4)
-	ForEachPartition([]int{0, 64, 128, 192, 256}, 4, &st, work)
+	ForEachPartition([]int{0, 64, 128, 192, 256}, 4, &st, nil, work)
 	if got, want := st.Claimed(), 4; got != want {
 		t.Errorf("partition: claimed = %d, want %d", got, want)
 	}
@@ -155,14 +155,14 @@ func TestSchedStatsAccounting(t *testing.T) {
 	// Chunked blocks can exceed n/grain: the even initial split and
 	// half-range steals cut ranges at non-grain boundaries.
 	st.Reset(2)
-	ForEachChunked(256, 2, 16, &st, work)
+	ForEachChunked(256, 2, 16, &st, nil, work)
 	if got := st.Claimed(); got < 16 || got > 16+8 {
 		t.Errorf("chunked: claimed = %d, want ~16", got)
 	}
 
 	// Accumulation across passes without Reset (a two-phase execution).
 	before := st.Claimed()
-	ForEachChunked(256, 2, 16, &st, work)
+	ForEachChunked(256, 2, 16, &st, nil, work)
 	if st.Claimed() < before+16 {
 		t.Errorf("stats did not accumulate: %d after second pass, want ≥ %d", st.Claimed(), before+16)
 	}
@@ -178,7 +178,7 @@ func TestForEachChunkedStealsUnderSkew(t *testing.T) {
 	var st SchedStats
 	st.Reset(4)
 	var total atomic.Int64
-	ForEachChunked(n, 4, 8, &st, func(lo, hi, tid int) {
+	ForEachChunked(n, 4, 8, &st, nil, func(lo, hi, tid int) {
 		for i := lo; i < hi; i++ {
 			cost := 1
 			if i < n/4 {

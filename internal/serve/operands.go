@@ -31,6 +31,12 @@ type refRequest struct {
 	aRef, bRef store.Ref
 }
 
+// describe renders the request's operand fingerprints for the panic
+// log — the same hex forms the store addresses them by.
+func (r *refRequest) describe() string {
+	return fmt.Sprintf("mask=%016x a=%s b=%s", r.maskFP, r.aRef.String(), r.bRef.String())
+}
+
 // parseRefForm recognizes the reference form of /v1/multiply: ?a=
 // names A by content ref ("patternhex:valueshex"), optional ?b= a
 // second ref (default A), optional ?mask= a structure fingerprint

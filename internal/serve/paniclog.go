@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	maskedspgemm "maskedspgemm"
+)
+
+// panicLog rate-limits kernel-panic logging. A contained kernel panic
+// is an operator-grade event — the full stack and the request's operand
+// fingerprints belong in the log — but a client retrying the same
+// poisoned request would otherwise emit the same stack once per retry.
+// The log dedups by (family, panic value): the first occurrence logs in
+// full, repeats within the interval are only counted, and the
+// suppressed count rides on the next full entry so nothing disappears
+// silently.
+type panicLog struct {
+	every time.Duration
+	// logf is the output seam; tests swap it, production uses
+	// log.Printf.
+	logf func(format string, args ...any)
+
+	mu         sync.Mutex
+	last       map[string]time.Time
+	suppressed map[string]uint64
+}
+
+// newPanicLog builds a logger deduping repeats within every (<= 0
+// means one minute).
+func newPanicLog(every time.Duration, logf func(string, ...any)) *panicLog {
+	if every <= 0 {
+		every = time.Minute
+	}
+	if logf == nil {
+		logf = log.Printf
+	}
+	return &panicLog{
+		every:      every,
+		logf:       logf,
+		last:       make(map[string]time.Time),
+		suppressed: make(map[string]uint64),
+	}
+}
+
+// observe logs one recovered kernel panic, or counts it when the same
+// (family, value) was logged within the interval. refs carries the
+// request's operand fingerprints so the offending inputs can be
+// replayed from the operand store.
+func (l *panicLog) observe(kp *maskedspgemm.KernelPanicError, refs string) {
+	key := fmt.Sprintf("%s|%v", kp.Family, kp.Value)
+	now := time.Now()
+	l.mu.Lock()
+	if t, ok := l.last[key]; ok && now.Sub(t) < l.every {
+		l.suppressed[key]++
+		l.mu.Unlock()
+		return
+	}
+	l.last[key] = now
+	n := l.suppressed[key]
+	l.suppressed[key] = 0
+	l.mu.Unlock()
+	suffix := ""
+	if n > 0 {
+		suffix = fmt.Sprintf(" (%d repeats suppressed)", n)
+	}
+	l.logf("serve: kernel panic contained in %s (worker %d), request %s%s: %v\n%s",
+		kp.Family, kp.Worker, refs, suffix, kp.Value, kp.Stack)
+}

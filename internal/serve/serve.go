@@ -31,6 +31,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -75,6 +76,11 @@ type Config struct {
 	// client would hold a slot for the duration of its upload; with it,
 	// the slot is reclaimed and the client gets 408.
 	BodyReadTimeout time.Duration
+	// PanicLogEvery rate-limits kernel-panic logging (default 1
+	// minute): the first contained panic of a given family and panic
+	// value logs its full stack and request fingerprints, repeats
+	// within the interval are counted instead of logged.
+	PanicLogEvery time.Duration
 	// MaxWarmInFlight bounds concurrent /v1/warm requests (default 2).
 	// Warming bypasses the execution semaphore — it only plans — but
 	// planning distinct structures is real CPU work, so it gets its own
@@ -121,6 +127,7 @@ type Server struct {
 	session *maskedspgemm.Session
 	adm     *admission
 	misses  *missLog
+	panics  *panicLog
 	mux     *http.ServeMux
 
 	// warmGate is the planning semaphore /v1/warm requests hold: one
@@ -152,6 +159,7 @@ func New(cfg Config) *Server {
 		session:  maskedspgemm.NewSession(sopts...),
 		adm:      newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
 		misses:   misses,
+		panics:   newPanicLog(cfg.PanicLogEvery, nil),
 		warmGate: make(chan struct{}, cfg.MaxWarmInFlight),
 	}
 	s.mux = http.NewServeMux()
@@ -205,14 +213,25 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	execWait, err := execDeadline(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	wait, err := queueDeadline(r, s.cfg.QueueTimeout)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// release frees the execution slot at most once: explicitly the
+	// moment the multiplication returns — response writing happens off
+	// the slot, so a slow reader never holds back the admission queue —
+	// with the deferred call as the backstop for every error path.
+	var release func()
 	switch s.adm.acquire(r.Context(), wait) {
 	case admitted:
-		defer s.adm.release()
+		release = sync.OnceFunc(s.adm.release)
+		defer release()
 	case admitShed:
 		s.retryAfter(w)
 		httpError(w, http.StatusTooManyRequests, "admission queue full; retry later")
@@ -231,18 +250,25 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	if s.execGate != nil {
 		s.execGate()
 	}
+	// Execution runs under the request context — a client disconnect
+	// cancels the kernels cooperatively mid-pass — tightened by the
+	// X-Exec-Deadline-Ms budget when the client set one. The timeout
+	// starts here, after admission: queueing time does not eat the
+	// execution budget.
+	ctx := r.Context()
+	if execWait > 0 {
+		var cancelCtx context.CancelFunc
+		ctx, cancelCtx = context.WithTimeout(ctx, execWait)
+		defer cancelCtx()
+	}
 	if refs != nil {
 		// Reference form: no body to read — the operands are already
 		// resident, the request cost is the envelope. A dangling ref is
 		// a 404 that names every missing operand.
-		out, err := s.session.MultiplyRefs(refs.maskFP, refs.aRef, refs.bRef, opts...)
-		var missing *maskedspgemm.MissingOperandsError
-		switch {
-		case errors.As(err, &missing):
-			writeMissing(w, missing)
-			return
-		case err != nil:
-			httpError(w, http.StatusUnprocessableEntity, err.Error())
+		out, err := s.session.MultiplyRefsCtx(ctx, refs.maskFP, refs.aRef, refs.bRef, opts...)
+		release()
+		if err != nil {
+			s.writeExecError(w, r, err, refs.describe())
 			return
 		}
 		s.writeResult(w, format, out)
@@ -261,12 +287,49 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	// they landed under ride back on X-Operand-* headers: the upload a
 	// client just paid buys its next request the reference form.
 	s.storeThrough(w, ops)
-	out, err := s.session.Multiply(ops.mask, ops.a, ops.b, opts...)
+	out, err := s.session.MultiplyCtx(ctx, ops.mask, ops.a, ops.b, opts...)
+	release()
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		// The store-through headers double as the panic log's request
+		// fingerprints: the offending operands are resident and named.
+		h := w.Header()
+		s.writeExecError(w, r, err, fmt.Sprintf("mask=%s a=%s b=%s",
+			h.Get("X-Operand-Mask"), h.Get("X-Operand-A"), h.Get("X-Operand-B")))
 		return
 	}
 	s.writeResult(w, format, out)
+}
+
+// writeExecError maps a failed multiplication to its response. A
+// contained kernel panic is a 500 — the server stays up, the poisoned
+// executor is already discarded — logged through the rate-limited
+// panic log with refs naming the request's operands. A cooperative
+// cancellation is a 503 when the server's execution deadline fired, and
+// nothing at all when the client itself is gone. Dangling references
+// keep their 404, everything else its 422.
+func (s *Server) writeExecError(w http.ResponseWriter, r *http.Request, err error, refs string) {
+	var kp *maskedspgemm.KernelPanicError
+	var ce *maskedspgemm.CanceledError
+	var missing *maskedspgemm.MissingOperandsError
+	switch {
+	case errors.As(err, &kp):
+		s.panics.observe(kp, refs)
+		httpError(w, http.StatusInternalServerError,
+			fmt.Sprintf("kernel panic contained in %s; the request was aborted, the server is healthy", kp.Family))
+	case errors.As(err, &ce):
+		if r.Context().Err() != nil {
+			// The client disconnected; the cancellation is its own doing
+			// and there is nobody to answer.
+			return
+		}
+		s.retryAfter(w)
+		httpError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("execution deadline exceeded during %s pass", ce.Pass))
+	case errors.As(err, &missing):
+		writeMissing(w, missing)
+	default:
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+	}
 }
 
 // handleWarm plans without executing. Warming bypasses the execution
@@ -355,6 +418,8 @@ type sessionStatsJSON struct {
 	Pool poolStatsJSON `json:"pool"`
 	// Sched is the cumulative scheduler telemetry.
 	Sched schedStatsJSON `json:"sched"`
+	// Faults is the fault-containment block (DESIGN.md §15).
+	Faults faultStatsJSON `json:"faults"`
 	// Calibration is the cost-model calibration block (DESIGN.md §14).
 	Calibration calibrationStatsJSON `json:"calibration"`
 }
@@ -432,6 +497,20 @@ type poolStatsJSON struct {
 	Discarded uint64 `json:"discarded"`
 	// Idle is the current number of retained executors.
 	Idle int `json:"idle"`
+}
+
+// faultStatsJSON is the wire form of FaultStats: the counters an
+// operator alerts on — a rising kernel_panics means a kernel bug is
+// being contained, not absent.
+type faultStatsJSON struct {
+	// ExecCanceled counts executions stopped cooperatively (client
+	// disconnect or X-Exec-Deadline-Ms).
+	ExecCanceled uint64 `json:"exec_canceled"`
+	// KernelPanics counts panics recovered inside parallel kernels.
+	KernelPanics uint64 `json:"kernel_panics"`
+	// ExecutorsDiscarded counts executors poisoned by either and
+	// dropped un-pooled.
+	ExecutorsDiscarded uint64 `json:"executors_discarded"`
 }
 
 // schedStatsJSON is the wire form of SchedSummary.
@@ -535,6 +614,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				BlocksClaimed:  st.Sched.BlocksClaimed,
 				BlocksStolen:   st.Sched.BlocksStolen,
 				WorstImbalance: st.Sched.WorstImbalance,
+			},
+			Faults: faultStatsJSON{
+				ExecCanceled:       st.Faults.ExecCanceled,
+				KernelPanics:       st.Faults.KernelPanics,
+				ExecutorsDiscarded: st.Faults.ExecutorsDiscarded,
 			},
 			Calibration: calibrationStatsWire(st.Calibration),
 		},
@@ -673,6 +757,24 @@ func queueDeadline(r *http.Request, def time.Duration) (time.Duration, error) {
 		return def, nil
 	}
 	return d, nil
+}
+
+// execDeadline parses the X-Exec-Deadline-Ms header: the client's
+// budget for the execution itself, started once the request is
+// admitted (queueing time is budgeted separately by
+// X-Queue-Deadline-Ms). When the budget expires the kernels stop
+// cooperatively at their next checkpoint and the request answers 503.
+// Absent or 0 means no execution deadline.
+func execDeadline(r *http.Request) (time.Duration, error) {
+	h := r.Header.Get("X-Exec-Deadline-Ms")
+	if h == "" {
+		return 0, nil
+	}
+	ms, err := strconv.Atoi(h)
+	if err != nil || ms < 0 {
+		return 0, fmt.Errorf("serve: X-Exec-Deadline-Ms must be a non-negative integer, got %q", h)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
 }
 
 // httpError writes a plain-text error response.

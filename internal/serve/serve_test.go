@@ -339,7 +339,7 @@ func TestServeSaturation(t *testing.T) {
 		queue   = 2
 		clients = 8 * pool
 	)
-	baseline := runtime.NumGoroutine()
+	checkLeaks := servetest.AssertNoLeaks(t)
 
 	srv := New(Config{MaxInFlight: pool, MaxQueue: queue, QueueTimeout: 30 * time.Second})
 	gate := make(chan struct{})
@@ -444,7 +444,7 @@ func TestServeSaturation(t *testing.T) {
 	// Zero goroutine leak once the listener closes: every queued waiter,
 	// timer, and handler goroutine must be gone.
 	h.Close()
-	servetest.WaitFor(t, func() bool { return runtime.NumGoroutine() <= baseline+2 })
+	checkLeaks()
 }
 
 // TestServeBadRequests pins the failure-mode statuses: bad options,

@@ -21,6 +21,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -216,6 +217,21 @@ func Multipart(t testing.TB, parts ...Part) ([]byte, string) {
 		t.Fatal(err)
 	}
 	return body.Bytes(), mw.FormDataContentType()
+}
+
+// AssertNoLeaks snapshots the goroutine count now and returns a check
+// to run once the traffic under test is done (typically after closing
+// the listener): it waits out stragglers and fails the test if the
+// count does not settle back to the baseline, within a small slack for
+// runtime-owned goroutines. Take the snapshot before starting the
+// server so its own goroutines count as potential leaks too.
+func AssertNoLeaks(t testing.TB) func() {
+	t.Helper()
+	baseline := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		WaitFor(t, func() bool { return runtime.NumGoroutine() <= baseline+2 })
+	}
 }
 
 // WaitFor polls cond until it holds or two seconds pass.

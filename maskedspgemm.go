@@ -190,6 +190,26 @@ func WithReuseOutput() Option {
 	return func(o *core.Options) { o.ReuseOutput = true }
 }
 
+// ErrCanceled matches every error a cooperatively-canceled execution
+// returns: errors.Is(err, ErrCanceled) is true exactly when a
+// MultiplyCtx context was canceled (or an execution-layer cancel token
+// latched) before the product completed. The concrete error is a
+// *CanceledError naming the interrupted pass.
+var ErrCanceled = core.ErrCanceled
+
+// CanceledError reports an execution stopped by cooperative
+// cancellation, naming the interrupted pass ("symbolic", "numeric" or
+// "compact"). Matches ErrCanceled under errors.Is.
+type CanceledError = core.CanceledError
+
+// KernelPanicError reports a panic recovered inside a parallel kernel
+// worker: the execution was contained (sibling workers quiesced, the
+// process and session stay serviceable) and the poisoned executor was
+// discarded. Family names the scheme ("MSA-1P" style), Worker the
+// panicking worker index (-1 when serial), and Stack the captured
+// goroutine stack.
+type KernelPanicError = core.KernelPanicError
+
 // Multiply computes C = M ⊙ (A·B) over the float64 arithmetic
 // semiring. mask is m×n, a is m×k, b is k×n. Output rows are sorted.
 //

@@ -1,9 +1,12 @@
 package maskedspgemm
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"maskedspgemm/internal/core"
@@ -57,6 +60,12 @@ type Session struct {
 
 	schedMu sync.Mutex
 	sched   parallel.SchedSummary
+
+	// execCanceled and kernelPanics count executions retired early by
+	// cooperative cancellation and by a recovered kernel panic; together
+	// with the pool's poisoned count they make up FaultStats.
+	execCanceled atomic.Uint64
+	kernelPanics atomic.Uint64
 }
 
 // SessionOption configures NewSession.
@@ -201,6 +210,18 @@ func (s *Session) observeMiss(mask *Pattern, a, b *Matrix, o core.Options, warm 
 // WithReuseOutput is ignored here — the result must outlive the pooled
 // executor that produced it, so outputs are always freshly allocated.
 func (s *Session) Multiply(mask *Pattern, a, b *Matrix, opts ...Option) (*Matrix, error) {
+	return s.MultiplyCtx(context.Background(), mask, a, b, opts...)
+}
+
+// MultiplyCtx is Multiply under a context: when ctx is canceled — client
+// disconnect, deadline — the execution stops cooperatively at its next
+// checkpoint (scheduler block claim or pass boundary) and the error
+// matches ErrCanceled. Interrupted executions leave accumulator scratch
+// half-mutated, so their executors are discarded rather than pooled;
+// FaultStats counts both outcomes. A kernel panic inside any worker is
+// likewise contained: the session stays serviceable and the call returns
+// a *KernelPanicError.
+func (s *Session) MultiplyCtx(ctx context.Context, mask *Pattern, a, b *Matrix, opts ...Option) (*Matrix, error) {
 	o := buildOptions(opts)
 	// Startup calibration binds every plan under the fitted
 	// coefficients; online calibration keeps keys literal and feeds
@@ -217,13 +238,23 @@ func (s *Session) Multiply(mask *Pattern, a, b *Matrix, opts ...Option) (*Matrix
 		s.observeMiss(mask, a, b, o, false)
 	}
 	exec := s.pool.Get()
-	defer s.pool.Put(exec)
+	// Retirement is outcome-dependent (Put clean executors, Discard
+	// interrupted ones), so it runs explicitly after telemetry rather
+	// than as a blanket deferred Put; the defer only covers panics that
+	// escape past ExecuteOnCtx's own containment (nothing engine-side
+	// does, but observeMiss callbacks and semiring code could).
+	retired := false
+	defer func() {
+		if !retired {
+			s.pool.Discard(exec)
+		}
+	}()
 	// ReuseOutput stays off: the result must outlive the pooled executor.
 	// Online calibration needs the scheduler telemetry every pass — the
 	// imbalance feedback is what drives re-binding.
 	eo := core.ExecOptions{CollectSchedStats: o.CollectSchedStats || online}
 	start := time.Now()
-	out, err := plan.ExecuteOnOpts(exec, a, b, eo)
+	out, err := plan.ExecuteOnCtx(ctx, exec, a, b, eo)
 	elapsed := time.Since(start)
 	if eo.CollectSchedStats {
 		// Record telemetry even when the execution errored: dashboards
@@ -241,7 +272,30 @@ func (s *Session) Multiply(mask *Pattern, a, b *Matrix, opts ...Option) (*Matrix
 			s.cache.ObserveExecution(plan, st.Imbalance(), elapsed)
 		}
 	}
+	s.retire(exec, err)
+	retired = true
 	return out, err
+}
+
+// retire ends ownership of a checked-out executor according to how its
+// execution finished: clean (or failed before touching scratch) goes
+// back to the pool; interrupted mid-pass — kernel panic or cooperative
+// cancellation — is poisoned and discarded, because half-mutated
+// accumulator scratch must never serve another request. Fault counters
+// are bumped here so FaultStats sees every containment event exactly
+// once.
+func (s *Session) retire(exec *core.Executor[float64, arith], err error) {
+	var kp *core.KernelPanicError
+	switch {
+	case errors.As(err, &kp):
+		s.kernelPanics.Add(1)
+		s.pool.Discard(exec)
+	case errors.Is(err, core.ErrCanceled):
+		s.execCanceled.Add(1)
+		s.pool.Discard(exec)
+	default:
+		s.pool.Put(exec)
+	}
 }
 
 // Warm plans (or confirms a cached plan for) the given structure
@@ -355,6 +409,13 @@ func (e *MissingOperandsError) Error() string {
 // resident operands have stable structure, warm traffic by reference
 // is a guaranteed plan-cache hit.
 func (s *Session) MultiplyRefs(maskFP uint64, aRef, bRef OperandRef, opts ...Option) (*Matrix, error) {
+	return s.MultiplyRefsCtx(context.Background(), maskFP, aRef, bRef, opts...)
+}
+
+// MultiplyRefsCtx is MultiplyRefs under a context, with MultiplyCtx's
+// cancellation semantics: operand resolution is instantaneous and never
+// interrupted, the execution stops cooperatively when ctx is canceled.
+func (s *Session) MultiplyRefsCtx(ctx context.Context, maskFP uint64, aRef, bRef OperandRef, opts ...Option) (*Matrix, error) {
 	a, aOK := s.operands.Get(aRef)
 	var b *Matrix
 	bOK := true
@@ -386,7 +447,7 @@ func (s *Session) MultiplyRefs(maskFP uint64, aRef, bRef OperandRef, opts ...Opt
 		}
 		return nil, err
 	}
-	return s.Multiply(mask, a, b, opts...)
+	return s.MultiplyCtx(ctx, mask, a, b, opts...)
 }
 
 // CacheStats re-exports the plan cache counters (see SessionStats).
@@ -412,6 +473,22 @@ type BudgetStats struct {
 	MaxBytes int64
 }
 
+// FaultStats counts the session's fault-containment events: executions
+// retired early and the executors poisoned by them (DESIGN.md §15).
+type FaultStats struct {
+	// ExecCanceled counts executions stopped by cooperative
+	// cancellation — a canceled MultiplyCtx context or a latched token —
+	// before completing.
+	ExecCanceled uint64
+	// KernelPanics counts executions that ended in a recovered kernel
+	// panic (*KernelPanicError).
+	KernelPanics uint64
+	// ExecutorsDiscarded counts executors dropped un-pooled because an
+	// interrupted execution left their scratch unsafe to reuse; tracks
+	// the pool's Poisoned counter.
+	ExecutorsDiscarded uint64
+}
+
 // SessionStats is a point-in-time snapshot of a session's cache, pool,
 // store, and scheduler behaviour, for dashboards and capacity tuning.
 type SessionStats struct {
@@ -433,6 +510,9 @@ type SessionStats struct {
 	// fitted coefficients, fit timing, and — online mode — re-bind
 	// counts and per-plan drift.
 	Calibration CalibrationStats
+	// Faults counts fault-containment events: canceled executions,
+	// recovered kernel panics, and the executors poisoned by either.
+	Faults FaultStats
 }
 
 // Stats returns a snapshot of the session's counters.
@@ -441,12 +521,18 @@ func (s *Session) Stats() SessionStats {
 	sched := s.sched
 	s.schedMu.Unlock()
 	cache := s.cache.Stats()
+	pool := s.pool.Stats()
 	return SessionStats{
 		Cache:       cache,
-		Pool:        s.pool.Stats(),
+		Pool:        pool,
 		Store:       s.operands.StatsSnapshot(),
 		Budget:      BudgetStats{UsedBytes: s.budget.Used(), MaxBytes: s.budget.Max()},
 		Sched:       sched,
 		Calibration: s.calibrationStats(cache),
+		Faults: FaultStats{
+			ExecCanceled:       s.execCanceled.Load(),
+			KernelPanics:       s.kernelPanics.Load(),
+			ExecutorsDiscarded: pool.Poisoned,
+		},
 	}
 }
