@@ -107,6 +107,8 @@ func (h *Hash[T, S]) sizeFor(n int) {
 // masked by len(keys)-1 and (after the len guard) eliminates the
 // bounds check inside the loop, which a h.keys/h.cap formulation
 // defeats.
+//
+//mspgemm:hotpath
 func probe(keys []int32, key int32) int {
 	if len(keys) == 0 {
 		return 0
@@ -129,6 +131,8 @@ func probe(keys []int32, key int32) int {
 // independent chains the CPU can overlap, but each insert must land
 // before the next probe starts (a later key may hash into the same
 // chain), so probe/store pairs stay interleaved.
+//
+//mspgemm:hotpath
 func (h *Hash[T, S]) Begin(maskRow []int32) {
 	h.sizeFor(len(maskRow))
 	keys := h.keys[:h.cap]
@@ -153,6 +157,8 @@ func (h *Hash[T, S]) Begin(maskRow []int32) {
 // Insert accumulates Mul(a, b) into key if it is present in the table
 // (i.e. admitted by the mask). Probing that lands on an empty slot means
 // the key is NOTALLOWED and the product is never computed.
+//
+//mspgemm:hotpath
 func (h *Hash[T, S]) Insert(key int32, a, b T) {
 	// states and values share keys' length, so after the keys[p] check
 	// the remaining accesses are provably in bounds.
@@ -174,6 +180,8 @@ func (h *Hash[T, S]) Insert(key int32, a, b T) {
 // Gather re-probes each mask key in order and emits the SET ones; output
 // is therefore sorted exactly like the mask. The table needs no explicit
 // reset — the next Begin clears its active region.
+//
+//mspgemm:hotpath
 func (h *Hash[T, S]) Gather(maskRow []int32, outIdx []int32, outVal []T) int {
 	keys := h.keys[:h.cap]
 	states := h.states[:len(keys)]
@@ -194,6 +202,8 @@ func (h *Hash[T, S]) Gather(maskRow []int32, outIdx []int32, outVal []T) int {
 func (h *Hash[T, S]) BeginSymbolic(maskRow []int32) { h.Begin(maskRow) }
 
 // InsertPattern marks key SET if admitted.
+//
+//mspgemm:hotpath
 func (h *Hash[T, S]) InsertPattern(key int32) {
 	keys := h.keys[:h.cap]
 	p := probe(keys, key)
@@ -207,6 +217,8 @@ func (h *Hash[T, S]) InsertPattern(key int32) {
 }
 
 // EndSymbolic counts SET keys.
+//
+//mspgemm:hotpath
 func (h *Hash[T, S]) EndSymbolic(maskRow []int32) int {
 	keys := h.keys[:h.cap]
 	states := h.states[:len(keys)]
@@ -268,6 +280,8 @@ func (h *HashC[T, S]) Reconfigure(loadFactor float64) {
 
 // BeginSized prepares the table for a row whose mask has the given
 // entries and whose output size is bounded by bound.
+//
+//mspgemm:hotpath
 func (h *HashC[T, S]) BeginSized(maskRow []int32, bound int) {
 	need := tableCap(bound+len(maskRow), h.lf)
 	if need > len(h.keys) {
@@ -289,6 +303,8 @@ func (h *HashC[T, S]) BeginSized(maskRow []int32, bound int) {
 }
 
 // Insert accumulates Mul(a, b) into key unless it is a mask sentinel.
+//
+//mspgemm:hotpath
 func (h *HashC[T, S]) Insert(key int32, a, b T) {
 	keys := h.keys[:h.cap]
 	p := probe(keys, key)
@@ -329,6 +345,8 @@ func (h *HashC[T, S]) BeginSymbolicSized(maskRow []int32, bound int) {
 }
 
 // InsertPattern marks key SET unless it is a sentinel.
+//
+//mspgemm:hotpath
 func (h *HashC[T, S]) InsertPattern(key int32) {
 	keys := h.keys[:h.cap]
 	p := probe(keys, key)
@@ -341,6 +359,8 @@ func (h *HashC[T, S]) InsertPattern(key int32) {
 }
 
 // EndSymbolic counts inserted keys.
+//
+//mspgemm:hotpath
 func (h *HashC[T, S]) EndSymbolic() int {
 	n := len(h.inserted)
 	h.inserted = h.inserted[:0]

@@ -41,6 +41,8 @@ func (h *IterHeap) Len() int { return len(h.items) }
 func (h *IterHeap) Reset() { h.items = h.items[:0] }
 
 // Push inserts an iterator.
+//
+//mspgemm:hotpath
 func (h *IterHeap) Push(it RowIter) {
 	h.items = append(h.items, it)
 	i := len(h.items) - 1
@@ -56,6 +58,8 @@ func (h *IterHeap) Push(it RowIter) {
 
 // PopMin removes and returns the iterator with the smallest current
 // column. Panics when empty (caller checks Len).
+//
+//mspgemm:hotpath
 func (h *IterHeap) PopMin() RowIter {
 	top := h.items[0]
 	last := len(h.items) - 1
@@ -68,6 +72,7 @@ func (h *IterHeap) PopMin() RowIter {
 // Min returns the smallest iterator without removing it.
 func (h *IterHeap) Min() RowIter { return h.items[0] }
 
+//mspgemm:hotpath
 func (h *IterHeap) siftDown(i int) {
 	n := len(h.items)
 	for {

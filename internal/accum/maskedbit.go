@@ -78,6 +78,8 @@ func (m *MaskedBit[T, S]) EnsureCols(ncols int) {
 // pending register: the groups' word updates are independent memory
 // operations the CPU can overlap, where a flush-on-word-change walk
 // serializes every iteration through the same two registers.
+//
+//mspgemm:hotpath
 func (m *MaskedBit[T, S]) Begin(maskRow []int32) {
 	allowed := m.allowed
 	for ; len(maskRow) >= 4; maskRow = maskRow[4:] {
@@ -104,6 +106,8 @@ func (m *MaskedBit[T, S]) Begin(maskRow []int32) {
 // product is not computed for masked-out keys. There is no three-way
 // state dispatch: allowed and set-but-not-yet-inserted keys take the
 // identical fused-add path because values start at the semiring zero.
+//
+//mspgemm:hotpath
 func (m *MaskedBit[T, S]) Insert(key int32, a, b T) {
 	k := uint(uint32(key))
 	w := k >> 6
@@ -132,6 +136,8 @@ func (m *MaskedBit[T, S]) Insert(key int32, a, b T) {
 // loses to the MSA outright. On a very sparse row the word range can
 // exceed the entry count (it is still bounded by ncols/64); the row
 // cost model charges for that, steering such rows to other families.
+//
+//mspgemm:hotpath
 func (m *MaskedBit[T, S]) Gather(maskRow []int32, outIdx []int32, outVal []T) int {
 	if len(maskRow) == 0 {
 		return 0
@@ -161,6 +167,8 @@ func (m *MaskedBit[T, S]) Gather(maskRow []int32, outIdx []int32, outVal []T) in
 func (m *MaskedBit[T, S]) BeginSymbolic(maskRow []int32) { m.Begin(maskRow) }
 
 // InsertPattern marks key set if allowed, without touching values.
+//
+//mspgemm:hotpath
 func (m *MaskedBit[T, S]) InsertPattern(key int32) {
 	k := uint(uint32(key))
 	w := k >> 6
@@ -175,6 +183,8 @@ func (m *MaskedBit[T, S]) InsertPattern(key int32) {
 // EndSymbolic counts the set keys word-wide — one popcount per
 // 64-column word across the row's word range instead of one branch per
 // mask entry — and resets the touched words.
+//
+//mspgemm:hotpath
 func (m *MaskedBit[T, S]) EndSymbolic(maskRow []int32) int {
 	if len(maskRow) == 0 {
 		return 0
@@ -246,6 +256,8 @@ func (m *MaskedBitC[T, S]) EnsureCols(ncols int) {
 // admitted. The bound is irrelevant for a dense-array accumulator — the
 // parameter exists so MaskedBitC shares the complement protocol with
 // MSAC and HashC.
+//
+//mspgemm:hotpath
 func (m *MaskedBitC[T, S]) BeginSized(maskRow []int32, _ int) {
 	banned := m.banned
 	for _, j := range maskRow {
@@ -257,6 +269,8 @@ func (m *MaskedBitC[T, S]) BeginSized(maskRow []int32, _ int) {
 }
 
 // Insert accumulates Mul(a, b) into key unless the mask excludes it.
+//
+//mspgemm:hotpath
 func (m *MaskedBitC[T, S]) Insert(key int32, a, b T) {
 	k := uint(uint32(key))
 	w := k >> 6
@@ -298,6 +312,8 @@ func (m *MaskedBitC[T, S]) Gather(outIdx []int32, outVal []T) int {
 
 // clearBanned zeroes the banned words covering the saved mask row and
 // drops the row reference.
+//
+//mspgemm:hotpath
 func (m *MaskedBitC[T, S]) clearBanned() {
 	banned := m.banned
 	last := ^uint(0)
@@ -318,6 +334,8 @@ func (m *MaskedBitC[T, S]) BeginSymbolicSized(maskRow []int32, bound int) {
 }
 
 // InsertPattern marks key set unless excluded, without touching values.
+//
+//mspgemm:hotpath
 func (m *MaskedBitC[T, S]) InsertPattern(key int32) {
 	k := uint(uint32(key))
 	w := k >> 6
@@ -334,6 +352,8 @@ func (m *MaskedBitC[T, S]) InsertPattern(key int32) {
 }
 
 // EndSymbolic counts inserted keys and resets all touched state.
+//
+//mspgemm:hotpath
 func (m *MaskedBitC[T, S]) EndSymbolic() int {
 	n := len(m.inserted)
 	for _, j := range m.inserted {

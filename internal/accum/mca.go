@@ -37,6 +37,8 @@ func (m *MCA[T, S]) Grow(n int) {
 
 // Insert accumulates Mul(a, b) into mask position idx. The caller
 // guarantees 0 ≤ idx < nnz(mask row), i.e. the key is admitted.
+//
+//mspgemm:hotpath
 func (m *MCA[T, S]) Insert(idx int32, a, b T) {
 	if m.states[idx] == stateNotAllowed { // zero value doubles as ALLOWED here
 		m.values[idx] = m.sr.Mul(a, b)
@@ -47,6 +49,8 @@ func (m *MCA[T, S]) Insert(idx int32, a, b T) {
 }
 
 // InsertPattern marks mask position idx SET (symbolic phase).
+//
+//mspgemm:hotpath
 func (m *MCA[T, S]) InsertPattern(idx int32) {
 	m.states[idx] = stateSet
 }
@@ -54,6 +58,8 @@ func (m *MCA[T, S]) InsertPattern(idx int32) {
 // Gather emits the SET positions translated back to column ids via the
 // mask row, resets the used prefix, and returns the output count.
 // Output order follows the mask, so it is sorted whenever the mask is.
+//
+//mspgemm:hotpath
 func (m *MCA[T, S]) Gather(maskRow []int32, outIdx []int32, outVal []T) int {
 	n := 0
 	for idx, j := range maskRow {
@@ -69,6 +75,8 @@ func (m *MCA[T, S]) Gather(maskRow []int32, outIdx []int32, outVal []T) int {
 
 // EndSymbolic counts SET positions among the first len(maskRow) slots
 // and resets them.
+//
+//mspgemm:hotpath
 func (m *MCA[T, S]) EndSymbolic(maskRow []int32) int {
 	n := 0
 	for idx := range maskRow {

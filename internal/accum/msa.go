@@ -38,6 +38,8 @@ func (m *MSA[T, S]) EnsureCols(ncols int) {
 // 4-wide: the four stores are independent, so the CPU overlaps them,
 // and the block's three extra index loads are bounds-check-free (the
 // loop condition covers them).
+//
+//mspgemm:hotpath
 func (m *MSA[T, S]) Begin(maskRow []int32) {
 	states := m.states
 	for ; len(maskRow) >= 4; maskRow = maskRow[4:] {
@@ -54,6 +56,8 @@ func (m *MSA[T, S]) Begin(maskRow []int32) {
 
 // Insert accumulates Mul(a, b) into key if the mask admits it. The
 // product is not computed for NOTALLOWED keys (lazy evaluation, §5.1).
+//
+//mspgemm:hotpath
 func (m *MSA[T, S]) Insert(key int32, a, b T) {
 	// values shares states' length, so after the states[k] check every
 	// values[k] access is provably in bounds (len-hint reslicing).
@@ -71,6 +75,8 @@ func (m *MSA[T, S]) Insert(key int32, a, b T) {
 
 // Gather emits the SET entries in mask order and resets the mask's
 // states to NOTALLOWED.
+//
+//mspgemm:hotpath
 func (m *MSA[T, S]) Gather(maskRow []int32, outIdx []int32, outVal []T) int {
 	states := m.states
 	values := m.values[:len(states)]
@@ -91,6 +97,8 @@ func (m *MSA[T, S]) Gather(maskRow []int32, outIdx []int32, outVal []T) int {
 func (m *MSA[T, S]) BeginSymbolic(maskRow []int32) { m.Begin(maskRow) }
 
 // InsertPattern marks key SET if allowed, without touching values.
+//
+//mspgemm:hotpath
 func (m *MSA[T, S]) InsertPattern(key int32) {
 	states := m.states
 	k := uint32(key)
@@ -100,6 +108,8 @@ func (m *MSA[T, S]) InsertPattern(key int32) {
 }
 
 // EndSymbolic counts SET keys and resets the mask's states.
+//
+//mspgemm:hotpath
 func (m *MSA[T, S]) EndSymbolic(maskRow []int32) int {
 	states := m.states
 	n := 0
@@ -153,6 +163,8 @@ func (m *MSAC[T, S]) EnsureCols(ncols int) {
 
 // Begin marks every key in maskRow NOTALLOWED; all other keys are
 // admitted.
+//
+//mspgemm:hotpath
 func (m *MSAC[T, S]) Begin(maskRow []int32) {
 	states := m.states
 	for _, j := range maskRow {
@@ -168,6 +180,8 @@ func (m *MSAC[T, S]) Begin(maskRow []int32) {
 func (m *MSAC[T, S]) BeginSized(maskRow []int32, _ int) { m.Begin(maskRow) }
 
 // Insert accumulates Mul(a, b) into key unless the mask excludes it.
+//
+//mspgemm:hotpath
 func (m *MSAC[T, S]) Insert(key int32, a, b T) {
 	states := m.states
 	values := m.values[:len(states)]
@@ -209,6 +223,8 @@ func (m *MSAC[T, S]) Gather(outIdx []int32, outVal []T) int {
 func (m *MSAC[T, S]) BeginSymbolicSized(maskRow []int32, _ int) { m.Begin(maskRow) }
 
 // InsertPattern marks key SET unless excluded.
+//
+//mspgemm:hotpath
 func (m *MSAC[T, S]) InsertPattern(key int32) {
 	states := m.states
 	k := uint32(key)
@@ -219,6 +235,8 @@ func (m *MSAC[T, S]) InsertPattern(key int32) {
 }
 
 // EndSymbolic counts inserted keys and resets all touched state.
+//
+//mspgemm:hotpath
 func (m *MSAC[T, S]) EndSymbolic() int {
 	states := m.states
 	n := len(m.inserted)

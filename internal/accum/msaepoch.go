@@ -33,6 +33,8 @@ func (m *MSAEpoch[T, S]) EnsureCols(ncols int) {
 }
 
 // Begin starts a new row epoch and marks the mask keys ALLOWED.
+//
+//mspgemm:hotpath
 func (m *MSAEpoch[T, S]) Begin(maskRow []int32) {
 	m.epoch++
 	allowed := 2 * m.epoch
@@ -42,6 +44,8 @@ func (m *MSAEpoch[T, S]) Begin(maskRow []int32) {
 }
 
 // Insert accumulates Mul(a, b) into key if the current epoch admits it.
+//
+//mspgemm:hotpath
 func (m *MSAEpoch[T, S]) Insert(key int32, a, b T) {
 	switch m.stamps[key] {
 	case 2 * m.epoch: // allowed
@@ -53,6 +57,8 @@ func (m *MSAEpoch[T, S]) Insert(key int32, a, b T) {
 }
 
 // Gather emits SET entries in mask order; no reset is required.
+//
+//mspgemm:hotpath
 func (m *MSAEpoch[T, S]) Gather(maskRow []int32, outIdx []int32, outVal []T) int {
 	set := 2*m.epoch + 1
 	n := 0
@@ -70,6 +76,8 @@ func (m *MSAEpoch[T, S]) Gather(maskRow []int32, outIdx []int32, outVal []T) int
 func (m *MSAEpoch[T, S]) BeginSymbolic(maskRow []int32) { m.Begin(maskRow) }
 
 // InsertPattern marks key SET if allowed.
+//
+//mspgemm:hotpath
 func (m *MSAEpoch[T, S]) InsertPattern(key int32) {
 	if m.stamps[key] == 2*m.epoch {
 		m.stamps[key] = 2*m.epoch + 1
@@ -77,6 +85,8 @@ func (m *MSAEpoch[T, S]) InsertPattern(key int32) {
 }
 
 // EndSymbolic counts SET keys; no reset is required.
+//
+//mspgemm:hotpath
 func (m *MSAEpoch[T, S]) EndSymbolic(maskRow []int32) int {
 	set := 2*m.epoch + 1
 	n := 0

@@ -121,6 +121,8 @@ func unprofiledSched(opt Options) rowSched {
 // result on every hit. rowCost, when non-nil, is a precomputed
 // profile (the poly selector's per-row chosen costs); nil measures
 // one here.
+//
+//mspgemm:planwrite
 func (p *Plan[T, S]) planSchedule(a, b *sparse.CSR[T], rowCost []int64) {
 	switch p.opt.Schedule {
 	case SchedFixedGrain, SchedWorkSteal:

@@ -520,6 +520,8 @@ func resolveTrivial(fam []uint8) {
 // Profiled plans additionally retain the selector's structural
 // inputs (p.profile) so the replanner can re-bind them later without
 // re-reading A or B.
+//
+//mspgemm:planwrite
 func (p *Plan[T, S]) planHybrid(a, b *sparse.CSR[T], needCost bool) []int64 {
 	rowFam := make([]uint8, p.mask.Rows)
 	var cost []int64
@@ -542,6 +544,8 @@ func (p *Plan[T, S]) planHybrid(a, b *sparse.CSR[T], needCost bool) []int64 {
 // runEnds[-1] = 0) and executes family runFam[r]. polyFams collects
 // the families bound by at least one run — exactly the accumulators
 // the executor will materialize.
+//
+//mspgemm:planwrite
 func (p *Plan[T, S]) encodeRuns(rowFam []uint8) {
 	resolveTrivial(rowFam)
 	rows := len(rowFam)

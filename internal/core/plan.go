@@ -34,6 +34,8 @@ import (
 // Executor, which is NOT concurrency-safe: concurrent executions of a
 // shared plan must each use their own executor (ExecuteOn), typically
 // checked out of an ExecutorPool.
+//
+//mspgemm:immutable
 type Plan[T any, S semiring.Semiring[T]] struct {
 	sr   S
 	opt  Options
@@ -96,6 +98,8 @@ type Plan[T any, S semiring.Semiring[T]] struct {
 // NewPlan validates and analyzes one masked product and returns a
 // reusable execution plan. exec supplies the pooled workspaces; nil
 // creates a private one. opt is normalized and frozen into the plan.
+//
+//mspgemm:planwrite
 func NewPlan[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options, exec *Executor[T, S]) (*Plan[T, S], error) {
 	p, err := newDetachedPlan(sr, mask, a, b, opt)
 	if err != nil {
@@ -111,6 +115,8 @@ func NewPlan[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, a, b *sp
 
 // newDetachedPlan builds the immutable analysis without binding an
 // executor — the form a PlanCache stores and shares across goroutines.
+//
+//mspgemm:planwrite
 func newDetachedPlan[T any, S semiring.Semiring[T]](sr S, mask *sparse.Pattern, a, b *sparse.CSR[T], opt Options) (*Plan[T, S], error) {
 	if err := validate(mask, a, b); err != nil {
 		return nil, err
@@ -211,7 +217,10 @@ func (p *Plan[T, S]) Options() Options { return p.opt }
 // FlopsEstimate returns the unmasked multiply–add count of the planned
 // product (cached after the first call; safe on shared plans). It
 // needs the numeric A and B only for their structure, so any
-// Execute-compatible pair works.
+// Execute-compatible pair works. The once-guarded write to p.flops is
+// the one sanctioned post-construction mutation.
+//
+//mspgemm:planwrite
 func (p *Plan[T, S]) FlopsEstimate(a, b *sparse.CSR[T]) int64 {
 	p.flopsOnce.Do(func() {
 		p.flops = Flops(a, b)

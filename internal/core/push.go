@@ -17,6 +17,8 @@ type pushAcc[T any] interface {
 // and merge the rows B_k* selected by A_i*, filtered through the mask
 // row, into one output row. The Insert call is where masked-out products
 // are discarded before the multiplication happens (§5.1).
+//
+//mspgemm:hotpath
 func pushRowNumeric[T any, A pushAcc[T]](acc A, maskRow []int32, aCols []int32, aVals []T, b *sparse.CSR[T], outIdx []int32, outVal []T) int {
 	acc.Begin(maskRow)
 	// Bounds-check elimination hints: aVals walks in lockstep with
@@ -43,6 +45,8 @@ func pushRowNumeric[T any, A pushAcc[T]](acc A, maskRow []int32, aCols []int32, 
 
 // pushRowSymbolic is the pattern-only pass of the same computation,
 // used by the two-phase variants (§6).
+//
+//mspgemm:hotpath
 func pushRowSymbolic[T any, A pushAcc[T]](acc A, maskRow []int32, aCols []int32, b *sparse.CSR[T]) int {
 	acc.BeginSymbolic(maskRow)
 	rowPtr := b.RowPtr

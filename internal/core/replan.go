@@ -311,6 +311,8 @@ func (c *PlanCache[T, S]) rebindSwap(old *Plan[T, S], spec rebindSpec) {
 // field by field — Plan embeds a sync.Once — and shares the immutable
 // analysis arrays (mask, offsets, CSC structure) with p; both plans
 // stay independently executable.
+//
+//mspgemm:planwrite
 func (p *Plan[T, S]) rebind(spec rebindSpec) *Plan[T, S] {
 	n := &Plan[T, S]{
 		sr: p.sr, opt: p.opt, info: p.info, mask: p.mask,
@@ -362,6 +364,8 @@ func (p *Plan[T, S]) rebind(spec rebindSpec) *Plan[T, S] {
 // the new encoding binds (maxARow from the profiled A-row
 // populations). FamPull is only bindable if the original analysis
 // built the CSC structure.
+//
+//mspgemm:planwrite
 func (p *Plan[T, S]) rebindRuns() {
 	prof := p.profile
 	rows := p.mask.Rows

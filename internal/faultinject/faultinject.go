@@ -42,6 +42,8 @@ const (
 
 // Hooks describes the faults to inject. The zero value injects
 // nothing; each site is armed independently.
+//
+//mspgemm:nilsafe
 type Hooks struct {
 	// PanicArmed enables the row-panic site: the row loop panics when
 	// it reaches row PanicRow of pass PanicPass.

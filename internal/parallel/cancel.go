@@ -28,12 +28,21 @@ import (
 // boundaries (one atomic load per claim). A nil token never reads
 // canceled, so callers without a cancellation source pass nil for
 // free.
+//
+//mspgemm:nilsafe
 type CancelToken struct {
 	flag atomic.Bool
 }
 
-// Cancel latches the token. Idempotent and safe from any goroutine.
-func (t *CancelToken) Cancel() { t.flag.Store(true) }
+// Cancel latches the token. Idempotent, safe from any goroutine, and a
+// no-op on a nil token — panic capture latches whatever token the pass
+// was scheduled with, including none.
+func (t *CancelToken) Cancel() {
+	if t == nil {
+		return
+	}
+	t.flag.Store(true)
+}
 
 // Canceled reports whether the token is latched; false on a nil token.
 func (t *CancelToken) Canceled() bool { return t != nil && t.flag.Load() }

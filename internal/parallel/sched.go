@@ -232,6 +232,8 @@ func forEachBlockParallel(n, threads, grain int, stats *SchedStats, cancel *Canc
 // items run inline on the calling goroutine as tid 0, in order. cancel
 // is polled between blocks; panics propagate to the caller unchanged
 // (there is no sibling to quiesce).
+//
+//mspgemm:hotpath
 func runSerialBlocks(n, grain int, stats *SchedStats, cancel *CancelToken, fn func(lo, hi, tid int)) {
 	var busy time.Duration
 	claimed := 0
@@ -359,6 +361,8 @@ func unpackRange(v uint64) (lo, hi int) { return int(v >> 32), int(uint32(v)) }
 // popFront claims up to grain items from the front of a range. The
 // owner and thieves race through CAS, so the pop is safe from any
 // goroutine.
+//
+//mspgemm:hotpath
 func popFront(r *wsRange, grain int) (lo, hi int, ok bool) {
 	for {
 		v := r.r.Load()
@@ -380,6 +384,8 @@ func popFront(r *wsRange, grain int) (lo, hi int, ok bool) {
 // caller's (empty) slot. Returns false only after a full scan of the
 // other workers found every range empty — at that point all remaining
 // work has been claimed by someone, so the caller can retire.
+//
+//mspgemm:hotpath
 func stealInto(ranges []wsRange, tid int) bool {
 	for {
 		bestIdx, bestSize := -1, 0

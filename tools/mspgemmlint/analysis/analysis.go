@@ -1,0 +1,72 @@
+// Package analysis is a dependency-free miniature of
+// golang.org/x/tools/go/analysis: just enough of the Analyzer/Pass
+// protocol for mspgemmlint's invariant suite to be written in the
+// standard shape. The build environment bakes in no third-party
+// modules, so the real x/tools framework is not importable here; the
+// API mirrors it field for field, so migrating the analyzers onto
+// x/tools later is a matter of changing one import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker: a name for diagnostics and
+// driver flags, a doc string, and the Run function applied once per
+// loaded package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI selection. By
+	// convention a short lowercase word ("planimmut").
+	Name string
+	// Doc is the one-paragraph description printed by the driver's help
+	// and prefixed to fixture failures.
+	Doc string
+	// Run applies the analyzer to one package. Diagnostics flow through
+	// pass.Report; the error return is for operational failures only
+	// (a failed Run aborts the drive, a diagnostic does not).
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's load results to an analyzer Run.
+type Pass struct {
+	// Analyzer is the analyzer being applied.
+	Analyzer *Analyzer
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's parsed source files, comments included.
+	// Test files (*_test.go) are included only when the driver was asked
+	// to load them; the repo-contract analyzers skip them by name.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo records the type-checker's expression and object facts.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. Never nil.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position and a message. The analyzer
+// name is attached by the driver.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Pos
+	// Message states the violated invariant and, where useful, the fix.
+	Message string
+}
+
+// IsTestFile reports whether the file's position name ends in
+// _test.go. The repo-contract analyzers enforce production invariants
+// and skip test files, mirroring the doc linter they rode in with.
+func IsTestFile(fset *token.FileSet, f *ast.File) bool {
+	name := fset.Position(f.Package).Filename
+	const suffix = "_test.go"
+	return len(name) >= len(suffix) && name[len(name)-len(suffix):] == suffix
+}

@@ -1,0 +1,207 @@
+// Package analysistest runs one analyzer over a fixture package and
+// checks its diagnostics against // want comments, mirroring
+// x/tools/go/analysis/analysistest for the dependency-free framework.
+//
+// Fixtures live under <testdata>/src/<pkgname>/*.go. A line expecting
+// diagnostics carries a trailing comment of quoted regular
+// expressions:
+//
+//	p.sched = s // want `write to field sched`
+//	bad()       // want "first" "second"
+//
+// Every reported diagnostic must match a same-line expectation and
+// every expectation must be matched, so fixtures prove both that an
+// analyzer fires on violations and that it stays quiet on the
+// surrounding negative cases.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"maskedspgemm/tools/mspgemmlint/analysis"
+)
+
+// Run loads <testdata>/src/<pkg>, applies the analyzer, and reports
+// every mismatch between diagnostics and // want expectations as a
+// test error.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkg)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	files, err := analysis.ParseFiles(fset, dir, names)
+	if err != nil {
+		t.Fatalf("parsing fixtures: %v", err)
+	}
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: stdImporter(fset)}
+	tpkg, err := conf.Check(pkg, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixtures: %v", err)
+	}
+	findings, err := analysis.RunAnalyzers([]*analysis.Package{{
+		ImportPath: pkg,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		Info:       info,
+	}}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	checkExpectations(t, fset, files, findings)
+}
+
+// expectation is one // want regex with its match state.
+type expectation struct {
+	// rx is the compiled pattern.
+	rx *regexp.Regexp
+	// matched flips when a diagnostic consumes the expectation.
+	matched bool
+}
+
+// checkExpectations pairs findings with same-line // want patterns.
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, findings []analysis.Finding) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*expectation)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, ok := parseWant(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := key{file: pos.Filename, line: pos.Line}
+				for _, p := range patterns {
+					rx, err := regexp.Compile(p)
+					if err != nil {
+						t.Errorf("%s: bad // want pattern %q: %v", pos, p, err)
+						continue
+					}
+					wants[k] = append(wants[k], &expectation{rx: rx})
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		k := key{file: f.Pos.Filename, line: f.Pos.Line}
+		consumed := false
+		for _, w := range wants[k] {
+			if !w.matched && w.rx.MatchString(f.Message) {
+				w.matched = true
+				consumed = true
+				break
+			}
+		}
+		if !consumed {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Pos, f.Message)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matched pattern %q", k.file, k.line, w.rx)
+			}
+		}
+	}
+}
+
+// parseWant extracts the quoted patterns from a "// want ..." comment.
+// The marker may be embedded ("//mspgemm:typo // want ..."), so
+// expectations can ride on directive lines too.
+func parseWant(text string) ([]string, bool) {
+	const marker = "// want "
+	i := strings.Index(text, marker)
+	if i < 0 {
+		return nil, false
+	}
+	rest := strings.TrimSpace(text[i+len(marker):])
+	var patterns []string
+	for rest != "" {
+		quote := rest[0]
+		if quote != '"' && quote != '`' {
+			return nil, false
+		}
+		end := strings.IndexByte(rest[1:], quote)
+		if end < 0 {
+			return nil, false
+		}
+		patterns = append(patterns, rest[1:1+end])
+		rest = strings.TrimSpace(rest[2+end:])
+	}
+	return patterns, len(patterns) > 0
+}
+
+// stdImporter resolves fixture imports to standard-library export
+// data, located once per path via `go list -export -json` and memoized
+// for the process.
+func stdImporter(fset *token.FileSet) types.Importer {
+	return analysis.ExportImporter(fset, lookupStdExport)
+}
+
+// stdExports memoizes export-data paths by import path.
+var stdExports = map[string]string{}
+
+// lookupStdExport locates one package's compiled export data.
+func lookupStdExport(path string) (string, bool) {
+	if f, ok := stdExports[path]; ok {
+		return f, f != ""
+	}
+	cmd := exec.Command("go", "list", "-export", "-deps", "-json", path)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	if err := cmd.Run(); err != nil {
+		stdExports[path] = ""
+		return "", false
+	}
+	dec := json.NewDecoder(&out)
+	for {
+		var lp struct {
+			// ImportPath keys the memo.
+			ImportPath string
+			// Export is the compiled export-data file.
+			Export string
+		}
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			stdExports[path] = ""
+			return "", false
+		}
+		stdExports[lp.ImportPath] = lp.Export
+	}
+	f, ok := stdExports[path]
+	if !ok {
+		stdExports[path] = ""
+	}
+	return f, ok && f != ""
+}

@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// The loader type-checks the module's packages with nothing but the
+// standard library: `go list -export -deps -json` yields every
+// package's compiled export data (the go command has already built the
+// module to produce it), the target packages' sources are parsed for
+// analysis, and their imports resolve through go/importer's gc reader
+// pointed at those export files. This is the same export-data diet
+// x/tools' unitchecker runs on under `go vet`, reproduced here so the
+// standalone driver needs no module dependencies.
+
+// Package is one loaded, type-checked module package ready for
+// analyzers.
+type Package struct {
+	// ImportPath is the package's import path ("maskedspgemm/internal/core").
+	ImportPath string
+	// Dir is the package's source directory.
+	Dir string
+	// Fset maps positions for Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info carries the type-checker's recorded facts for Files.
+	Info *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	// ImportPath is the canonical import path.
+	ImportPath string
+	// Dir is the package source directory.
+	Dir string
+	// Export is the compiled export-data file (present under -export).
+	Export string
+	// GoFiles are the non-test sources relative to Dir.
+	GoFiles []string
+	// DepOnly marks packages listed only as dependencies of the
+	// named patterns.
+	DepOnly bool
+	// Standard marks GOROOT packages.
+	Standard bool
+	// Error carries the package's load error, if any.
+	Error *struct {
+		// Err is the go command's error text.
+		Err string
+	}
+}
+
+// Load lists patterns in dir (the module root), parses and type-checks
+// every matched module package, and returns them in listing order.
+// Dependencies — standard library and module-internal alike — are
+// imported from compiled export data, so only the analyzed sources are
+// type-checked from scratch.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		p, err := typecheckDir(fset, lp, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// goList runs `go list -export -deps -json` and decodes the stream.
+func goList(dir string, patterns []string) ([]listedPkg, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var listed []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPkg
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		listed = append(listed, lp)
+	}
+	return listed, nil
+}
+
+// ExportImporter returns a types importer that resolves import paths
+// through lookup to compiled export-data files and reads them with the
+// standard gc importer. Both the standalone loader and the vettool
+// mode feed it their respective path→file maps.
+func ExportImporter(fset *token.FileSet, lookup func(path string) (string, bool)) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := lookup(path)
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// NewTypesInfo allocates the types.Info map set analyzers rely on.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// typecheckDir parses and type-checks one listed package from source.
+func typecheckDir(fset *token.FileSet, lp listedPkg, imp types.Importer) (*Package, error) {
+	files, err := ParseFiles(fset, lp.Dir, lp.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	info := NewTypesInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+	}, nil
+}
+
+// ParseFiles parses the named files of one package directory with
+// comments retained.
+func ParseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		path := name
+		if dir != "" && !filepath.IsAbs(name) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Finding is one rendered diagnostic: an analyzer name, a position,
+// and the message.
+type Finding struct {
+	// Analyzer names the analyzer that reported.
+	Analyzer string
+	// Pos is the rendered file:line:column.
+	Pos token.Position
+	// Message is the diagnostic text.
+	Message string
+}
+
+// String renders the conventional "pos: [analyzer] message" line.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// findings sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d Diagnostic) {
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"strings"
+)
+
+// Vettool mode: when the binary is invoked by `go vet -vettool=`, the
+// go command drives it one package at a time with a JSON config file,
+// mirroring x/tools' unitchecker protocol. Only the subset of the
+// protocol the go command actually exercises is implemented: the
+// -V=full version handshake, the -flags query, and per-package .cfg
+// runs with export-data-based import resolution.
+
+// vetConfig is the unitchecker-compatible config the go command writes
+// next to each package's build artifacts.
+type vetConfig struct {
+	// ID is the package's build ID.
+	ID string
+	// ImportPath is the package's canonical import path.
+	ImportPath string
+	// GoFiles are the absolute paths of the package's sources.
+	GoFiles []string
+	// NonGoFiles lists assembly and other non-Go inputs (unused).
+	NonGoFiles []string
+	// ImportMap maps source import paths to canonical ones.
+	ImportMap map[string]string
+	// PackageFile maps canonical import paths to export-data files.
+	PackageFile map[string]string
+	// Standard marks stdlib packages present in the build.
+	Standard map[string]bool
+	// VetxOnly means the go command wants only facts, no diagnostics.
+	VetxOnly bool
+	// VetxOutput is the path where the facts file must be written.
+	VetxOutput string
+	// SucceedOnTypecheckFailure asks for exit 0 on broken packages.
+	SucceedOnTypecheckFailure bool
+}
+
+// vetDiagnostic is the JSON shape `go vet -json` prints per finding.
+type vetDiagnostic struct {
+	// Posn is the file:line:column of the finding.
+	Posn string `json:"posn"`
+	// Message is the diagnostic text.
+	Message string `json:"message"`
+}
+
+// VetMain handles a `go vet -vettool=` invocation and returns the
+// process exit code. args are the program arguments after the binary
+// name. It returns ok=false when the invocation is not a vettool
+// protocol call (no -V/-flags/*.cfg argument), letting the caller fall
+// through to the standalone CLI.
+func VetMain(args []string, analyzers []*Analyzer) (code int, ok bool) {
+	jsonOut := false
+	var cfgFile string
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "-V":
+			// The go command keys its vet cache on this line and insists
+			// on a buildID field; hashing the executable makes rebuilds
+			// invalidate cached results, as unitchecker does.
+			fmt.Printf("mspgemmlint version devel buildID=%s\n", selfBuildID())
+			return 0, true
+		case a == "-flags":
+			// No analyzer flags are exposed; report an empty set.
+			fmt.Println("[]")
+			return 0, true
+		case a == "-json" || a == "-json=true":
+			jsonOut = true
+		case strings.HasSuffix(a, ".cfg"):
+			cfgFile = a
+		}
+	}
+	if cfgFile == "" {
+		return 0, false
+	}
+	if err := vetPackage(cfgFile, jsonOut, analyzers); err != nil {
+		if err == errFindings {
+			return 2, true
+		}
+		fmt.Fprintln(os.Stderr, "mspgemmlint:", err)
+		return 1, true
+	}
+	return 0, true
+}
+
+// errFindings signals diagnostics were printed; the driver exits 2
+// without further output.
+var errFindings = fmt.Errorf("findings reported")
+
+// selfBuildID hashes the running executable into the -V=full build ID.
+func selfBuildID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		return "unknown"
+	}
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("%02x", sum[:16])
+}
+
+// vetPackage runs the analyzers over the one package described by the
+// config file.
+func vetPackage(cfgFile string, jsonOut bool, analyzers []*Analyzer) error {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fmt.Errorf("parsing %s: %v", cfgFile, err)
+	}
+	// The go command insists on a facts file even though this suite
+	// exports no facts; an empty one satisfies it.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil
+	}
+	fset := token.NewFileSet()
+	files, err := ParseFiles(fset, "", cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil
+		}
+		return err
+	}
+	imp := ExportImporter(fset, func(path string) (string, bool) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		f, ok := cfg.PackageFile[path]
+		return f, ok
+	})
+	info := NewTypesInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil
+		}
+		return fmt.Errorf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+	findings, err := RunAnalyzers([]*Package{{
+		ImportPath: cfg.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+	}}, analyzers)
+	if err != nil {
+		return err
+	}
+	if len(findings) == 0 {
+		return nil
+	}
+	if jsonOut {
+		printVetJSON(cfg.ImportPath, findings)
+		// JSON mode reports findings as data, not as an error exit.
+		return nil
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	return errFindings
+}
+
+// printVetJSON prints findings in `go vet -json`'s nested map shape:
+// {importpath: {analyzer: [diagnostics]}}.
+func printVetJSON(importPath string, findings []Finding) {
+	byAnalyzer := make(map[string][]vetDiagnostic)
+	for _, f := range findings {
+		byAnalyzer[f.Analyzer] = append(byAnalyzer[f.Analyzer], vetDiagnostic{
+			Posn:    f.Pos.String(),
+			Message: f.Message,
+		})
+	}
+	out := map[string]map[string][]vetDiagnostic{importPath: byAnalyzer}
+	data, err := json.MarshalIndent(out, "", "\t")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mspgemmlint:", err)
+		return
+	}
+	os.Stdout.Write(append(data, '\n'))
+}

@@ -1,0 +1,40 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"maskedspgemm/tools/mspgemmlint/analysis/analysistest"
+	"maskedspgemm/tools/mspgemmlint/analyzers"
+)
+
+// testdata holds the deliberately-broken fixture packages, one per
+// analyzer, under testdata/src/<name>.
+const testdata = "../testdata"
+
+func TestPlanimmut(t *testing.T) {
+	analysistest.Run(t, testdata, analyzers.Planimmut, "planimmut")
+}
+
+func TestOptkey(t *testing.T) {
+	analysistest.Run(t, testdata, analyzers.Optkey, "optkey")
+}
+
+func TestOptkeyPlanKeyShape(t *testing.T) {
+	analysistest.Run(t, testdata, analyzers.Optkey, "optkeybad")
+}
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, testdata, analyzers.Lockorder, "lockorder")
+}
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, testdata, analyzers.Hotpath, "hotpath")
+}
+
+func TestNilsafetoken(t *testing.T) {
+	analysistest.Run(t, testdata, analyzers.Nilsafetoken, "nilsafetoken")
+}
+
+func TestDoccomment(t *testing.T) {
+	analysistest.Run(t, testdata, analyzers.Doccomment, "doccomment")
+}

@@ -1,0 +1,95 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+
+	"maskedspgemm/tools/mspgemmlint/analysis"
+)
+
+// Doccomment is the former tools/lintdoc doc-coverage linter folded
+// into the suite: every exported const, var, type, function, method,
+// and struct field must carry a doc comment. Grouped declarations may
+// document the group, embedded fields are exempt (they are documented
+// at their own declaration), and test files are skipped.
+var Doccomment = &analysis.Analyzer{
+	Name: "doccomment",
+	Doc: "require a godoc comment on every exported identifier " +
+		"(documentation rule, formerly tools/lintdoc)",
+	Run: runDoccomment,
+}
+
+func runDoccomment(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		checkFileDocs(pass, f)
+	}
+	return nil
+}
+
+// checkFileDocs walks one file's top-level declarations.
+func checkFileDocs(pass *analysis.Pass, f *ast.File) {
+	report := func(pos token.Pos, what, name string) {
+		pass.Reportf(pos, "undocumented exported %s %s", what, name)
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && d.Doc == nil {
+				what := "function"
+				if d.Recv != nil {
+					what = "method"
+				}
+				report(d.Pos(), what, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			groupDoc := d.Doc != nil
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && s.Doc == nil && s.Comment == nil && !groupDoc {
+						report(s.Pos(), "type", s.Name.Name)
+					}
+					if s.Name.IsExported() {
+						checkFieldDocs(pass, s)
+					}
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						if n.IsExported() && s.Doc == nil && s.Comment == nil && !groupDoc {
+							report(n.Pos(), declKind(d.Tok), n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// declKind names a value declaration for diagnostics.
+func declKind(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}
+
+// checkFieldDocs reports undocumented exported fields of an exported
+// struct type.
+func checkFieldDocs(pass *analysis.Pass, s *ast.TypeSpec) {
+	st, ok := s.Type.(*ast.StructType)
+	if !ok || st.Fields == nil {
+		return
+	}
+	for _, field := range st.Fields.List {
+		if field.Doc != nil || field.Comment != nil {
+			continue
+		}
+		for _, n := range field.Names {
+			if n.IsExported() {
+				pass.Reportf(n.Pos(), "undocumented exported field %s.%s", s.Name.Name, n.Name)
+			}
+		}
+	}
+}

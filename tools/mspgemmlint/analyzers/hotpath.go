@@ -1,0 +1,198 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"maskedspgemm/tools/mspgemmlint/analysis"
+)
+
+// Hotpath pins PR 6's flat-loop contract: functions annotated
+// //mspgemm:hotpath are the accumulator Insert/Gather/Begin loops, row
+// push kernels, and scheduler claim paths whose speed depends on the
+// compiler seeing straight-line, allocation-free code. Inside them the
+// analyzer bans the constructs that defeat that: defer (function-exit
+// bookkeeping), closures (potential escapes), goroutine and select
+// statements, map iteration (random order, hash walking), type
+// asserts, interface method calls, and any conversion of a concrete
+// value to an interface (hidden allocation + dynamic dispatch).
+//
+// It also owns the annotation vocabulary: any //mspgemm: comment whose
+// directive is not in the known set is flagged as a likely typo, so a
+// misspelled annotation cannot silently disable a contract.
+var Hotpath = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: "forbid defer, closures, map iteration, and interface " +
+		"conversions inside //mspgemm:hotpath functions (flat-loop contract, PR 6)",
+	Run: runHotpath,
+}
+
+func runHotpath(pass *analysis.Pass) error {
+	checkDirectiveSpelling(pass)
+	forEachFunc(pass, func(_ *ast.File, fd *ast.FuncDecl) {
+		if fd.Body == nil || !hasDirective(fd.Doc, DirHotpath) {
+			return
+		}
+		checkHotBody(pass, fd)
+	})
+	return nil
+}
+
+// checkDirectiveSpelling flags unknown //mspgemm: directives anywhere
+// in the package's non-test files.
+func checkDirectiveSpelling(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, d := range parseDirectives(cg) {
+				if !knownDirectives[d.Name] {
+					pass.Reportf(d.Pos,
+						"unknown directive //mspgemm:%s (known: hotpath, immutable, nilsafe, planwrite); a typo here silently disables the contract",
+						d.Name)
+				}
+			}
+		}
+	}
+}
+
+// checkHotBody walks one annotated function body and reports every
+// banned construct.
+func checkHotBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "defer in //mspgemm:hotpath function %s; hot loops must stay free of function-exit bookkeeping", name)
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in //mspgemm:hotpath function %s; hot loops must not spawn goroutines", name)
+		case *ast.SelectStmt:
+			pass.Reportf(n.Pos(), "select in //mspgemm:hotpath function %s; channel operations do not belong in hot loops", name)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure in //mspgemm:hotpath function %s; closures risk heap escapes of captured loop state", name)
+			return false
+		case *ast.TypeAssertExpr:
+			pass.Reportf(n.Pos(), "type assertion in //mspgemm:hotpath function %s; dynamic type checks do not belong in hot loops", name)
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "map iteration in //mspgemm:hotpath function %s; hash-order walks do not belong in hot loops", name)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, name, n)
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					checkInterfaceConversion(pass, name, n.Lhs[i], n.Rhs[i])
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall reports interface conversions hidden in a call: an
+// explicit conversion to an interface type, an interface-typed method
+// receiver, or a concrete argument passed to an interface parameter.
+func checkHotCall(pass *analysis.Pass, fn string, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Explicit conversion T(x).
+		if isInterface(tv.Type) && len(call.Args) == 1 && isConcrete(pass, call.Args[0]) {
+			pass.Reportf(call.Pos(),
+				"conversion to interface type %s in //mspgemm:hotpath function %s; interface conversions allocate and add dynamic dispatch",
+				tv.Type, fn)
+		}
+		return
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if xt, ok := pass.TypesInfo.Types[sel.X]; ok && xt.IsValue() && isInterface(xt.Type) {
+			pass.Reportf(call.Pos(),
+				"interface method call %s.%s in //mspgemm:hotpath function %s; dynamic dispatch does not belong in hot loops",
+				xt.Type, sel.Sel.Name, fn)
+		}
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		// Builtins (len, append, ...) have no signature and no
+		// interface parameters.
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				// arg... forwards the slice unchanged; no per-element
+				// conversion happens.
+				continue
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if isInterface(pt) && isConcrete(pass, arg) {
+			pass.Reportf(arg.Pos(),
+				"argument converts to interface type %s in //mspgemm:hotpath function %s; interface conversions allocate and add dynamic dispatch",
+				pt, fn)
+		}
+	}
+}
+
+// checkInterfaceConversion reports a concrete value assigned to an
+// interface-typed location.
+func checkInterfaceConversion(pass *analysis.Pass, fn string, lhs, rhs ast.Expr) {
+	lt, ok := pass.TypesInfo.Types[lhs]
+	if !ok || !isInterface(lt.Type) {
+		// Also covers := definitions, whose LHS type is the RHS type —
+		// a definition never converts.
+		return
+	}
+	if isConcrete(pass, rhs) {
+		pass.Reportf(rhs.Pos(),
+			"assignment converts a concrete value to interface type %s in //mspgemm:hotpath function %s; interface conversions allocate",
+			lt.Type, fn)
+	}
+}
+
+// isInterface reports whether t is a true interface type. Type
+// parameters are excluded even though their underlying type is the
+// constraint interface: a call or assignment through a type parameter
+// is stenciled statically by the compiler, which is exactly how the
+// accumulator kernels get their semiring operations inlined.
+func isInterface(t types.Type) bool {
+	t = types.Unalias(t)
+	if _, ok := t.(*types.TypeParam); ok {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		if _, ok := named.Underlying().(*types.Interface); ok {
+			return true
+		}
+		return false
+	}
+	_, ok := t.(*types.Interface)
+	return ok
+}
+
+// isConcrete reports whether expr is a typed non-interface, non-nil
+// value: the shapes whose conversion to an interface materializes an
+// itab and possibly an allocation.
+func isConcrete(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.IsNil() || tv.Type == nil {
+		return false
+	}
+	if _, untyped := tv.Type.(*types.Basic); untyped && tv.Type.(*types.Basic).Info()&types.IsUntyped != 0 {
+		return false
+	}
+	return !isInterface(tv.Type)
+}

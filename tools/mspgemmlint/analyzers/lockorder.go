@@ -1,0 +1,145 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"maskedspgemm/tools/mspgemmlint/analysis"
+)
+
+// Lockorder pins PR 7's deadlock contract: MemBudget sits above every
+// BudgetMember in the lock hierarchy, so the locking entry points
+// (Rebalance, Register — both take the budget's own mutex and call
+// back into members) must never run while the caller holds a mutex.
+// Reserve, Release, and Stamp are lock-free by design and stay legal
+// under member locks.
+//
+// The check is lexical: within one function body, a mutex counts as
+// held from a Lock/RLock call until the matching same-expression
+// Unlock/RUnlock; a deferred unlock keeps it held to the end of the
+// body. Calls reached through other functions are out of scope — the
+// contract holds because the public entry points are clean.
+var Lockorder = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "flag MemBudget.Rebalance/Register calls made while a mutex is " +
+		"held (budget-above-member lock order, PR 7)",
+	Run: runLockorder,
+}
+
+// lockEvent is one Lock/Unlock/budget-entry call in source order.
+type lockEvent struct {
+	// pos orders the events and locates diagnostics.
+	pos token.Pos
+	// kind is "lock", "unlock", or "budget".
+	kind string
+	// mutex is the rendered receiver expression for lock/unlock events.
+	mutex string
+	// method is the called budget method for budget events.
+	method string
+}
+
+// budgetEntryPoints are the MemBudget methods that take the budget
+// mutex and must therefore be called lock-free.
+var budgetEntryPoints = map[string]bool{
+	"Rebalance": true,
+	"Register":  true,
+}
+
+func runLockorder(pass *analysis.Pass) error {
+	forEachFunc(pass, func(_ *ast.File, fd *ast.FuncDecl) {
+		if fd.Body == nil {
+			return
+		}
+		events := collectLockEvents(pass, fd.Body)
+		sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+		held := make(map[string]int)
+		for _, ev := range events {
+			switch ev.kind {
+			case "lock":
+				held[ev.mutex]++
+			case "unlock":
+				if held[ev.mutex] > 0 {
+					held[ev.mutex]--
+				}
+			case "budget":
+				for mutex, n := range held {
+					if n > 0 {
+						pass.Reportf(ev.pos,
+							"MemBudget.%s called while %s is held; budget entry points lock the budget mutex and must be called lock-free (budget-above-member order, PR 7)",
+							ev.method, mutex)
+						break
+					}
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// collectLockEvents gathers the body's Lock/Unlock calls and MemBudget
+// entry-point calls. Deferred unlocks are dropped, which models the
+// mutex as held to the end of the body.
+func collectLockEvents(pass *analysis.Pass, body *ast.BlockStmt) []lockEvent {
+	var events []lockEvent
+	deferred := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			if !deferred[call] {
+				events = append(events, lockEvent{pos: call.Pos(), kind: "lock", mutex: exprString(sel.X)})
+			}
+		case "Unlock", "RUnlock":
+			if !deferred[call] {
+				events = append(events, lockEvent{pos: call.Pos(), kind: "unlock", mutex: exprString(sel.X)})
+			}
+		default:
+			if budgetEntryPoints[sel.Sel.Name] {
+				if tv, ok := pass.TypesInfo.Types[sel.X]; ok && namedTypeName(tv.Type) == "MemBudget" {
+					events = append(events, lockEvent{pos: call.Pos(), kind: "budget", method: sel.Sel.Name})
+				}
+			}
+		}
+		return true
+	})
+	return events
+}
+
+// exprString renders a selector chain ("s.mu", "c.store.mu") for use
+// as a mutex identity key. Non-chain expressions render as "<expr>",
+// which still participates in held tracking.
+func exprString(e ast.Expr) string {
+	var parts []string
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			parts = append(parts, x.Name)
+		case *ast.SelectorExpr:
+			parts = append(parts, x.Sel.Name)
+			e = x.X
+			continue
+		case *ast.ParenExpr:
+			e = x.X
+			continue
+		default:
+			parts = append(parts, "<expr>")
+		}
+		break
+	}
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return strings.Join(parts, ".")
+}

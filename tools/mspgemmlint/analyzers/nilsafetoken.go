@@ -1,0 +1,121 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+
+	"maskedspgemm/tools/mspgemmlint/analysis"
+)
+
+// Nilsafetoken pins PR 9's hook contract: cancellation tokens and
+// fault-injection hooks are passed around as possibly-nil pointers,
+// and every call site relies on the methods themselves being safe on a
+// nil receiver. Types opt in with //mspgemm:nilsafe; the analyzer then
+// requires every pointer-receiver method that dereferences the
+// receiver to compare it against nil first. Both the statement form
+// (if t == nil { return }) and the short-circuit form (return t != nil
+// && t.flag.Load()) satisfy the check, because the comparison precedes
+// the first dereference in source order.
+var Nilsafetoken = &analysis.Analyzer{
+	Name: "nilsafetoken",
+	Doc: "require //mspgemm:nilsafe types' pointer-receiver methods to " +
+		"nil-check the receiver before using it (nil-safe hooks, PR 9)",
+	Run: runNilsafetoken,
+}
+
+func runNilsafetoken(pass *analysis.Pass) error {
+	nilsafe := annotatedTypes(pass.Files, DirNilsafe)
+	if len(nilsafe) == 0 {
+		return nil
+	}
+	forEachFunc(pass, func(_ *ast.File, fd *ast.FuncDecl) {
+		if fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) != 1 {
+			return
+		}
+		// Only pointer receivers can be nil; value-receiver methods on a
+		// nil pointer already panic at the call site.
+		star, ok := fd.Recv.List[0].Type.(*ast.StarExpr)
+		if !ok {
+			return
+		}
+		base := star.X
+		if idx, ok := base.(*ast.IndexExpr); ok {
+			base = idx.X
+		}
+		id, ok := base.(*ast.Ident)
+		if !ok || !nilsafe[id.Name] {
+			return
+		}
+		recv := receiverName(fd)
+		if recv == "" || recv == "_" {
+			return
+		}
+		firstUse := firstReceiverDeref(fd.Body, recv)
+		if firstUse == token.NoPos {
+			return
+		}
+		if guard := firstReceiverNilCheck(fd.Body, recv); guard == token.NoPos || guard > firstUse {
+			pass.Reportf(firstUse,
+				"method (*%s).%s dereferences the receiver without a nil check; //mspgemm:nilsafe types must keep every method safe on a nil receiver (PR 9)",
+				id.Name, fd.Name.Name)
+		}
+	})
+	return nil
+}
+
+// firstReceiverDeref returns the position of the first selector or
+// explicit dereference through the named receiver, or NoPos.
+func firstReceiverDeref(body *ast.BlockStmt, recv string) token.Pos {
+	first := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if first != token.NoPos {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if id, ok := n.X.(*ast.Ident); ok && id.Name == recv {
+				first = n.Pos()
+				return false
+			}
+		case *ast.StarExpr:
+			if id, ok := n.X.(*ast.Ident); ok && id.Name == recv {
+				first = n.Pos()
+				return false
+			}
+		}
+		return true
+	})
+	return first
+}
+
+// firstReceiverNilCheck returns the position of the first receiver ==
+// nil or receiver != nil comparison, or NoPos.
+func firstReceiverNilCheck(body *ast.BlockStmt, recv string) token.Pos {
+	first := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if first != token.NoPos {
+			return false
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		if isIdentNamed(be.X, recv) && isNilIdent(be.Y) || isIdentNamed(be.Y, recv) && isNilIdent(be.X) {
+			first = be.Pos()
+			return false
+		}
+		return true
+	})
+	return first
+}
+
+// isIdentNamed reports whether e is the identifier name.
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(e ast.Expr) bool {
+	return isIdentNamed(e, "nil")
+}

@@ -1,0 +1,251 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"maskedspgemm/tools/mspgemmlint/analysis"
+)
+
+// Optkey pins PR 5's cache-fragmentation fix: Options fields are
+// either plan-affecting (they feed planKey via the identity-normalized
+// Options embedded in it) or execution-only (zeroed by planIdentity
+// and carried to execution by ExecOnly). The analyzer keeps the two
+// method bodies and the two struct definitions mutually consistent,
+// and makes sure nothing ExecOptions-typed leaks into planKey.
+var Optkey = &analysis.Analyzer{
+	Name: "optkey",
+	Doc: "keep Options/ExecOptions, planIdentity, ExecOnly, and planKey " +
+		"consistent so exec-only options never fragment the plan cache (PR 5)",
+	Run: runOptkey,
+}
+
+func runOptkey(pass *analysis.Pass) error {
+	opts := structFields(pass, "Options")
+	execOpts := structFields(pass, "ExecOptions")
+	if opts == nil || execOpts == nil {
+		return nil
+	}
+	identity := methodOn(pass, "Options", "planIdentity")
+	execOnly := methodOn(pass, "Options", "ExecOnly")
+	if identity == nil || execOnly == nil {
+		return nil
+	}
+	zeroed := receiverFieldWrites(identity)
+	consumed := receiverFieldReads(execOnly)
+
+	// Every field present in both structs is execution-only: it must be
+	// zeroed out of the plan identity and forwarded by ExecOnly.
+	for name, pos := range execOpts {
+		if _, shared := opts[name]; !shared {
+			// Fields like Cancel exist only on ExecOptions: execution-only
+			// by construction, nothing to cross-check.
+			continue
+		}
+		if _, ok := zeroed[name]; !ok {
+			pass.Reportf(pos,
+				"Options.%s has an ExecOptions counterpart but planIdentity does not zero it; it would feed planKey and fragment the plan cache (PR 5)",
+				name)
+		}
+		if _, ok := consumed[name]; !ok {
+			pass.Reportf(pos,
+				"ExecOptions.%s is not populated from Options.%s by ExecOnly; the execution layer would silently drop the setting",
+				name, name)
+		}
+	}
+	// A field zeroed by planIdentity with no ExecOptions counterpart is
+	// lost entirely: neither the plan nor the execution sees it.
+	for name, pos := range zeroed {
+		if _, shared := execOpts[name]; !shared {
+			pass.Reportf(pos,
+				"planIdentity zeroes Options.%s but ExecOptions has no %s field; the setting is dropped before execution — add it to ExecOptions and ExecOnly",
+				name, name)
+		}
+	}
+	checkPlanKey(pass)
+	return nil
+}
+
+// checkPlanKey flags ExecOptions data reaching planKey: a planKey
+// field of type ExecOptions, or a read of an ExecOptions value inside
+// a function that constructs a planKey literal.
+func checkPlanKey(pass *analysis.Pass) {
+	keyFields := structFieldTypes(pass, "planKey")
+	for name, ft := range keyFields {
+		if namedTypeName(ft.typ) == "ExecOptions" {
+			pass.Reportf(ft.pos,
+				"planKey field %s is of type ExecOptions; exec-only options must never feed the plan cache key (PR 5)", name)
+		}
+	}
+	if keyFields == nil {
+		return
+	}
+	forEachFunc(pass, func(_ *ast.File, fd *ast.FuncDecl) {
+		if fd.Body == nil || !buildsPlanKey(pass, fd.Body) {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[sel.X]
+			if ok && namedTypeName(tv.Type) == "ExecOptions" {
+				pass.Reportf(sel.Pos(),
+					"read of exec-only option ExecOptions.%s in a function that constructs planKey; exec-only options must never feed the cache key (PR 5)",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	})
+}
+
+// buildsPlanKey reports whether the body contains a planKey composite
+// literal.
+func buildsPlanKey(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[cl]; ok && namedTypeName(tv.Type) == "planKey" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// fieldType pairs a struct field's type with its declaration position.
+type fieldType struct {
+	// typ is the field's declared type.
+	typ types.Type
+	// pos locates the field for diagnostics.
+	pos token.Pos
+}
+
+// structFields returns the named struct type's field positions by
+// field name, or nil when the type is absent from the package.
+func structFields(pass *analysis.Pass, typeName string) map[string]token.Pos {
+	fts := structFieldTypes(pass, typeName)
+	if fts == nil {
+		return nil
+	}
+	out := make(map[string]token.Pos, len(fts))
+	for name, ft := range fts {
+		out[name] = ft.pos
+	}
+	return out
+}
+
+// structFieldTypes returns the named struct type's fields with types
+// and positions, or nil when the type is absent.
+func structFieldTypes(pass *analysis.Pass, typeName string) map[string]fieldType {
+	obj := pass.Pkg.Scope().Lookup(typeName)
+	if obj == nil {
+		return nil
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	out := make(map[string]fieldType, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		out[f.Name()] = fieldType{typ: f.Type(), pos: f.Pos()}
+	}
+	return out
+}
+
+// namedTypeName returns t's named-type name (through one pointer
+// layer), or "".
+func namedTypeName(t types.Type) string {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Origin().Obj().Name()
+}
+
+// methodOn finds the declaration of the named method on the named
+// receiver type (value or pointer receiver).
+func methodOn(pass *analysis.Pass, recvType, method string) *ast.FuncDecl {
+	var found *ast.FuncDecl
+	forEachFunc(pass, func(_ *ast.File, fd *ast.FuncDecl) {
+		if fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Name.Name != method {
+			return
+		}
+		t := fd.Recv.List[0].Type
+		if se, ok := t.(*ast.StarExpr); ok {
+			t = se.X
+		}
+		if id, ok := t.(*ast.Ident); ok && id.Name == recvType {
+			found = fd
+		}
+	})
+	return found
+}
+
+// receiverName returns the method's receiver identifier name, or "".
+func receiverName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// receiverFieldWrites collects the receiver fields assigned in the
+// method body, keyed by field name.
+func receiverFieldWrites(fd *ast.FuncDecl) map[string]token.Pos {
+	recv := receiverName(fd)
+	out := make(map[string]token.Pos)
+	if recv == "" || fd.Body == nil {
+		return out
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if sel, ok := lhs.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
+					out[sel.Sel.Name] = sel.Pos()
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// receiverFieldReads collects the receiver fields read in the method
+// body, keyed by field name.
+func receiverFieldReads(fd *ast.FuncDecl) map[string]token.Pos {
+	recv := receiverName(fd)
+	out := make(map[string]token.Pos)
+	if recv == "" || fd.Body == nil {
+		return out
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
+			out[sel.Sel.Name] = sel.Pos()
+		}
+		return true
+	})
+	return out
+}

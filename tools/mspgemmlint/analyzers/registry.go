@@ -1,0 +1,15 @@
+package analyzers
+
+import "maskedspgemm/tools/mspgemmlint/analysis"
+
+// All is the full invariant suite in the order diagnostics group best:
+// ownership, cache-key hygiene, locking, hot-path shape, nil safety,
+// doc coverage.
+var All = []*analysis.Analyzer{
+	Planimmut,
+	Optkey,
+	Lockorder,
+	Hotpath,
+	Nilsafetoken,
+	Doccomment,
+}

@@ -1,0 +1,102 @@
+// Command mspgemmlint enforces the repo's machine-checkable invariants:
+// plan immutability (DESIGN §8), the plan-affecting/exec-only options
+// split (PR 5), the budget-above-member lock order (PR 7), the
+// //mspgemm:hotpath flat-loop contract (PR 6), nil-safe cancellation
+// and fault hooks (PR 9), and doc coverage (formerly tools/lintdoc).
+//
+// Usage:
+//
+//	go run ./tools/mspgemmlint [packages]        analyze packages (default ./...)
+//	go run ./tools/mspgemmlint bce [-write]      diff residual bounds checks
+//	                                             against tools/bce.manifest
+//	go vet -vettool=$(which mspgemmlint) ./...   run under the go command
+//
+// Exit status: 0 clean, 1 findings or drift, 2 operational error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"maskedspgemm/tools/mspgemmlint/analysis"
+	"maskedspgemm/tools/mspgemmlint/analyzers"
+	"maskedspgemm/tools/mspgemmlint/bce"
+)
+
+func main() {
+	// `go vet -vettool=` drives the binary with -V/-flags/*.cfg
+	// arguments; everything else falls through to the standalone CLI.
+	if code, ok := analysis.VetMain(os.Args[1:], analyzers.All); ok {
+		os.Exit(code)
+	}
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "bce" {
+		os.Exit(bceMain(args[1:]))
+	}
+	os.Exit(lintMain(args))
+}
+
+// lintMain runs the analyzer suite over the module packages and prints
+// findings one per line.
+func lintMain(patterns []string) int {
+	fs := flag.NewFlagSet("mspgemmlint", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mspgemmlint [packages] | mspgemmlint bce [-write] [packages]")
+		fmt.Fprintln(os.Stderr, "analyzers:")
+		for _, a := range analyzers.All {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(patterns); err != nil {
+		return 2
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mspgemmlint:", err)
+		return 2
+	}
+	pkgs, err := analysis.Load(dir, fs.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mspgemmlint:", err)
+		return 2
+	}
+	findings, err := analysis.RunAnalyzers(pkgs, analyzers.All)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mspgemmlint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "mspgemmlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// bceMain runs the bounds-check drift gate.
+func bceMain(args []string) int {
+	fs := flag.NewFlagSet("mspgemmlint bce", flag.ExitOnError)
+	write := fs.Bool("write", false, "regenerate the manifest from the current build")
+	manifest := fs.String("manifest", bce.DefaultManifest, "manifest path relative to the module root")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mspgemmlint:", err)
+		return 2
+	}
+	report, ok, err := bce.Run(dir, fs.Args(), *manifest, *write)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mspgemmlint:", err)
+		return 2
+	}
+	fmt.Print(report)
+	if !ok {
+		return 1
+	}
+	return 0
+}

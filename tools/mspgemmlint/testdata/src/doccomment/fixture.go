@@ -1,0 +1,26 @@
+// Package doccomment is a deliberately-broken fixture for the
+// doc-coverage analyzer. Trailing line comments count as
+// documentation, so the firing cases are function declarations, where
+// only a leading doc comment counts.
+package doccomment
+
+// Documented is fully covered and reports nothing.
+type Documented struct {
+	// N is documented.
+	N int
+	M int // a trailing comment documents a field
+}
+
+// documentedHelper is unexported: no comment required anywhere.
+func documentedHelper() {}
+
+func Exported() {} // want `undocumented exported function Exported`
+
+func (d Documented) Method() {} // want `undocumented exported method Method`
+
+// Grouped declarations may document the group.
+var (
+	// One is documented individually.
+	One = 1
+	Two = 2 // a trailing comment documents a var
+)

@@ -1,0 +1,57 @@
+// Package hotpath is a deliberately-broken fixture for the flat-loop
+// analyzer: bad contains one of every banned construct, flat shows the
+// compliant shape, and cold shows that unannotated functions may use
+// anything.
+package hotpath
+
+// logger is a real interface, unlike the type parameters the live
+// kernels dispatch through.
+type logger interface {
+	Log(string)
+}
+
+// sink accepts an interface parameter.
+func sink(v any) {}
+
+// global is an interface-typed assignment target.
+var global any
+
+// flat is a compliant hot loop: slices, arithmetic, concrete calls.
+//
+//mspgemm:hotpath
+func flat(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// bad commits every banned construct once.
+//
+//mspgemm:hotpath
+func bad(xs []int, m map[int]int, l logger, v any) {
+	defer flat(xs)               // want `defer in //mspgemm:hotpath function bad`
+	go flat(xs)                  // want `go statement in //mspgemm:hotpath function bad`
+	f := func() int { return 1 } // want `closure in //mspgemm:hotpath function bad`
+	_ = f
+	for k := range m { // want `map iteration in //mspgemm:hotpath function bad`
+		_ = k
+	}
+	_ = v.(int)    // want `type assertion in //mspgemm:hotpath function bad`
+	l.Log("x")     // want `interface method call hotpath.logger.Log in //mspgemm:hotpath function bad`
+	sink(xs[0])    // want `argument converts to interface type any in //mspgemm:hotpath function bad`
+	global = xs[0] // want `assignment converts a concrete value to interface type any in //mspgemm:hotpath function bad`
+	_ = any(xs)    // want `conversion to interface type any in //mspgemm:hotpath function bad`
+}
+
+//mspgemm:hotpaht // want `unknown directive //mspgemm:hotpaht`
+
+// cold is unannotated: the same constructs are legal here.
+func cold(m map[int]int, v any) {
+	defer func() {}()
+	for k := range m {
+		sink(k)
+	}
+	_ = v
+}

@@ -1,0 +1,54 @@
+// Package lockorder is a deliberately-broken fixture for the budget
+// lock-order analyzer: MemBudget stands in for core.MemBudget, and the
+// violations call its locking entry points under a member mutex.
+package lockorder
+
+// mutex is a stand-in lock with the sync.Mutex method set.
+type mutex struct{ held bool }
+
+// Lock acquires the mutex.
+func (m *mutex) Lock() { m.held = true }
+
+// Unlock releases the mutex.
+func (m *mutex) Unlock() { m.held = false }
+
+// MemBudget is the stand-in budget arbiter.
+type MemBudget struct{}
+
+// Rebalance re-splits the budget; takes the budget mutex.
+func (b *MemBudget) Rebalance() {}
+
+// Register adds a member; takes the budget mutex.
+func (b *MemBudget) Register() {}
+
+// Reserve is lock-free and legal under member locks.
+func (b *MemBudget) Reserve() {}
+
+// member is a budget member guarding its state with mu.
+type member struct {
+	mu     mutex
+	budget *MemBudget
+}
+
+// bad rebalances while holding the member lock.
+func (m *member) bad() {
+	m.mu.Lock()
+	m.budget.Rebalance() // want `MemBudget.Rebalance called while m.mu is held`
+	m.mu.Unlock()
+}
+
+// badDefer keeps the lock to the end of the body via defer.
+func (m *member) badDefer() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.budget.Register() // want `MemBudget.Register called while m.mu is held`
+}
+
+// good releases the lock before rebalancing, and only makes lock-free
+// budget calls while holding it.
+func (m *member) good() {
+	m.mu.Lock()
+	m.budget.Reserve()
+	m.mu.Unlock()
+	m.budget.Rebalance()
+}

@@ -1,0 +1,38 @@
+// Package nilsafetoken is a deliberately-broken fixture for the
+// nil-safe receiver analyzer: Token stands in for
+// parallel.CancelToken, and Cancel repeats the missing-guard bug the
+// contract exists to catch.
+package nilsafetoken
+
+// Token is a flag documented as safe to use through a nil pointer.
+//
+//mspgemm:nilsafe
+type Token struct {
+	flag bool
+}
+
+// Cancel dereferences without the guard: the violation.
+func (t *Token) Cancel() {
+	t.flag = true // want `method \(\*Token\)\.Cancel dereferences the receiver without a nil check`
+}
+
+// Canceled uses the short-circuit form: comparison precedes the
+// dereference, legal.
+func (t *Token) Canceled() bool { return t != nil && t.flag }
+
+// Reset uses the statement form: legal.
+func (t *Token) Reset() {
+	if t == nil {
+		return
+	}
+	t.flag = false
+}
+
+// String never touches the receiver: legal without a guard.
+func (t *Token) String() string { return "token" }
+
+// plain is unannotated; its methods need no guard.
+type plain struct{ n int }
+
+// bump may dereference freely.
+func (p *plain) bump() { p.n++ }

@@ -1,0 +1,62 @@
+// Package optkey is a deliberately-broken fixture for the
+// options/plan-key analyzer: Verbose is a shared field that neither
+// planIdentity nor ExecOnly handles, TraceLabel is zeroed into the
+// void, and keyFor reads an exec-only option while building the key.
+package optkey
+
+// Options configures a multiply.
+type Options struct {
+	// Algorithm is plan-affecting.
+	Algorithm int
+	// CollectStats is execution-only and correctly handled.
+	CollectStats bool
+	// TraceLabel is zeroed by planIdentity but has no ExecOptions
+	// counterpart.
+	TraceLabel string
+	// Verbose has an ExecOptions counterpart but is neither zeroed nor
+	// forwarded.
+	Verbose bool
+}
+
+// ExecOptions carries the execution-only settings.
+type ExecOptions struct {
+	// CollectStats mirrors Options.CollectStats.
+	CollectStats bool
+	// Verbose mirrors Options.Verbose.
+	Verbose bool // want `Options.Verbose has an ExecOptions counterpart but planIdentity does not zero it` `ExecOptions.Verbose is not populated from Options.Verbose by ExecOnly`
+	// Cancel has no Options counterpart: execution-only by construction.
+	Cancel *int
+}
+
+// planIdentity strips execution-only fields from the cache identity.
+func (o Options) planIdentity() Options {
+	o.CollectStats = false
+	o.TraceLabel = "" // want `planIdentity zeroes Options.TraceLabel but ExecOptions has no TraceLabel field`
+	return o
+}
+
+// ExecOnly extracts the execution-only fields.
+func (o Options) ExecOnly() ExecOptions {
+	return ExecOptions{CollectStats: o.CollectStats}
+}
+
+// planKey is the cache key.
+type planKey struct {
+	fp  uint64
+	opt Options
+}
+
+// keyFor builds the cache key and illegally consults an exec-only
+// option while doing so.
+func keyFor(o Options, eo ExecOptions) planKey {
+	fp := uint64(1)
+	if eo.CollectStats { // want `read of exec-only option ExecOptions.CollectStats in a function that constructs planKey`
+		fp = 2
+	}
+	return planKey{fp: fp, opt: o.planIdentity()}
+}
+
+// lookup uses exec options away from the key path: legal.
+func lookup(eo ExecOptions) bool {
+	return eo.CollectStats
+}

@@ -1,0 +1,35 @@
+// Package optkeybad is a fixture for the analyzer's planKey shape
+// check: the cache key embeds ExecOptions wholesale, the structural
+// form of the PR 5 cache-fragmentation bug.
+package optkeybad
+
+// Options configures a multiply.
+type Options struct {
+	// Algorithm is plan-affecting.
+	Algorithm int
+	// CollectStats is execution-only.
+	CollectStats bool
+}
+
+// ExecOptions carries the execution-only settings.
+type ExecOptions struct {
+	// CollectStats mirrors Options.CollectStats.
+	CollectStats bool
+}
+
+// planIdentity strips execution-only fields.
+func (o Options) planIdentity() Options {
+	o.CollectStats = false
+	return o
+}
+
+// ExecOnly extracts the execution-only fields.
+func (o Options) ExecOnly() ExecOptions {
+	return ExecOptions{CollectStats: o.CollectStats}
+}
+
+// planKey illegally embeds the exec-only struct.
+type planKey struct {
+	fp uint64
+	eo ExecOptions // want `planKey field eo is of type ExecOptions`
+}

@@ -1,0 +1,56 @@
+// Package planimmut is a deliberately-broken fixture for the
+// plan-immutability analyzer: Plan stands in for core.Plan, and the
+// violations mirror the stats-reset and cache-poke mistakes the
+// contract exists to catch.
+package planimmut
+
+// Plan is the immutable analysis product.
+//
+//mspgemm:immutable
+type Plan struct {
+	sched      int
+	partBounds []int
+	exec       *Exec
+}
+
+// Exec is the plan's mutable execution state; writes through it are
+// legal anywhere.
+type Exec struct {
+	n int
+}
+
+// newPlan is the sanctioned constructor: all writes allowed.
+//
+//mspgemm:planwrite
+func newPlan() *Plan {
+	p := &Plan{exec: &Exec{}}
+	p.sched = 1
+	p.partBounds = []int{0}
+	p.partBounds[0] = 7
+	return p
+}
+
+// resetStats pokes a published plan: every write is a violation.
+func resetStats(p *Plan) {
+	p.sched = 0         // want `write to field sched of //mspgemm:immutable type Plan`
+	p.partBounds[0] = 2 // want `write to field partBounds of //mspgemm:immutable type Plan`
+	p.sched++           // want `write to field sched of //mspgemm:immutable type Plan`
+}
+
+// resetInClosure hides the write inside a closure of an unannotated
+// function; the closure inherits the enclosing function's standing.
+func resetInClosure(p *Plan) func() {
+	return func() {
+		p.sched = 3 // want `write to field sched of //mspgemm:immutable type Plan`
+	}
+}
+
+// touchExec mutates execution state, which is not annotated: legal.
+func touchExec(p *Plan) {
+	p.exec.n = 3
+}
+
+// readPlan only reads: legal.
+func readPlan(p *Plan) int {
+	return p.sched + len(p.partBounds)
+}
